@@ -1,0 +1,31 @@
+//! Benchmarks the ECC substrate (Table 3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vrd_ecc::analysis;
+use vrd_ecc::hamming::Secded72;
+use vrd_ecc::rs::Ssc18;
+
+fn bench(c: &mut Criterion) {
+    let secded = Secded72::new();
+    let word = secded.encode(0xDEAD_BEEF_0BAD_F00D);
+    c.bench_function("secded_encode", |b| {
+        b.iter(|| secded.encode(black_box(0xDEAD_BEEF_0BAD_F00D)))
+    });
+    c.bench_function("secded_decode_single_error", |b| {
+        b.iter(|| secded.decode(black_box(word ^ (1 << 17))))
+    });
+
+    let ssc = Ssc18::new();
+    let data = [0xA5u8; 16];
+    let mut cw = ssc.encode(&data);
+    cw[7] ^= 0x3C;
+    c.bench_function("ssc_encode", |b| b.iter(|| ssc.encode(black_box(&data))));
+    c.bench_function("ssc_decode_single_symbol", |b| b.iter(|| ssc.decode(black_box(&cw))));
+
+    c.bench_function("table3_analytic", |b| {
+        b.iter(|| analysis::table3(black_box(analysis::PAPER_WORST_BER)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Benchmarks the Appendix-A time/energy estimator (Figs. 17-24).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vrd_bender::estimate::{
+    one_measurement_energy_nj, one_measurement_time_ns, CampaignSpec, EnergyModel,
+    MeasurementSpec,
+};
+use vrd_bender::TimingParams;
+
+fn bench(c: &mut Criterion) {
+    let timing = TimingParams::ddr5();
+    let energy = EnergyModel::default();
+    let spec = MeasurementSpec::rowhammer(1_000).with_banks(32);
+    c.bench_function("one_measurement_time", |b| {
+        b.iter(|| one_measurement_time_ns(black_box(&timing), black_box(&spec)))
+    });
+    c.bench_function("one_measurement_energy", |b| {
+        b.iter(|| one_measurement_energy_nj(black_box(&timing), black_box(&spec), &energy))
+    });
+    let campaign = CampaignSpec { measurement: spec, rows: 8 << 20, measurements: 100_000 };
+    c.bench_function("campaign_projection", |b| {
+        b.iter(|| campaign.total_time_ns(black_box(&timing)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Benchmarks the guardbanded hammering experiment (Fig. 16).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vrd_core::guardband::{run_guardband, GuardbandConfig};
+use vrd_dram::ModuleSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("guardband");
+    group.sample_size(10);
+    let spec = ModuleSpec::by_name("M4").unwrap();
+    let cfg = GuardbandConfig {
+        margins: vec![0.5, 0.1],
+        estimate_measurements: 2,
+        trials: 50,
+        rows: 1,
+        row_bytes: 512,
+        ..GuardbandConfig::default()
+    };
+    group.bench_function("guardband_1row_50trials", |b| {
+        b.iter(|| run_guardband(&spec, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Benchmarks the in-depth campaign building blocks (Figs. 7, 9-13,
+//! Table 7: row selection and per-condition measurement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vrd_bender::TestPlatform;
+use vrd_core::campaign::select_rows;
+use vrd_dram::{ModuleSpec, TestConditions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indepth");
+    group.sample_size(10);
+    // Selection is read-mostly: reusing one platform measures the
+    // steady-state cost of scanning 3 x 16 rows with 2 estimates each.
+    let spec = ModuleSpec::by_name("S2").unwrap();
+    let mut platform = TestPlatform::for_module_with_row_bytes(spec, 5, 512);
+    platform.set_temperature_c(50.0);
+    group.bench_function("select_rows_3x16", |b| {
+        b.iter(|| select_rows(&mut platform, 0, &TestConditions::foundational(), 16, 3, 2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

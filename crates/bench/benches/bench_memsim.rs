@@ -1,0 +1,20 @@
+//! Benchmarks the cycle-level memory-system simulator (Fig. 14).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vrd_memsim::system::{SimConfig, System};
+use vrd_memsim::MitigationKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memsim");
+    group.sample_size(10);
+    let cfg = SimConfig { cycles: 100_000, ..SimConfig::default() };
+    for kind in [MitigationKind::None, MitigationKind::Graphene, MitigationKind::Para] {
+        group.bench_function(format!("run_100k_{}", kind.name()), |b| {
+            b.iter(|| System::run_mix(&cfg, kind, 128, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

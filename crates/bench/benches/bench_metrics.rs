@@ -1,0 +1,23 @@
+//! Benchmarks the VRD statistics (Figs. 5, 6: run lengths, ACF,
+//! chi-square normality).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vrd_bench::synthetic_series;
+use vrd_core::metrics::SeriesMetrics;
+use vrd_core::predictability::analyze;
+
+fn bench(c: &mut Criterion) {
+    let series = synthetic_series(10_000);
+    c.bench_function("series_metrics_10k", |b| {
+        b.iter(|| SeriesMetrics::of(black_box(&series)))
+    });
+    c.bench_function("predictability_10k_lag50", |b| {
+        b.iter(|| analyze(black_box(&series), 50).unwrap())
+    });
+    c.bench_function("box_summary_10k", |b| {
+        b.iter(|| black_box(&series).box_summary().unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Benchmarks the subsampling analysis (Figs. 8, 15, 25).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use vrd_bench::synthetic_series;
+use vrd_core::montecarlo::{exact_p_within_margin, exact_stats, monte_carlo_stats};
+
+fn bench(c: &mut Criterion) {
+    let series = synthetic_series(1_000);
+    c.bench_function("exact_stats_n50", |b| {
+        b.iter(|| exact_stats(black_box(&series), 50))
+    });
+    c.bench_function("exact_within_margin_n50", |b| {
+        b.iter(|| exact_p_within_margin(black_box(&series), 50, 0.1))
+    });
+    c.bench_function("monte_carlo_n50_10k_iters", |b| {
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
+        b.iter(|| monte_carlo_stats(&mut rng, black_box(&series), 50, 10_000))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

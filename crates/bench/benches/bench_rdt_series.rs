@@ -1,0 +1,29 @@
+//! Benchmarks the RDT measurement pipeline (Figs. 1, 3, 4: the
+//! foundational campaign's inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vrd_bench::prepared_platform;
+use vrd_core::algorithm::{measure_rdt_once, test_loop};
+use vrd_dram::TestConditions;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rdt_series");
+    group.sample_size(20);
+
+    // The platform is stateful (trap states evolve), which is exactly the
+    // workload: repeated measurements of the same row.
+    let (mut platform, row, sweep) = prepared_platform("M1", 1);
+    let conditions = TestConditions::foundational();
+    group.bench_function("measure_rdt_once", |b| {
+        b.iter(|| measure_rdt_once(&mut platform, 0, row, &conditions, &sweep))
+    });
+
+    let (mut platform, row, sweep) = prepared_platform("M1", 2);
+    group.bench_function("test_loop_20", |b| {
+        b.iter(|| test_loop(&mut platform, 0, row, &conditions, 20, &sweep))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! Each bench target corresponds to one experiment family of the paper
+//! (see `DESIGN.md`'s experiment index); the fixtures here build the
+//! platforms, series, and configurations the benches measure.
+
+use vrd_bender::TestPlatform;
+use vrd_core::algorithm::{find_victim, test_loop, SweepSpec};
+use vrd_core::RdtSeries;
+use vrd_dram::{ModuleSpec, TestConditions};
+
+/// Builds a ready-to-hammer platform for a Table-1 module with a located
+/// victim row and its sweep.
+pub fn prepared_platform(module: &str, seed: u64) -> (TestPlatform, u32, SweepSpec) {
+    let spec = ModuleSpec::by_name(module).expect("module exists in Table 1");
+    let mut platform = TestPlatform::for_module_with_row_bytes(spec, seed, 512);
+    platform.set_temperature_c(50.0);
+    let conditions = TestConditions::foundational();
+    let (row, guess) =
+        find_victim(&mut platform, 0, &conditions, 40_000, 2..20_000).expect("vulnerable row");
+    (platform, row, SweepSpec::from_guess(guess))
+}
+
+/// Produces a measured RDT series of the requested length.
+pub fn measured_series(module: &str, seed: u64, measurements: u32) -> RdtSeries {
+    let (mut platform, row, sweep) = prepared_platform(module, seed);
+    let conditions = TestConditions::foundational();
+    test_loop(&mut platform, 0, row, &conditions, measurements, &sweep)
+}
+
+/// A deterministic synthetic series (no device in the loop) for
+/// statistics benchmarks.
+pub fn synthetic_series(len: usize) -> RdtSeries {
+    let values: Vec<u32> =
+        (0..len).map(|i| 4_000 + ((i * 2_654_435_761) % 37) as u32 * 20).collect();
+    RdtSeries::new(values, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let (platform, row, sweep) = prepared_platform("M1", 3);
+        assert!(row > 0);
+        assert!(!sweep.is_empty());
+        assert!(platform.spec().is_some());
+        let series = synthetic_series(100);
+        assert_eq!(series.len(), 100);
+    }
+}

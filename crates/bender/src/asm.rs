@@ -1,0 +1,304 @@
+//! A textual assembly format for DRAM test programs.
+//!
+//! DRAM Bender exposes an instruction set that test authors program
+//! directly; this module provides the software analogue: a small
+//! assembler from a readable text format to [`Program`], so test
+//! routines can be written, stored, and replayed as files.
+//!
+//! # Syntax
+//!
+//! One instruction per line; `#` starts a comment. Instructions:
+//!
+//! ```text
+//! ACT <bank> <row>        # activate
+//! PRE <bank>              # precharge
+//! WR  <bank> <fill-byte>  # write burst (fill in decimal or 0xHH)
+//! RD  <bank>              # read burst
+//! REF                     # refresh
+//! WAIT <ns>               # idle (fractional ns allowed)
+//! LOOP <count>            # repeat the block until ENDLOOP
+//! ENDLOOP
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! let program = vrd_bender::asm::assemble(
+//!     "ACT 0 100\n\
+//!      LOOP 128\n\
+//!        WR 0 0x55\n\
+//!      ENDLOOP\n\
+//!      PRE 0\n",
+//! ).unwrap();
+//! assert_eq!(program.instrs().len(), 3);
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::command::DramCommand;
+use crate::program::{Instr, Program};
+
+/// Error produced by the assembler, with the offending 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+fn parse_u32(token: &str, line: usize, what: &str) -> Result<u32, AsmError> {
+    let parsed = if let Some(hex) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16)
+    } else {
+        token.parse()
+    };
+    parsed.map_err(|_| err(line, format!("invalid {what} {token:?}")))
+}
+
+/// Assembles `source` into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for unknown
+/// mnemonics, malformed operands, and unbalanced `LOOP`/`ENDLOOP`.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Stack of (loop count, body) for nested loops; the bottom entry is
+    // the top-level program body.
+    let mut stack: Vec<(u32, Vec<Instr>)> = vec![(1, Vec::new())];
+    let mut loop_open_lines: Vec<usize> = Vec::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut tokens = text.split_whitespace();
+        let mnemonic = tokens.next().expect("non-empty line").to_ascii_uppercase();
+        let mut operand = |what: &str| -> Result<&str, AsmError> {
+            tokens.next().ok_or_else(|| err(line, format!("{mnemonic} needs {what}")))
+        };
+        let instr = match mnemonic.as_str() {
+            "ACT" => {
+                let bank = parse_u32(operand("a bank")?, line, "bank")? as usize;
+                let row = parse_u32(operand("a row")?, line, "row")?;
+                Some(Instr::Cmd(DramCommand::Act { bank, row }))
+            }
+            "PRE" => {
+                let bank = parse_u32(operand("a bank")?, line, "bank")? as usize;
+                Some(Instr::Cmd(DramCommand::Pre { bank }))
+            }
+            "WR" => {
+                let bank = parse_u32(operand("a bank")?, line, "bank")? as usize;
+                let fill = parse_u32(operand("a fill byte")?, line, "fill byte")?;
+                if fill > 0xFF {
+                    return Err(err(line, format!("fill byte {fill:#x} exceeds 0xFF")));
+                }
+                Some(Instr::Cmd(DramCommand::Wr { bank, fill: fill as u8 }))
+            }
+            "RD" => {
+                let bank = parse_u32(operand("a bank")?, line, "bank")? as usize;
+                Some(Instr::Cmd(DramCommand::Rd { bank }))
+            }
+            "REF" => Some(Instr::Cmd(DramCommand::Ref)),
+            "WAIT" => {
+                let token = operand("a duration in ns")?;
+                let ns: f64 =
+                    token.parse().map_err(|_| err(line, format!("invalid duration {token:?}")))?;
+                if ns.is_nan() || ns < 0.0 {
+                    return Err(err(line, "duration must be non-negative"));
+                }
+                Some(Instr::WaitNs(ns))
+            }
+            "LOOP" => {
+                let count = parse_u32(operand("a count")?, line, "count")?;
+                stack.push((count, Vec::new()));
+                loop_open_lines.push(line);
+                None
+            }
+            "ENDLOOP" => {
+                if stack.len() == 1 {
+                    return Err(err(line, "ENDLOOP without LOOP"));
+                }
+                let (count, body) = stack.pop().expect("len > 1");
+                loop_open_lines.pop();
+                stack
+                    .last_mut()
+                    .expect("bottom frame exists")
+                    .1
+                    .push(Instr::Repeat { count, body });
+                None
+            }
+            other => return Err(err(line, format!("unknown mnemonic {other:?}"))),
+        };
+        if let Some(instr) = instr {
+            stack.last_mut().expect("bottom frame exists").1.push(instr);
+        }
+        // Extra operands are an error (catches typos early).
+        if let Some(extra) = tokens.next() {
+            return Err(err(line, format!("unexpected operand {extra:?}")));
+        }
+    }
+    if stack.len() != 1 {
+        let open = loop_open_lines.last().copied().unwrap_or(0);
+        return Err(err(open, "LOOP without ENDLOOP"));
+    }
+    let (_, body) = stack.pop().expect("bottom frame");
+    let mut program = Program::new();
+    for instr in body {
+        match instr {
+            Instr::Cmd(cmd) => {
+                program.cmd(cmd);
+            }
+            Instr::WaitNs(ns) => {
+                program.wait_ns(ns);
+            }
+            Instr::Repeat { count, body } => {
+                program.repeat(count, body);
+            }
+        }
+    }
+    Ok(program)
+}
+
+/// Disassembles a [`Program`] back into the textual format (round-trips
+/// with [`assemble`]).
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    fn emit(instrs: &[Instr], depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        for instr in instrs {
+            match instr {
+                Instr::Cmd(DramCommand::Act { bank, row }) => {
+                    out.push_str(&format!("{pad}ACT {bank} {row}\n"));
+                }
+                Instr::Cmd(DramCommand::Pre { bank }) => {
+                    out.push_str(&format!("{pad}PRE {bank}\n"));
+                }
+                Instr::Cmd(DramCommand::Wr { bank, fill }) => {
+                    out.push_str(&format!("{pad}WR {bank} 0x{fill:02X}\n"));
+                }
+                Instr::Cmd(DramCommand::Rd { bank }) => {
+                    out.push_str(&format!("{pad}RD {bank}\n"));
+                }
+                Instr::Cmd(DramCommand::Ref) => out.push_str(&format!("{pad}REF\n")),
+                Instr::WaitNs(ns) => out.push_str(&format!("{pad}WAIT {ns}\n")),
+                Instr::Repeat { count, body } => {
+                    out.push_str(&format!("{pad}LOOP {count}\n"));
+                    emit(body, depth + 1, out);
+                    out.push_str(&format!("{pad}ENDLOOP\n"));
+                }
+            }
+        }
+    }
+    emit(program.instrs(), 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_simple_program() {
+        let p = assemble("ACT 0 5\nWR 0 0xAA\nPRE 0\nREF\nWAIT 7.5\n").unwrap();
+        assert_eq!(p.instrs().len(), 5);
+        assert_eq!(p.instrs()[1], Instr::Cmd(DramCommand::Wr { bank: 0, fill: 0xAA }));
+        assert_eq!(p.instrs()[4], Instr::WaitNs(7.5));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("# setup\n\nACT 1 2  # open row\n").unwrap();
+        assert_eq!(p.instrs().len(), 1);
+    }
+
+    #[test]
+    fn loops_nest() {
+        let p = assemble(
+            "LOOP 10\n  ACT 0 1\n  LOOP 3\n    WR 0 0\n  ENDLOOP\n  PRE 0\nENDLOOP\n",
+        )
+        .unwrap();
+        assert_eq!(p.instrs().len(), 1);
+        match &p.instrs()[0] {
+            Instr::Repeat { count: 10, body } => {
+                assert_eq!(body.len(), 3);
+                assert!(matches!(body[1], Instr::Repeat { count: 3, .. }));
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hammer_loop_round_trips_and_executes() {
+        let src = "LOOP 1000\n  ACT 0 99\n  WAIT 35\n  PRE 0\n  ACT 0 101\n  WAIT 35\n  PRE 0\nENDLOOP\n";
+        let p = assemble(src).unwrap();
+        assert_eq!(assemble(&disassemble(&p)).unwrap(), p);
+
+        let mut dev = vrd_dram::DramDevice::new(vrd_dram::device::DeviceConfig::small_test(), 1);
+        let stats = crate::program::execute(&mut dev, &crate::timing::TimingParams::ddr4(), &p)
+            .expect("valid program");
+        assert_eq!(stats.activations, 2000);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = assemble("ACT 0 1\nBOGUS\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("BOGUS"));
+    }
+
+    #[test]
+    fn missing_operands_error() {
+        assert!(assemble("ACT 0\n").is_err());
+        assert!(assemble("WR 0\n").is_err());
+        assert!(assemble("WAIT\n").is_err());
+    }
+
+    #[test]
+    fn extra_operands_error() {
+        let e = assemble("PRE 0 1\n").unwrap_err();
+        assert!(e.message.contains("unexpected"));
+    }
+
+    #[test]
+    fn fill_byte_range_checked() {
+        assert!(assemble("WR 0 0x100\n").is_err());
+        assert!(assemble("WR 0 255\n").is_ok());
+    }
+
+    #[test]
+    fn unbalanced_loops_error() {
+        assert!(assemble("LOOP 5\nACT 0 1\n").is_err());
+        let e = assemble("ENDLOOP\n").unwrap_err();
+        assert!(e.message.contains("without LOOP"));
+    }
+
+    #[test]
+    fn hex_and_decimal_operands() {
+        let p = assemble("ACT 0x1 0x10\n").unwrap();
+        assert_eq!(p.instrs()[0], Instr::Cmd(DramCommand::Act { bank: 1, row: 16 }));
+    }
+
+    #[test]
+    fn disassemble_of_builder_program() {
+        let p = Program::double_sided_hammer(0, 9, 11, 50, 35.0);
+        let text = disassemble(&p);
+        assert!(text.contains("LOOP 50"));
+        assert_eq!(assemble(&text).unwrap(), p);
+    }
+}

@@ -1,0 +1,179 @@
+//! Heater-pad + PID temperature controller (paper §3).
+//!
+//! The paper presses heater pads against the DRAM chips and regulates them
+//! with a MaxWell FT200 PID controller to ±0.5 °C. [`ThermalController`]
+//! reproduces that loop: a first-order thermal plant (chip + pad thermal
+//! mass cooling toward ambient) driven by a PID-controlled heater.
+
+use serde::{Deserialize, Serialize};
+
+/// PID-regulated thermal rig with a first-order plant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalController {
+    /// Current chip temperature (°C).
+    temperature_c: f64,
+    /// Regulation target (°C).
+    target_c: f64,
+    /// Ambient temperature (°C).
+    ambient_c: f64,
+    /// Plant time constant (s).
+    tau_s: f64,
+    /// Maximum heater temperature rise at full power (°C).
+    heater_gain_c: f64,
+    // PID state
+    kp: f64,
+    ki: f64,
+    kd: f64,
+    integral: f64,
+    prev_error: f64,
+}
+
+impl ThermalController {
+    /// Guaranteed regulation precision once settled (°C), matching the
+    /// paper's FT200 setup.
+    pub const PRECISION_C: f64 = 0.5;
+
+    /// Creates a controller at ambient temperature with the given target.
+    pub fn new(ambient_c: f64, target_c: f64) -> Self {
+        ThermalController {
+            temperature_c: ambient_c,
+            target_c,
+            ambient_c,
+            tau_s: 20.0,
+            heater_gain_c: 120.0,
+            kp: 0.02,
+            ki: 0.002,
+            kd: 0.05,
+            integral: 0.0,
+            prev_error: target_c - ambient_c,
+        }
+    }
+
+    /// Current chip temperature (°C).
+    pub fn temperature_c(&self) -> f64 {
+        self.temperature_c
+    }
+
+    /// Regulation target (°C).
+    pub fn target_c(&self) -> f64 {
+        self.target_c
+    }
+
+    /// Changes the regulation target.
+    pub fn set_target_c(&mut self, target_c: f64) {
+        self.target_c = target_c;
+    }
+
+    /// Advances the loop by `dt_s` seconds (one control step).
+    ///
+    /// The controller combines a feedforward term (the duty cycle whose
+    /// plant equilibrium is the target) with a PID correction and
+    /// conditional anti-windup, the structure used by bench-top PID
+    /// temperature controllers like the FT200.
+    pub fn step(&mut self, dt_s: f64) {
+        assert!(dt_s > 0.0, "time step must be positive");
+        let error = self.target_c - self.temperature_c;
+        let derivative = (error - self.prev_error) / dt_s;
+        self.prev_error = error;
+        let feedforward = ((self.target_c - self.ambient_c) / self.heater_gain_c).clamp(0.0, 1.0);
+        let raw = feedforward + self.kp * error + self.ki * self.integral + self.kd * derivative;
+        let duty = raw.clamp(0.0, 1.0);
+        // Conditional anti-windup: only integrate while the actuator is
+        // not saturated against the error direction.
+        let saturated = (raw > 1.0 && error > 0.0) || (raw < 0.0 && error < 0.0);
+        if !saturated {
+            self.integral = (self.integral + error * dt_s).clamp(-20.0, 20.0);
+        }
+        // First-order plant: cooling toward ambient, heating toward
+        // ambient + heater_gain × duty.
+        let equilibrium = self.ambient_c + self.heater_gain_c * duty;
+        let alpha = 1.0 - (-dt_s / self.tau_s).exp();
+        self.temperature_c += alpha * (equilibrium - self.temperature_c);
+    }
+
+    /// Steps the loop until the temperature settles within
+    /// [`PRECISION_C`](Self::PRECISION_C) of the target (or a step budget
+    /// is exhausted). Returns the simulated settling time in seconds.
+    pub fn settle(&mut self) -> f64 {
+        let dt = 0.5;
+        let mut elapsed = 0.0;
+        let mut in_band = 0u32;
+        for _ in 0..100_000 {
+            self.step(dt);
+            elapsed += dt;
+            if (self.temperature_c - self.target_c).abs() <= Self::PRECISION_C {
+                in_band += 1;
+                if in_band >= 20 {
+                    return elapsed;
+                }
+            } else {
+                in_band = 0;
+            }
+        }
+        elapsed
+    }
+
+    /// Whether the temperature is currently within the guaranteed band.
+    pub fn is_settled(&self) -> bool {
+        (self.temperature_c - self.target_c).abs() <= Self::PRECISION_C
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settles_to_target() {
+        for target in [50.0, 65.0, 80.0] {
+            let mut ctl = ThermalController::new(25.0, target);
+            ctl.settle();
+            assert!(ctl.is_settled(), "failed to settle to {target}: at {}", ctl.temperature_c());
+        }
+    }
+
+    #[test]
+    fn holds_band_after_settling() {
+        let mut ctl = ThermalController::new(25.0, 80.0);
+        ctl.settle();
+        for _ in 0..1000 {
+            ctl.step(0.5);
+            assert!(ctl.is_settled(), "left the ±0.5 °C band at {}", ctl.temperature_c());
+        }
+    }
+
+    #[test]
+    fn retarget_resettles() {
+        let mut ctl = ThermalController::new(25.0, 50.0);
+        ctl.settle();
+        ctl.set_target_c(80.0);
+        assert!(!ctl.is_settled());
+        ctl.settle();
+        assert!(ctl.is_settled());
+        assert!((ctl.temperature_c() - 80.0).abs() <= 0.5);
+    }
+
+    #[test]
+    fn cooling_works_downward() {
+        let mut ctl = ThermalController::new(25.0, 80.0);
+        ctl.settle();
+        ctl.set_target_c(50.0);
+        let t = ctl.settle();
+        assert!(ctl.is_settled());
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn settling_time_is_reported() {
+        let mut ctl = ThermalController::new(25.0, 65.0);
+        let t = ctl.settle();
+        assert!(t > 1.0, "settling takes nonzero time, got {t}");
+        assert!(t < 3600.0, "settling must finish within an hour, got {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_panics() {
+        ThermalController::new(25.0, 50.0).step(0.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Algorithm 1: the paper's RDT temporal-variation test.
+//!
+//! Two phases: `find_victim` scans rows for one that is relatively
+//! vulnerable (guessed RDT below 40,000 at minimum `t_AggOn` with
+//! Checkered0, as the mean of 10 guesses); `test_loop` then measures that
+//! row's RDT repeatedly, each measurement sweeping hammer counts from
+//! `RDT_guess/2` to `RDT_guess×3` in increments of `RDT_guess/100` and
+//! recording the first hammer count that produces a bitflip.
+
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use vrd_bender::routines::{guess_rdt, hammer_session};
+use vrd_bender::TestPlatform;
+use vrd_dram::TestConditions;
+
+use crate::series::RdtSeries;
+
+/// The paper's vulnerability cutoff for victim selection (Alg. 1 line 6).
+pub const FIND_VICTIM_CUTOFF: u32 = 40_000;
+
+/// Hammer-count sweep grid of one RDT measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// First hammer count tested.
+    pub min: u32,
+    /// Upper bound (exclusive).
+    pub max: u32,
+    /// Grid step.
+    pub step: u32,
+}
+
+impl SweepSpec {
+    /// The paper's sweep for a guessed RDT: `[guess/2, guess×3)` in steps
+    /// of `guess/100` (Alg. 1 lines 14–16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guess` is zero.
+    pub fn from_guess(guess: u32) -> Self {
+        assert!(guess > 0, "guess must be nonzero");
+        SweepSpec { min: guess / 2, max: guess.saturating_mul(3), step: (guess / 100).max(1) }
+    }
+
+    /// The hammer counts of the sweep, ascending.
+    pub fn grid(&self) -> impl Iterator<Item = u32> + '_ {
+        (self.min..self.max).step_by(self.step as usize)
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        if self.max <= self.min {
+            0
+        } else {
+            ((self.max - self.min) as usize).div_ceil(self.step as usize)
+        }
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One RDT measurement (Alg. 1's inner loop): sweeps the grid; at each
+/// hammer count, initializes the rows, hammers double-sided, and reads
+/// the victim back. Returns the first hammer count with a bitflip, or
+/// `None` if the row survives the whole sweep (a censored measurement).
+pub fn measure_rdt_once(
+    platform: &mut TestPlatform,
+    bank: usize,
+    victim: u32,
+    conditions: &TestConditions,
+    sweep: &SweepSpec,
+) -> Option<u32> {
+    sweep.grid().find(|&hc| !hammer_session(platform, bank, victim, hc, conditions).is_empty())
+}
+
+/// Alg. 1's `find_victim`: scans `rows` in order, guessing each row's RDT
+/// as the mean of 10 quick estimates; returns the first row whose guess
+/// is below `cutoff`, together with the guess.
+pub fn find_victim(
+    platform: &mut TestPlatform,
+    bank: usize,
+    conditions: &TestConditions,
+    cutoff: u32,
+    rows: Range<u32>,
+) -> Option<(u32, u32)> {
+    for row in rows {
+        // A cheap probe first: rows that never flip within 4× the cutoff
+        // are skipped without spending 10 estimates.
+        let Some(first) = guess_rdt(platform, bank, row, conditions, cutoff.saturating_mul(4))
+        else {
+            continue;
+        };
+        let mut sum = u64::from(first);
+        let mut count = 1u64;
+        for _ in 1..10 {
+            if let Some(g) = guess_rdt(platform, bank, row, conditions, cutoff.saturating_mul(4))
+            {
+                sum += u64::from(g);
+                count += 1;
+            }
+        }
+        let mean = (sum / count) as u32;
+        if mean < cutoff {
+            return Some((row, mean));
+        }
+    }
+    None
+}
+
+/// Alg. 1's `test_loop`: measures the victim's RDT `measurements` times
+/// over the given sweep, returning the series (censored sweeps counted
+/// separately).
+pub fn test_loop(
+    platform: &mut TestPlatform,
+    bank: usize,
+    victim: u32,
+    conditions: &TestConditions,
+    measurements: u32,
+    sweep: &SweepSpec,
+) -> RdtSeries {
+    let mut values = Vec::with_capacity(measurements as usize);
+    let mut censored = 0u32;
+    for _ in 0..measurements {
+        match measure_rdt_once(platform, bank, victim, conditions, sweep) {
+            Some(rdt) => values.push(rdt),
+            None => censored += 1,
+        }
+    }
+    RdtSeries::new(values, censored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_from_guess_matches_alg1() {
+        let s = SweepSpec::from_guess(10_000);
+        assert_eq!(s.min, 5_000);
+        assert_eq!(s.max, 30_000);
+        assert_eq!(s.step, 100);
+        assert_eq!(s.len(), 250);
+    }
+
+    #[test]
+    fn sweep_small_guess_has_unit_step() {
+        let s = SweepSpec::from_guess(50);
+        assert_eq!(s.step, 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn sweep_grid_is_ascending() {
+        let s = SweepSpec::from_guess(1_000);
+        let grid: Vec<u32> = s.grid().collect();
+        assert_eq!(grid.len(), s.len());
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(grid[0], 500);
+    }
+
+    #[test]
+    fn find_victim_locates_vulnerable_row() {
+        let mut platform = TestPlatform::small_test(9);
+        let conditions = TestConditions::foundational();
+        let found = find_victim(&mut platform, 0, &conditions, FIND_VICTIM_CUTOFF, 2..2000);
+        let (row, guess) = found.expect("the test platform has vulnerable rows");
+        assert!(guess < FIND_VICTIM_CUTOFF);
+        assert!(row >= 2);
+    }
+
+    #[test]
+    fn test_loop_produces_measurements_in_sweep_range() {
+        let mut platform = TestPlatform::small_test(9);
+        let conditions = TestConditions::foundational();
+        let (row, guess) =
+            find_victim(&mut platform, 0, &conditions, FIND_VICTIM_CUTOFF, 2..2000).unwrap();
+        let sweep = SweepSpec::from_guess(guess);
+        let series = test_loop(&mut platform, 0, row, &conditions, 30, &sweep);
+        assert_eq!(series.len() + series.censored() as usize, 30);
+        for &v in series.values() {
+            assert!(v >= sweep.min && v < sweep.max);
+            assert_eq!((v - sweep.min) % sweep.step, 0, "values lie on the grid");
+        }
+    }
+
+    #[test]
+    fn repeated_measurements_vary() {
+        // The VRD phenomenon itself: the measured RDT changes over time.
+        let mut platform = TestPlatform::small_test(9);
+        let conditions = TestConditions::foundational();
+        let (row, guess) =
+            find_victim(&mut platform, 0, &conditions, FIND_VICTIM_CUTOFF, 2..2000).unwrap();
+        let series =
+            test_loop(&mut platform, 0, row, &conditions, 60, &SweepSpec::from_guess(guess));
+        assert!(series.len() >= 30, "most sweeps must find a flip");
+        assert!(
+            vrd_stats::histogram::unique_count(series.values()) > 1,
+            "RDT must take multiple states: {:?}",
+            series.values()
+        );
+    }
+
+    #[test]
+    fn measure_rdt_once_none_for_invulnerable_row() {
+        let mut platform = TestPlatform::small_test(9);
+        let conditions = TestConditions::foundational();
+        let strong = (2..2000)
+            .find(|&r| platform.device_mut().oracle_row_threshold(0, r, &conditions).is_none())
+            .expect("some row has no weak cell");
+        let sweep = SweepSpec { min: 100, max: 2_000, step: 100 };
+        assert_eq!(measure_rdt_once(&mut platform, 0, strong, &conditions, &sweep), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_guess_panics() {
+        SweepSpec::from_guess(0);
+    }
+}

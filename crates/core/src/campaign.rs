@@ -1,0 +1,307 @@
+//! The measurement campaigns of the paper: foundational (§4, one row per
+//! module × 100,000 measurements) and in-depth (§5, 150 rows per module ×
+//! 1,000 measurements × the data-pattern / `t_AggOn` / temperature grid).
+//!
+//! Campaign scale is configurable: the defaults match the paper; tests
+//! and quick runs shrink the measurement counts and row ranges.
+
+use serde::{Deserialize, Serialize};
+
+use vrd_bender::routines::guess_rdt;
+use vrd_bender::TestPlatform;
+use vrd_dram::spec::ModuleSpec;
+use vrd_dram::TestConditions;
+
+use crate::algorithm::{find_victim, test_loop, SweepSpec, FIND_VICTIM_CUTOFF};
+use crate::series::RdtSeries;
+
+/// Configuration of the §4 foundational campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoundationalConfig {
+    /// RDT measurements per victim row (paper: 100,000).
+    pub measurements: u32,
+    /// Test conditions (paper: Checkered0, min `t_RAS`, 50 °C).
+    pub conditions: TestConditions,
+    /// Device seed.
+    pub seed: u64,
+    /// Row size in bytes for the device model (smaller is faster; the
+    /// weak-cell physics is size-independent).
+    pub row_bytes: u32,
+    /// How many rows `find_victim` may scan.
+    pub scan_rows: u32,
+}
+
+impl Default for FoundationalConfig {
+    fn default() -> Self {
+        FoundationalConfig {
+            measurements: 100_000,
+            conditions: TestConditions::foundational(),
+            seed: 2025,
+            row_bytes: 2048,
+            scan_rows: 8192,
+        }
+    }
+}
+
+/// Result of the foundational campaign for one module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoundationalResult {
+    /// Module name (paper Table 1).
+    pub module: String,
+    /// The victim row measured.
+    pub row: u32,
+    /// The guessed RDT that parameterized the sweep.
+    pub rdt_guess: u32,
+    /// The measurement series.
+    pub series: RdtSeries,
+    /// Simulated test time spent (ns).
+    pub test_time_ns: f64,
+}
+
+/// Runs the foundational campaign (Alg. 1) against one module. Returns
+/// `None` if no sufficiently vulnerable row exists in the scanned range.
+pub fn run_foundational(spec: &ModuleSpec, cfg: &FoundationalConfig) -> Option<FoundationalResult> {
+    let mut platform = TestPlatform::for_module_with_row_bytes(spec.clone(), cfg.seed, cfg.row_bytes);
+    platform.set_temperature_c(cfg.conditions.temperature_c);
+    let (row, guess) =
+        find_victim(&mut platform, 0, &cfg.conditions, FIND_VICTIM_CUTOFF, 2..cfg.scan_rows)?;
+    let sweep = SweepSpec::from_guess(guess);
+    let series = test_loop(&mut platform, 0, row, &cfg.conditions, cfg.measurements, &sweep);
+    Some(FoundationalResult {
+        module: spec.name.clone(),
+        row,
+        rdt_guess: guess,
+        series,
+        test_time_ns: platform.elapsed_ns(),
+    })
+}
+
+/// Configuration of the §5 in-depth campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InDepthConfig {
+    /// RDT measurements per row per condition (paper: 1,000).
+    pub measurements: u32,
+    /// Rows scanned per segment (paper: the first/middle/last 1,024).
+    pub segment_rows: u32,
+    /// Rows selected per segment (paper: the 50 with smallest mean RDT).
+    pub picks_per_segment: usize,
+    /// The test-condition grid (paper: 4 patterns × 3 on-times × 3
+    /// temperatures).
+    pub conditions: Vec<TestConditions>,
+    /// Device seed.
+    pub seed: u64,
+    /// Row size in bytes for the device model.
+    pub row_bytes: u32,
+}
+
+impl Default for InDepthConfig {
+    fn default() -> Self {
+        InDepthConfig {
+            measurements: 1_000,
+            segment_rows: 1_024,
+            picks_per_segment: 50,
+            conditions: TestConditions::full_grid(),
+            seed: 5025,
+            row_bytes: 2048,
+        }
+    }
+}
+
+impl InDepthConfig {
+    /// A reduced configuration for tests and quick runs.
+    pub fn quick() -> Self {
+        InDepthConfig {
+            measurements: 60,
+            segment_rows: 96,
+            picks_per_segment: 4,
+            conditions: vec![TestConditions::foundational()],
+            seed: 5025,
+            row_bytes: 512,
+        }
+    }
+}
+
+/// One row's series under one condition combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConditionSeries {
+    /// The test conditions.
+    pub conditions: TestConditions,
+    /// The guessed RDT parameterizing the sweep under these conditions.
+    pub rdt_guess: u32,
+    /// The measurement series.
+    pub series: RdtSeries,
+}
+
+/// All series of one tested row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowResult {
+    /// Row address.
+    pub row: u32,
+    /// Selection-time mean RDT guess.
+    pub selection_guess: u32,
+    /// One entry per tested condition combination (conditions under
+    /// which the row never flipped within range are omitted).
+    pub per_condition: Vec<ConditionSeries>,
+}
+
+/// In-depth campaign result for one module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InDepthResult {
+    /// Module name.
+    pub module: String,
+    /// Per-row results.
+    pub rows: Vec<RowResult>,
+}
+
+/// Selects test rows per §5: scan the first, middle, and last
+/// `segment_rows` rows of the bank, estimate each row's RDT as the mean
+/// of `estimates` quick measurements, and keep the `picks` smallest per
+/// segment. Returns `(row, mean_guess)` pairs.
+pub fn select_rows(
+    platform: &mut TestPlatform,
+    bank: usize,
+    conditions: &TestConditions,
+    segment_rows: u32,
+    picks: usize,
+    estimates: u32,
+) -> Vec<(u32, u32)> {
+    let total_rows = platform.device().config().rows_per_bank;
+    let seg = segment_rows.min(total_rows / 3);
+    let segments = [
+        0..seg,
+        (total_rows / 2 - seg / 2)..(total_rows / 2 - seg / 2 + seg),
+        (total_rows - seg)..total_rows,
+    ];
+    let mut selected = Vec::new();
+    for range in segments {
+        let mut candidates: Vec<(u32, u32)> = Vec::new();
+        for row in range {
+            if row == 0 || row + 1 >= total_rows {
+                continue; // edge rows lack a double-sided neighbor pair
+            }
+            let mut sum = 0u64;
+            let mut count = 0u64;
+            for _ in 0..estimates {
+                if let Some(g) =
+                    guess_rdt(platform, bank, row, conditions, FIND_VICTIM_CUTOFF * 4)
+                {
+                    sum += u64::from(g);
+                    count += 1;
+                }
+            }
+            if let Some(mean) = sum.checked_div(count) {
+                candidates.push((row, mean as u32));
+            }
+        }
+        candidates.sort_by_key(|&(_, guess)| guess);
+        selected.extend(candidates.into_iter().take(picks));
+    }
+    selected
+}
+
+/// Runs the §5 in-depth campaign against one module.
+pub fn run_in_depth(spec: &ModuleSpec, cfg: &InDepthConfig) -> InDepthResult {
+    let mut platform = TestPlatform::for_module_with_row_bytes(spec.clone(), cfg.seed, cfg.row_bytes);
+    let selection_conditions = TestConditions::foundational();
+    platform.set_temperature_c(selection_conditions.temperature_c);
+    let rows = select_rows(
+        &mut platform,
+        0,
+        &selection_conditions,
+        cfg.segment_rows,
+        cfg.picks_per_segment,
+        3,
+    );
+
+    let mut row_results = Vec::with_capacity(rows.len());
+    for (row, selection_guess) in rows {
+        let mut per_condition = Vec::new();
+        for conditions in &cfg.conditions {
+            platform.set_temperature_c(conditions.temperature_c);
+            // Re-guess under these specific conditions: RowPress and
+            // temperature shift the testable range substantially.
+            let Some(guess) = guess_rdt(&mut platform, 0, row, conditions, FIND_VICTIM_CUTOFF * 8)
+            else {
+                continue;
+            };
+            let sweep = SweepSpec::from_guess(guess);
+            let series = test_loop(&mut platform, 0, row, conditions, cfg.measurements, &sweep);
+            if !series.is_empty() {
+                per_condition.push(ConditionSeries {
+                    conditions: *conditions,
+                    rdt_guess: guess,
+                    series,
+                });
+            }
+        }
+        row_results.push(RowResult { row, selection_guess, per_condition });
+    }
+    InDepthResult { module: spec.name.clone(), rows: row_results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_foundational() -> FoundationalConfig {
+        FoundationalConfig {
+            measurements: 50,
+            row_bytes: 512,
+            scan_rows: 3000,
+            ..FoundationalConfig::default()
+        }
+    }
+
+    #[test]
+    fn foundational_campaign_measures_one_row() {
+        let spec = ModuleSpec::by_name("M1").unwrap();
+        let result = run_foundational(&spec, &quick_foundational()).expect("M1 has weak rows");
+        assert_eq!(result.module, "M1");
+        assert_eq!(result.series.len() + result.series.censored() as usize, 50);
+        assert!(result.rdt_guess < FIND_VICTIM_CUTOFF);
+        assert!(result.test_time_ns > 0.0);
+    }
+
+    #[test]
+    fn foundational_series_exhibits_vrd() {
+        let spec = ModuleSpec::by_name("M1").unwrap();
+        let mut cfg = quick_foundational();
+        cfg.measurements = 120;
+        let result = run_foundational(&spec, &cfg).unwrap();
+        assert!(
+            vrd_stats::histogram::unique_count(result.series.values()) > 1,
+            "Finding 1: the RDT must change over repeated measurements"
+        );
+    }
+
+    #[test]
+    fn row_selection_picks_vulnerable_rows() {
+        let spec = ModuleSpec::by_name("S2").unwrap();
+        let mut platform = TestPlatform::for_module_with_row_bytes(spec, 7, 512);
+        let conditions = TestConditions::foundational();
+        let rows = select_rows(&mut platform, 0, &conditions, 64, 3, 2);
+        assert!(!rows.is_empty(), "selection must find vulnerable rows");
+        assert!(rows.len() <= 9);
+        for &(row, guess) in &rows {
+            assert!(row > 0);
+            assert!(guess > 0);
+        }
+        // Rows come from three disjoint segments.
+        let total = platform.device().config().rows_per_bank;
+        assert!(rows.iter().any(|&(r, _)| r < 64) || rows.iter().any(|&(r, _)| r > total - 65));
+    }
+
+    #[test]
+    fn in_depth_campaign_produces_series_per_condition() {
+        let spec = ModuleSpec::by_name("H3").unwrap();
+        let result = run_in_depth(&spec, &InDepthConfig::quick());
+        assert_eq!(result.module, "H3");
+        assert!(!result.rows.is_empty());
+        for row in &result.rows {
+            for cs in &row.per_condition {
+                assert!(!cs.series.is_empty());
+                assert_eq!(cs.conditions, TestConditions::foundational());
+            }
+        }
+    }
+}

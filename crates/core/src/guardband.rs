@@ -1,0 +1,253 @@
+//! Guardband + ECC evaluation (paper §6.3–6.4, Fig. 16, Table 3 inputs).
+//!
+//! The experiment: estimate a row's minimum RDT from a handful of
+//! measurements (the paper uses 5, "to maintain a reasonable testing
+//! time"), then repeatedly hammer at guardbanded hammer counts
+//! (`min_estimate × (1 − margin)` for margins 50%…10%) and record which
+//! bits flip anyway — i.e. how often VRD drops the true threshold below
+//! the guardbanded operating point. Flipped bits are attributed to DRAM
+//! chips and ECC codewords so the results feed the paper's SECDED /
+//! Chipkill discussion directly.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use vrd_bender::routines::{guess_rdt, hammer_session};
+use vrd_bender::TestPlatform;
+use vrd_dram::spec::ModuleSpec;
+use vrd_dram::{DataPattern, TestConditions};
+
+use crate::campaign::select_rows;
+
+/// Configuration of the guardband experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardbandConfig {
+    /// Guardband margins as fractions (paper: 0.5, 0.4, 0.3, 0.2, 0.1).
+    pub margins: Vec<f64>,
+    /// Measurements used to estimate the minimum RDT (paper: 5).
+    pub estimate_measurements: u32,
+    /// Guardbanded hammer trials per margin (paper: 10,000).
+    pub trials: u32,
+    /// Rows tested per module (paper: 50).
+    pub rows: usize,
+    /// Data patterns (paper: Checkered0 and Checkered1 at min `t_RAS`,
+    /// 50 °C).
+    pub patterns: Vec<DataPattern>,
+    /// Device seed.
+    pub seed: u64,
+    /// Row size in bytes.
+    pub row_bytes: u32,
+}
+
+impl Default for GuardbandConfig {
+    fn default() -> Self {
+        GuardbandConfig {
+            margins: vec![0.5, 0.4, 0.3, 0.2, 0.1],
+            estimate_measurements: 5,
+            trials: 10_000,
+            rows: 50,
+            patterns: vec![DataPattern::Checkered0, DataPattern::Checkered1],
+            seed: 6025,
+            row_bytes: 8192,
+        }
+    }
+}
+
+impl GuardbandConfig {
+    /// Reduced configuration for tests.
+    pub fn quick() -> Self {
+        GuardbandConfig {
+            margins: vec![0.5, 0.1],
+            estimate_measurements: 3,
+            trials: 200,
+            rows: 3,
+            patterns: vec![DataPattern::Checkered0],
+            seed: 6025,
+            row_bytes: 1024,
+        }
+    }
+}
+
+/// Outcome of hammering one row at one guardband margin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarginResult {
+    /// The guardband margin.
+    pub margin: f64,
+    /// The guardbanded hammer count used.
+    pub hammer_count: u32,
+    /// Distinct bit positions that flipped across all trials (Fig. 16's
+    /// "unique bitflips in a DRAM row").
+    pub unique_flip_bits: Vec<u32>,
+    /// Number of trials in which at least one bitflip occurred.
+    pub trials_with_flip: u32,
+    /// Distinct DRAM chips the flipped bits map to.
+    pub unique_chips: usize,
+    /// Worst-case flips within one 64-bit (SECDED-data) word.
+    pub max_flips_per_secded_word: usize,
+    /// Worst-case flips within one 128-bit (Chipkill-SSC-data) word.
+    pub max_flips_per_ssc_word: usize,
+}
+
+/// Guardband results of one row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowGuardbandResult {
+    /// Row address.
+    pub row: u32,
+    /// The data pattern tested.
+    pub pattern: DataPattern,
+    /// Estimated minimum RDT from the few pre-measurements.
+    pub min_estimate: u32,
+    /// One entry per margin.
+    pub per_margin: Vec<MarginResult>,
+}
+
+/// Runs the §6.4 guardband experiment against one module.
+pub fn run_guardband(spec: &ModuleSpec, cfg: &GuardbandConfig) -> Vec<RowGuardbandResult> {
+    let mut platform =
+        TestPlatform::for_module_with_row_bytes(spec.clone(), cfg.seed, cfg.row_bytes);
+    platform.set_temperature_c(50.0);
+    let selection = TestConditions::foundational();
+    let rows = select_rows(&mut platform, 0, &selection, 512, cfg.rows.div_ceil(3), 2);
+
+    let mut results = Vec::new();
+    for (row, _) in rows.into_iter().take(cfg.rows) {
+        for &pattern in &cfg.patterns {
+            let conditions = TestConditions::foundational().with_pattern(pattern);
+            // Estimate the row's minimum RDT from a few measurements.
+            let mut min_estimate: Option<u32> = None;
+            for _ in 0..cfg.estimate_measurements {
+                if let Some(g) = guess_rdt(&mut platform, 0, row, &conditions, 1 << 20) {
+                    min_estimate = Some(min_estimate.map_or(g, |m| m.min(g)));
+                }
+            }
+            let Some(min_estimate) = min_estimate else {
+                continue;
+            };
+
+            let mut per_margin = Vec::with_capacity(cfg.margins.len());
+            for &margin in &cfg.margins {
+                let hc = ((f64::from(min_estimate)) * (1.0 - margin)).round() as u32;
+                let mut unique: BTreeSet<u32> = BTreeSet::new();
+                let mut trials_with_flip = 0u32;
+                for _ in 0..cfg.trials {
+                    let flips = hammer_session(&mut platform, 0, row, hc, &conditions);
+                    if !flips.is_empty() {
+                        trials_with_flip += 1;
+                        unique.extend(flips.iter().map(|f| f.bit));
+                    }
+                }
+                let bits: Vec<u32> = unique.into_iter().collect();
+                per_margin.push(MarginResult {
+                    margin,
+                    hammer_count: hc,
+                    unique_chips: count_chips(spec, &bits),
+                    max_flips_per_secded_word: max_per_word(&bits, 64),
+                    max_flips_per_ssc_word: max_per_word(&bits, 128),
+                    trials_with_flip,
+                    unique_flip_bits: bits,
+                });
+            }
+            results.push(RowGuardbandResult { row, pattern, min_estimate, per_margin });
+        }
+    }
+    results
+}
+
+/// Number of distinct module chips covering the given row-bit positions.
+fn count_chips(spec: &ModuleSpec, bits: &[u32]) -> usize {
+    bits.iter().map(|&b| spec.chip_of_bit(b)).collect::<BTreeSet<_>>().len()
+}
+
+/// Worst-case number of flips within any aligned `word_bits` window.
+fn max_per_word(bits: &[u32], word_bits: u32) -> usize {
+    let mut best = 0usize;
+    let mut counts = std::collections::HashMap::new();
+    for &b in bits {
+        let e = counts.entry(b / word_bits).or_insert(0usize);
+        *e += 1;
+        best = best.max(*e);
+    }
+    best
+}
+
+/// The worst observed bit error rate across all margin results at the
+/// given margin, as bits flipped per row bit (the paper's 7.6e-5 input to
+/// Table 3).
+pub fn worst_bit_error_rate(results: &[RowGuardbandResult], margin: f64, row_bits: u32) -> f64 {
+    results
+        .iter()
+        .flat_map(|r| r.per_margin.iter())
+        .filter(|m| (m.margin - margin).abs() < 1e-9)
+        .map(|m| m.unique_flip_bits.len() as f64 / f64::from(row_bits))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_per_word_windows() {
+        assert_eq!(max_per_word(&[], 64), 0);
+        assert_eq!(max_per_word(&[1, 2, 3], 64), 3);
+        assert_eq!(max_per_word(&[1, 65, 129], 64), 1);
+        assert_eq!(max_per_word(&[1, 65, 129], 128), 2);
+    }
+
+    #[test]
+    fn chip_attribution() {
+        let spec = ModuleSpec::by_name("H0").unwrap();
+        assert_eq!(count_chips(&spec, &[0, 1, 7]), 1);
+        assert_eq!(count_chips(&spec, &[0, 8, 16]), 3);
+    }
+
+    #[test]
+    fn guardband_experiment_runs() {
+        let spec = ModuleSpec::by_name("M4").unwrap();
+        let results = run_guardband(&spec, &GuardbandConfig::quick());
+        assert!(!results.is_empty(), "some rows must be testable");
+        for r in &results {
+            assert!(r.min_estimate > 0);
+            assert_eq!(r.per_margin.len(), 2);
+            // Larger margins hammer less.
+            assert!(r.per_margin[0].hammer_count < r.per_margin[1].hammer_count);
+        }
+    }
+
+    #[test]
+    fn wider_margin_never_flips_more() {
+        // Aggregate across rows: the 50% margin must see at most as many
+        // trials-with-flip as the 10% margin (monotonicity of hammering).
+        let spec = ModuleSpec::by_name("M4").unwrap();
+        let results = run_guardband(&spec, &GuardbandConfig::quick());
+        let total_at = |margin: f64| -> u32 {
+            results
+                .iter()
+                .flat_map(|r| r.per_margin.iter())
+                .filter(|m| (m.margin - margin).abs() < 1e-9)
+                .map(|m| m.trials_with_flip)
+                .sum()
+        };
+        assert!(total_at(0.5) <= total_at(0.1));
+    }
+
+    #[test]
+    fn worst_ber_is_zero_without_flips() {
+        let results = vec![RowGuardbandResult {
+            row: 1,
+            pattern: DataPattern::Checkered0,
+            min_estimate: 1000,
+            per_margin: vec![MarginResult {
+                margin: 0.1,
+                hammer_count: 900,
+                unique_flip_bits: vec![],
+                trials_with_flip: 0,
+                unique_chips: 0,
+                max_flips_per_secded_word: 0,
+                max_flips_per_ssc_word: 0,
+            }],
+        }];
+        assert_eq!(worst_bit_error_rate(&results, 0.1, 65536), 0.0);
+    }
+}

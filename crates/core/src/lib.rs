@@ -1,0 +1,54 @@
+//! The VRD paper's primary contribution, as a library.
+//!
+//! This crate implements the characterization methodology of
+//! *"Variable Read Disturbance: An Experimental Analysis of Temporal
+//! Variation in DRAM Read Disturbance"* (HPCA 2025) on top of the
+//! device-model and testing-infrastructure substrates:
+//!
+//! - [`algorithm`] — Algorithm 1: `find_victim` (row selection by guessed
+//!   RDT) and the repeated-measurement `test_loop` sweeping hammer counts
+//!   from `RDT_guess/2` to `RDT_guess×3` in steps of `RDT_guess/100`.
+//! - [`series`] — the [`RdtSeries`] type holding one row's repeated RDT
+//!   measurements plus the summary operations the figures need.
+//! - [`metrics`] — VRD metrics: coefficient of variation, unique RDT
+//!   states, run lengths (Fig. 5), first occurrence of the minimum.
+//! - [`predictability`] — §4.1: chi-square goodness of fit against a
+//!   fitted normal and autocorrelation comparison with white noise.
+//! - [`montecarlo`] — §5.1: probability of finding the minimum RDT with N
+//!   measurements, expected normalized minimum RDT, and within-margin
+//!   probabilities — both by Monte-Carlo simulation (as the paper does)
+//!   and in closed form (for cross-validation).
+//! - [`campaign`] — the foundational (§4) and in-depth (§5) measurement
+//!   campaigns against simulated modules.
+//! - [`guardband`] — §6.3/6.4: guardbanded hammering, unique-bitflip
+//!   accounting (Fig. 16), and ECC codeword classification.
+//!
+//! # Examples
+//!
+//! Measure a row's RDT a few times and inspect the variation:
+//!
+//! ```
+//! use vrd_bender::TestPlatform;
+//! use vrd_core::algorithm::{find_victim, test_loop, SweepSpec};
+//! use vrd_dram::TestConditions;
+//!
+//! let mut platform = TestPlatform::small_test(3);
+//! let conditions = TestConditions::foundational();
+//! let (row, guess) =
+//!     find_victim(&mut platform, 0, &conditions, 40_000, 2..2000).expect("vulnerable row");
+//! let series = test_loop(&mut platform, 0, row, &conditions, 20, &SweepSpec::from_guess(guess));
+//! assert_eq!(series.len(), 20);
+//! ```
+
+pub mod algorithm;
+pub mod campaign;
+pub mod guardband;
+pub mod metrics;
+pub mod montecarlo;
+pub mod online;
+pub mod predictability;
+pub mod profile;
+pub mod series;
+
+pub use algorithm::{find_victim, test_loop, SweepSpec};
+pub use series::RdtSeries;

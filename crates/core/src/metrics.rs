@@ -1,0 +1,99 @@
+//! VRD metrics over an [`RdtSeries`]: state counts, run lengths, and the
+//! Finding-3 statistics.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use vrd_stats::runlength;
+
+use crate::series::RdtSeries;
+
+/// Aggregate Finding-2/3 metrics of one series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesMetrics {
+    /// Number of distinct measured RDT values (Finding 2's "states").
+    pub unique_states: usize,
+    /// Histogram of run lengths: `run length → count` (Fig. 5).
+    pub run_length_histogram: BTreeMap<usize, u64>,
+    /// Fraction of state changes occurring after a single measurement
+    /// (Finding 3's 79.0%); `None` when the series never changes state.
+    pub immediate_change_fraction: Option<f64>,
+    /// Longest streak of identical consecutive measurements.
+    pub longest_run: usize,
+    /// 0-based index of the first occurrence of the minimum RDT.
+    pub first_min_index: Option<usize>,
+    /// Number of measurements equal to the minimum.
+    pub min_count: usize,
+}
+
+impl SeriesMetrics {
+    /// Computes all metrics of `series`.
+    pub fn of(series: &RdtSeries) -> Self {
+        let values = series.values();
+        SeriesMetrics {
+            unique_states: vrd_stats::histogram::unique_count(values),
+            run_length_histogram: runlength::run_length_histogram(values),
+            immediate_change_fraction: runlength::immediate_change_fraction(values),
+            longest_run: runlength::longest_run(values),
+            first_min_index: series.first_min_index(),
+            min_count: series.min_count(),
+        }
+    }
+
+    /// Merges another row's run-length histogram into this one (the paper
+    /// aggregates Fig. 5 across all 14 tested rows).
+    pub fn merge_run_lengths(&mut self, other: &SeriesMetrics) {
+        for (&len, &count) in &other.run_length_histogram {
+            *self.run_length_histogram.entry(len).or_insert(0) += count;
+        }
+        self.longest_run = self.longest_run.max(other.longest_run);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> RdtSeries {
+        RdtSeries::new(vec![5, 5, 6, 6, 6, 5, 7, 7], 0)
+    }
+
+    #[test]
+    fn unique_states_counted() {
+        assert_eq!(SeriesMetrics::of(&series()).unique_states, 3);
+    }
+
+    #[test]
+    fn run_lengths_match() {
+        let m = SeriesMetrics::of(&series());
+        // Runs: [2, 3, 1, 2].
+        assert_eq!(m.run_length_histogram.get(&1), Some(&1));
+        assert_eq!(m.run_length_histogram.get(&2), Some(&2));
+        assert_eq!(m.run_length_histogram.get(&3), Some(&1));
+        assert_eq!(m.longest_run, 3);
+    }
+
+    #[test]
+    fn immediate_change_fraction_matches() {
+        // Changing runs: [2, 3, 1]; one of three has length 1.
+        let m = SeriesMetrics::of(&series());
+        let f = m.immediate_change_fraction.unwrap();
+        assert!((f - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_statistics() {
+        let m = SeriesMetrics::of(&series());
+        assert_eq!(m.first_min_index, Some(0));
+        assert_eq!(m.min_count, 3);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SeriesMetrics::of(&series());
+        let b = SeriesMetrics::of(&RdtSeries::new(vec![1, 1, 1, 1, 2], 0));
+        a.merge_run_lengths(&b);
+        assert_eq!(a.run_length_histogram.get(&4), Some(&1));
+        assert_eq!(a.longest_run, 4);
+    }
+}

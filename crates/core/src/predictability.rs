@@ -1,0 +1,119 @@
+//! Predictability analysis of an RDT series (paper §4.1).
+//!
+//! Two instruments, both as in the paper: a Pearson chi-square
+//! goodness-of-fit test against the normal distribution fitted to the
+//! series (histogram interpretation), and the autocorrelation function
+//! compared against white noise (repeating-pattern analysis).
+
+use serde::{Deserialize, Serialize};
+
+use vrd_stats::{acf, chi_square, StatsError};
+
+use crate::series::RdtSeries;
+
+/// Outcome of the §4.1 predictability analysis for one series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictabilityReport {
+    /// Chi-square p-value of the fitted-normal hypothesis, when the test
+    /// applies (`None` for degenerate series).
+    pub normality_p_value: Option<f64>,
+    /// Whether the fitted-normal hypothesis survives at α = 0.05.
+    pub looks_normal: bool,
+    /// ACF values at lags `0..=max_lag`.
+    pub acf: Vec<f64>,
+    /// The white-noise 95% confidence band `±1.96/√n`.
+    pub white_noise_bound: f64,
+    /// Fraction of lags `1..` whose |ACF| exceeds the band (≈ 0.05 under
+    /// the no-repeating-pattern null).
+    pub significant_lag_fraction: f64,
+}
+
+impl PredictabilityReport {
+    /// Whether the series is consistent with "changes randomly and
+    /// unpredictably" (Takeaway 1): no repeating pattern beyond what
+    /// white noise shows.
+    pub fn is_unpredictable(&self) -> bool {
+        self.significant_lag_fraction < 0.25
+    }
+}
+
+/// Runs the §4.1 analysis on `series` with ACF lags up to `max_lag`.
+///
+/// # Errors
+///
+/// Returns a [`StatsError`] when the series is too short or degenerate
+/// (constant) for either instrument.
+pub fn analyze(series: &RdtSeries, max_lag: usize) -> Result<PredictabilityReport, StatsError> {
+    let values = series.to_f64();
+    let acf_values = acf::autocorrelation(&values, max_lag)?;
+    let bound = acf::white_noise_bound(values.len());
+    let exceed = acf_values[1..].iter().filter(|r| r.abs() > bound).count();
+    let significant = exceed as f64 / max_lag as f64;
+
+    let normality = chi_square::chi_square_gof_normal(&values, None).ok();
+    let looks_normal = normality.map(|r| r.accepts_normality(0.05)).unwrap_or(false);
+    Ok(PredictabilityReport {
+        normality_p_value: normality.map(|r| r.p_value),
+        looks_normal,
+        acf: acf_values,
+        white_noise_bound: bound,
+        significant_lag_fraction: significant,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_series(n: usize, seed: u64) -> RdtSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<u32> = (0..n)
+            .map(|_| {
+                let z = vrd_stats::normal::sample_normal(&mut rng, 5_000.0, 120.0);
+                z.round().max(1.0) as u32
+            })
+            .collect();
+        RdtSeries::new(values, 0)
+    }
+
+    #[test]
+    fn white_noise_series_is_unpredictable() {
+        let series = noisy_series(5_000, 1);
+        let r = analyze(&series, 50).unwrap();
+        assert!(r.is_unpredictable(), "fraction {}", r.significant_lag_fraction);
+        assert!(r.looks_normal);
+        assert!((r.acf[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_series_is_predictable() {
+        let values: Vec<u32> = (0..2000).map(|i| 5_000 + (i % 8) * 100).collect();
+        let series = RdtSeries::new(values, 0);
+        let r = analyze(&series, 40).unwrap();
+        assert!(!r.is_unpredictable());
+        assert!(r.acf[8] > 0.9);
+    }
+
+    #[test]
+    fn uniform_series_fails_normality() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let values: Vec<u32> = (0..3000).map(|_| rng.gen_range(1000..2000)).collect();
+        let series = RdtSeries::new(values, 0);
+        let r = analyze(&series, 30).unwrap();
+        assert!(!r.looks_normal);
+    }
+
+    #[test]
+    fn constant_series_errors() {
+        let series = RdtSeries::new(vec![100; 500], 0);
+        assert!(analyze(&series, 20).is_err());
+    }
+
+    #[test]
+    fn short_series_errors() {
+        let series = RdtSeries::new(vec![1, 2, 3], 0);
+        assert!(analyze(&series, 20).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! [`RdtSeries`]: a row's repeated RDT measurements.
+
+use serde::{Deserialize, Serialize};
+
+use vrd_stats::{BoxSummary, StatsError, Summary};
+
+/// A series of repeated read-disturbance-threshold measurements of one
+/// DRAM row, in measurement order.
+///
+/// Measurements where no bitflip occurred within the sweep range are
+/// recorded as *censored* and excluded from the numeric series (the
+/// paper's test loop simply writes the RDT at the first flip; a sweep
+/// that never flips produces no sample).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RdtSeries {
+    values: Vec<u32>,
+    censored: u32,
+}
+
+impl RdtSeries {
+    /// Wraps measured values (`censored` counts sweeps with no flip).
+    pub fn new(values: Vec<u32>, censored: u32) -> Self {
+        RdtSeries { values, censored }
+    }
+
+    /// The measurements in order.
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// Number of successful measurements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series holds no successful measurement.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of sweeps that produced no bitflip.
+    pub fn censored(&self) -> u32 {
+        self.censored
+    }
+
+    /// Smallest measured RDT.
+    pub fn min(&self) -> Option<u32> {
+        self.values.iter().copied().min()
+    }
+
+    /// Largest measured RDT.
+    pub fn max(&self) -> Option<u32> {
+        self.values.iter().copied().max()
+    }
+
+    /// Index (0-based) of the *first* occurrence of the minimum — the
+    /// paper's "the smallest RDT value can appear after 94,467
+    /// measurements" metric.
+    pub fn first_min_index(&self) -> Option<usize> {
+        let min = self.min()?;
+        self.values.iter().position(|&v| v == min)
+    }
+
+    /// How many measurements yielded the minimum (Finding 9's "only 1 of
+    /// 1,000 measurements yields the minimum" rows).
+    pub fn min_count(&self) -> usize {
+        match self.min() {
+            Some(min) => self.values.iter().filter(|&&v| v == min).count(),
+            None => 0,
+        }
+    }
+
+    /// Max-over-min ratio (Finding 5's 3.5× worst case).
+    pub fn max_over_min(&self) -> Option<f64> {
+        let min = self.min()?;
+        let max = self.max()?;
+        if min == 0 {
+            None
+        } else {
+            Some(f64::from(max) / f64::from(min))
+        }
+    }
+
+    /// Descriptive summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for an empty series.
+    pub fn summary(&self) -> Result<Summary, StatsError> {
+        Summary::from_u32(&self.values)
+    }
+
+    /// Box-and-whiskers summary (paper Fig. 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for an empty series.
+    pub fn box_summary(&self) -> Result<BoxSummary, StatsError> {
+        BoxSummary::from_u32(&self.values)
+    }
+
+    /// Coefficient of variation across the series (paper Fig. 7).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StatsError`] for an empty series.
+    pub fn cv(&self) -> Result<f64, StatsError> {
+        Ok(self.summary()?.cv)
+    }
+
+    /// The measurements as `f64` (for the statistics substrate).
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.values.iter().map(|&v| f64::from(v)).collect()
+    }
+
+    /// Per-chunk `(mean, min, max)` summaries over windows of
+    /// `chunk` measurements — the circles-and-error-bars view of Fig. 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn chunk_summaries(&self, chunk: usize) -> Vec<(f64, u32, u32)> {
+        assert!(chunk > 0, "chunk must be nonzero");
+        self.values
+            .chunks(chunk)
+            .map(|c| {
+                let mean = c.iter().map(|&v| f64::from(v)).sum::<f64>() / c.len() as f64;
+                let min = *c.iter().min().expect("non-empty chunk");
+                let max = *c.iter().max().expect("non-empty chunk");
+                (mean, min, max)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> RdtSeries {
+        RdtSeries::new(vec![500, 400, 500, 450, 400, 600], 2)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = series();
+        assert_eq!(s.len(), 6);
+        assert!(!s.is_empty());
+        assert_eq!(s.censored(), 2);
+        assert_eq!(s.min(), Some(400));
+        assert_eq!(s.max(), Some(600));
+    }
+
+    #[test]
+    fn first_min_index_finds_earliest() {
+        assert_eq!(series().first_min_index(), Some(1));
+        assert_eq!(RdtSeries::new(vec![], 0).first_min_index(), None);
+    }
+
+    #[test]
+    fn min_count_counts_all() {
+        assert_eq!(series().min_count(), 2);
+    }
+
+    #[test]
+    fn max_over_min_ratio() {
+        assert_eq!(series().max_over_min(), Some(1.5));
+        assert_eq!(RdtSeries::new(vec![0, 5], 0).max_over_min(), None);
+    }
+
+    #[test]
+    fn empty_series_summary_errors() {
+        assert!(RdtSeries::new(vec![], 3).summary().is_err());
+    }
+
+    #[test]
+    fn chunk_summaries_shapes() {
+        let s = series();
+        let chunks = s.chunk_summaries(3);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0], ((500.0 + 400.0 + 500.0) / 3.0, 400, 500));
+        assert_eq!(chunks[1].2, 600);
+    }
+
+    #[test]
+    fn cv_positive_for_varying_series() {
+        assert!(series().cv().unwrap() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk")]
+    fn zero_chunk_panics() {
+        series().chunk_summaries(0);
+    }
+}

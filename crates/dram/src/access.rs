@@ -1,0 +1,165 @@
+//! Read-disturbance access patterns beyond the paper's default.
+//!
+//! The paper characterizes with the double-sided pattern (§3.1), the
+//! most effective known. This module generalizes to the full family the
+//! RowHammer literature uses — single-sided, double-sided, many-sided
+//! "TRRespass-style", and half-double — as reusable aggressor layouts so
+//! campaigns and attacks can be expressed uniformly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mapping::RowMapping;
+
+/// A named aggressor-row layout around a victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// One aggressor directly adjacent to the victim.
+    SingleSided,
+    /// Both physical neighbors of the victim (the paper's pattern).
+    DoubleSided,
+    /// `n` aggressor pairs around `n` interleaved victims (TRRespass
+    /// style); the layout for one victim uses the aggressors at ±1 and
+    /// the decoys spaced further out.
+    ManySided {
+        /// Number of aggressor rows in total (≥ 2, even).
+        aggressors: u8,
+    },
+    /// Half-Double: a near aggressor at distance 1 and a far aggressor
+    /// at distance 2 on the same side.
+    HalfDouble,
+}
+
+impl AccessPattern {
+    /// The *physical* row offsets (relative to the victim's physical
+    /// row) that this pattern activates, with per-offset activation
+    /// weight (fraction of the hammer budget).
+    pub fn offsets(&self) -> Vec<(i64, f64)> {
+        match self {
+            AccessPattern::SingleSided => vec![(1, 1.0)],
+            AccessPattern::DoubleSided => vec![(-1, 0.5), (1, 0.5)],
+            AccessPattern::ManySided { aggressors } => {
+                let n = (*aggressors).max(2) as i64;
+                let mut offsets = Vec::new();
+                // Pairs at ±1, ±3, ±5, … (victims interleave between).
+                let pairs = n / 2;
+                let weight = 1.0 / n as f64;
+                for i in 0..pairs {
+                    let d = 2 * i + 1;
+                    offsets.push((-d, weight));
+                    offsets.push((d, weight));
+                }
+                offsets
+            }
+            AccessPattern::HalfDouble => vec![(1, 0.7), (2, 0.3)],
+        }
+    }
+
+    /// Resolves the pattern to logical aggressor rows for a victim,
+    /// dropping offsets that fall outside the bank. Returns
+    /// `(logical_row, weight)` pairs.
+    pub fn aggressors_of(
+        &self,
+        mapping: RowMapping,
+        victim_logical: u32,
+        rows: u32,
+    ) -> Vec<(u32, f64)> {
+        let phys = i64::from(mapping.physical_of(victim_logical));
+        self.offsets()
+            .into_iter()
+            .filter_map(|(offset, weight)| {
+                let target = phys + offset;
+                if (0..i64::from(rows)).contains(&target) {
+                    Some((mapping.logical_of(target as u32), weight))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Relative disturbance effectiveness versus double-sided at the
+    /// same per-aggressor hammer count (distance-2 rows couple far more
+    /// weakly; single-sided lacks the compounding of both neighbors).
+    pub fn effectiveness(&self) -> f64 {
+        match self {
+            AccessPattern::DoubleSided => 1.0,
+            AccessPattern::SingleSided => 0.4,
+            AccessPattern::ManySided { .. } => 0.95,
+            AccessPattern::HalfDouble => 0.55,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            AccessPattern::SingleSided => "single-sided".to_owned(),
+            AccessPattern::DoubleSided => "double-sided".to_owned(),
+            AccessPattern::ManySided { aggressors } => format!("{aggressors}-sided"),
+            AccessPattern::HalfDouble => "half-double".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_sided_hits_both_neighbors() {
+        let aggr = AccessPattern::DoubleSided.aggressors_of(RowMapping::Direct, 100, 1000);
+        assert_eq!(aggr, vec![(99, 0.5), (101, 0.5)]);
+    }
+
+    #[test]
+    fn single_sided_hits_one() {
+        let aggr = AccessPattern::SingleSided.aggressors_of(RowMapping::Direct, 100, 1000);
+        assert_eq!(aggr, vec![(101, 1.0)]);
+    }
+
+    #[test]
+    fn many_sided_weights_sum_to_one() {
+        for n in [2u8, 4, 8, 10] {
+            let p = AccessPattern::ManySided { aggressors: n };
+            let total: f64 = p.offsets().iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-12, "{n}-sided weights sum to {total}");
+            assert_eq!(p.offsets().len(), n as usize);
+        }
+    }
+
+    #[test]
+    fn edge_victims_lose_out_of_range_aggressors() {
+        let aggr = AccessPattern::DoubleSided.aggressors_of(RowMapping::Direct, 0, 1000);
+        assert_eq!(aggr, vec![(1, 0.5)]);
+        let aggr = AccessPattern::HalfDouble.aggressors_of(RowMapping::Direct, 998, 1000);
+        assert_eq!(aggr.len(), 1, "distance-2 row 1000 is out of range");
+    }
+
+    #[test]
+    fn aggressors_respect_mapping() {
+        // With VendorB (bit 0/1 swap), logical neighbors differ from
+        // physical ones.
+        let aggr = AccessPattern::DoubleSided.aggressors_of(RowMapping::VendorB, 4, 1000);
+        let phys = RowMapping::VendorB.physical_of(4);
+        for (logical, _) in aggr {
+            let d = i64::from(RowMapping::VendorB.physical_of(logical)) - i64::from(phys);
+            assert_eq!(d.abs(), 1);
+        }
+    }
+
+    #[test]
+    fn double_sided_is_most_effective() {
+        for p in [
+            AccessPattern::SingleSided,
+            AccessPattern::ManySided { aggressors: 6 },
+            AccessPattern::HalfDouble,
+        ] {
+            assert!(p.effectiveness() <= AccessPattern::DoubleSided.effectiveness());
+        }
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(AccessPattern::ManySided { aggressors: 10 }.name(), "10-sided");
+        assert_eq!(AccessPattern::DoubleSided.name(), "double-sided");
+    }
+}

@@ -1,0 +1,1067 @@
+//! The behavioural DRAM device: banks, rows, activation-driven read
+//! disturbance, refresh, TRR emulation, and on-die-ECC emulation.
+//!
+//! # Model semantics
+//!
+//! - Activating a row disturbs its two *physical* neighbors: each
+//!   activation adds one "hammer" of accumulated disturbance, tagged with
+//!   the aggressor's on-time. Single-sided hammering is weaker than
+//!   double-sided (weight [`SINGLE_SIDED_WEIGHT`] for the unbalanced part).
+//! - Activating a row also *restores* it: pending bitflips are
+//!   materialized from the accumulated disturbance (they occurred during
+//!   the preceding hammering), the accumulated disturbance resets, and the
+//!   row's trap states take one Markov step (the paper's §4.2 mechanism).
+//! - Reading returns the stored fill bytes with materialized bitflips
+//!   applied. Writing clears flips (data is overwritten).
+//! - Refresh restores a sliding window of rows per bank, like a real
+//!   chip's internal refresh counter. When TRR emulation is on, recently
+//!   activated rows' neighbors are additionally restored — this is why
+//!   the paper's methodology disables refresh (§3.1).
+//!
+//! The device is command-level, not cycle-level: time lives in
+//! `vrd-bender`, which issues these operations with JEDEC timing.
+
+use std::collections::HashMap;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::cells::CellLayout;
+use crate::conditions::{TestConditions, T_AGG_ON_MIN_TRAS_NS};
+use crate::error::DramError;
+use crate::mapping::RowMapping;
+use crate::pattern::DataPattern;
+use crate::spatial::SpatialProfile;
+use crate::spec::VrdModelParams;
+use crate::vrd::{Trap, WeakCell};
+
+/// Relative disturbance weight of unbalanced (single-sided) activations
+/// compared to balanced double-sided hammering.
+pub const SINGLE_SIDED_WEIGHT: f64 = 0.4;
+
+/// Static configuration of a [`DramDevice`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Number of banks.
+    pub banks: usize,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Bytes per row (the paper's rows are 64 Kibit = 8192 bytes).
+    pub row_bytes: u32,
+    /// Logical→physical row mapping.
+    pub mapping: RowMapping,
+    /// True-/anti-cell layout.
+    pub cell_layout: CellLayout,
+    /// Stochastic VRD engine parameters.
+    pub vrd: VrdModelParams,
+    /// Spatial threshold structure (subarray tiles + edge weakening).
+    pub spatial: SpatialProfile,
+    /// Rows restored per bank by one refresh command.
+    pub rows_per_refresh: u32,
+}
+
+impl DeviceConfig {
+    /// A small configuration for fast unit tests: 2 banks × 4096 rows of
+    /// 1 KiB, direct mapping, test-friendly VRD parameters.
+    pub fn small_test() -> Self {
+        DeviceConfig {
+            banks: 2,
+            rows_per_bank: 4096,
+            row_bytes: 1024,
+            mapping: RowMapping::Direct,
+            cell_layout: CellLayout::default(),
+            vrd: VrdModelParams::small_test(),
+            spatial: SpatialProfile::flat(),
+            rows_per_refresh: 8,
+        }
+    }
+}
+
+/// One observed read-disturbance bitflip in a victim row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bitflip {
+    /// Bit position within the row (0 = LSB of byte 0).
+    pub bit: u32,
+}
+
+/// Accumulated disturbance on one victim row since its last restore.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct DisturbState {
+    /// Activations of the physically-below neighbor.
+    below: f64,
+    /// Activations of the physically-above neighbor.
+    above: f64,
+    /// Largest aggressor on-time seen during accumulation (ns).
+    t_on_ns: f64,
+}
+
+impl DisturbState {
+    /// Effective double-sided hammer count: the balanced part counts in
+    /// full, the unbalanced excess at [`SINGLE_SIDED_WEIGHT`].
+    fn effective_hammers(&self) -> f64 {
+        let lo = self.below.min(self.above);
+        let hi = self.below.max(self.above);
+        lo + SINGLE_SIDED_WEIGHT * (hi - lo)
+    }
+
+    fn is_clean(&self) -> bool {
+        self.below == 0.0 && self.above == 0.0
+    }
+}
+
+/// Stored contents of a row. Rows written through the fill API stay
+/// compact; arbitrary data falls back to a byte vector.
+#[derive(Debug, Clone, PartialEq)]
+enum RowData {
+    /// Every byte of the row holds this value.
+    Uniform(u8),
+    /// Explicit bytes.
+    Bytes(Box<[u8]>),
+}
+
+impl RowData {
+    fn bit(&self, bit: u32) -> bool {
+        match self {
+            RowData::Uniform(b) => (b >> (bit % 8)) & 1 == 1,
+            RowData::Bytes(bytes) => {
+                let byte = bytes[(bit / 8) as usize];
+                (byte >> (bit % 8)) & 1 == 1
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RowState {
+    data: RowData,
+    /// Bit positions whose stored value is currently inverted by a flip.
+    flipped: Vec<u32>,
+    disturb: DisturbState,
+    /// Weak cells, generated lazily and deterministically per row.
+    cells: Vec<WeakCell>,
+}
+
+#[derive(Debug)]
+struct Bank {
+    open_row: Option<u32>,
+    rows: HashMap<u32, RowState>,
+    refresh_ptr: u32,
+    /// Recently activated rows (ring buffer) for TRR emulation.
+    recent_activations: Vec<u32>,
+}
+
+impl Bank {
+    fn new() -> Self {
+        Bank {
+            open_row: None,
+            rows: HashMap::new(),
+            refresh_ptr: 0,
+            recent_activations: Vec::new(),
+        }
+    }
+}
+
+/// A behavioural DRAM device with a stochastic read-disturbance engine.
+///
+/// See the [module documentation](self) for the model semantics.
+#[derive(Debug)]
+pub struct DramDevice {
+    config: DeviceConfig,
+    seed: u64,
+    banks: Vec<Bank>,
+    rng: ChaCha12Rng,
+    temperature_c: f64,
+    trr_enabled: bool,
+    on_die_ecc_enabled: bool,
+    total_activations: u64,
+    /// Device-wide pattern-dependent VRD-strength bias: every chip
+    /// design couples the four data patterns into its noise mechanisms
+    /// differently, so which pattern yields the worst VRD profile varies
+    /// across chips (Finding 13).
+    pattern_vrd_bias: [f64; 4],
+}
+
+impl DramDevice {
+    /// Creates a device from `config`, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero banks, rows, or row bytes.
+    pub fn new(config: DeviceConfig, seed: u64) -> Self {
+        assert!(config.banks > 0, "device needs at least one bank");
+        assert!(config.rows_per_bank > 1, "device needs at least two rows");
+        assert!(config.row_bytes > 0, "rows need at least one byte");
+        let banks = (0..config.banks).map(|_| Bank::new()).collect();
+        let mut bias_rng = ChaCha12Rng::seed_from_u64(seed ^ 0xB1A5_u64);
+        let mut pattern_vrd_bias = [1.0f64; 4];
+        for b in &mut pattern_vrd_bias {
+            *b = (0.25 * sample_normal(&mut bias_rng)).exp();
+        }
+        DramDevice {
+            banks,
+            rng: ChaCha12Rng::seed_from_u64(seed ^ 0xD12A_0DE1_u64),
+            seed,
+            config,
+            temperature_c: 50.0,
+            trr_enabled: false,
+            on_die_ecc_enabled: false,
+            total_activations: 0,
+            pattern_vrd_bias,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Current device temperature (°C). Set by the test platform's
+    /// thermal controller.
+    pub fn temperature_c(&self) -> f64 {
+        self.temperature_c
+    }
+
+    /// Sets the device temperature (°C).
+    pub fn set_temperature_c(&mut self, temperature_c: f64) {
+        self.temperature_c = temperature_c;
+    }
+
+    /// Enables or disables the on-die TRR (target-row-refresh) emulation.
+    /// The paper's methodology disables it by disabling periodic refresh.
+    pub fn set_trr_enabled(&mut self, enabled: bool) {
+        self.trr_enabled = enabled;
+    }
+
+    /// Enables or disables on-die-ECC emulation (single-bit correction per
+    /// 64-bit word at read time). HBM2 chips expose this through a mode
+    /// register; the paper sets it to zero.
+    pub fn set_on_die_ecc_enabled(&mut self, enabled: bool) {
+        self.on_die_ecc_enabled = enabled;
+    }
+
+    /// Total activate commands the device has seen.
+    pub fn total_activations(&self) -> u64 {
+        self.total_activations
+    }
+
+    /// The currently open row of `bank`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn open_row(&self, bank: usize) -> Option<u32> {
+        self.banks[bank].open_row
+    }
+
+    fn check_addr(&self, bank: usize, row: u32) -> Result<(), DramError> {
+        if bank >= self.config.banks {
+            return Err(DramError::BankOutOfRange { bank, banks: self.config.banks });
+        }
+        if row >= self.config.rows_per_bank {
+            return Err(DramError::RowOutOfRange { row, rows: self.config.rows_per_bank });
+        }
+        Ok(())
+    }
+
+    /// Activates (opens) `row` in `bank` with the default minimum-`t_RAS`
+    /// on-time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range addresses or if another row is
+    /// already open in the bank (a real controller must precharge first).
+    pub fn activate(&mut self, bank: usize, row: u32) -> Result<(), DramError> {
+        self.activate_for(bank, row, T_AGG_ON_MIN_TRAS_NS)
+    }
+
+    /// Activates `row` in `bank`, keeping it open for `t_on_ns` before the
+    /// eventual precharge (the RowPress axis).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`activate`](Self::activate).
+    pub fn activate_for(&mut self, bank: usize, row: u32, t_on_ns: f64) -> Result<(), DramError> {
+        self.activate_n(bank, row, 1, t_on_ns)
+    }
+
+    /// Applies `n` consecutive activate/precharge cycles of `row`
+    /// (semantically identical to `n` single activations, each held open
+    /// for `t_on_ns`), leaving the row open after the final activation.
+    ///
+    /// This is the device-side fast path for hammering loops.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`activate`](Self::activate).
+    pub fn activate_n(
+        &mut self,
+        bank: usize,
+        row: u32,
+        n: u32,
+        t_on_ns: f64,
+    ) -> Result<(), DramError> {
+        self.check_addr(bank, row)?;
+        if n == 0 {
+            return Ok(());
+        }
+        if let Some(open) = self.banks[bank].open_row {
+            if open != row {
+                return Err(DramError::RowNotOpen { bank, row });
+            }
+        }
+        self.total_activations += u64::from(n);
+        // Restore this row (it is being activated): materialize pending
+        // flips, clear disturbance, step traps n times.
+        self.restore_row(bank, row, n);
+        self.banks[bank].open_row = Some(row);
+
+        // Disturb physical neighbors.
+        let (below, above) =
+            self.config.mapping.neighbors_of(row, self.config.rows_per_bank);
+        if let Some(b) = below {
+            self.add_disturbance(bank, b, /*from_below=*/ false, n, t_on_ns);
+        }
+        if let Some(a) = above {
+            self.add_disturbance(bank, a, /*from_below=*/ true, n, t_on_ns);
+        }
+
+        // TRR bookkeeping.
+        if self.trr_enabled {
+            let recent = &mut self.banks[bank].recent_activations;
+            recent.push(row);
+            if recent.len() > 16 {
+                recent.remove(0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Precharges (closes) the open row of `bank`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range bank.
+    pub fn precharge(&mut self, bank: usize) -> Result<(), DramError> {
+        if bank >= self.config.banks {
+            return Err(DramError::BankOutOfRange { bank, banks: self.config.banks });
+        }
+        self.banks[bank].open_row = None;
+        Ok(())
+    }
+
+    /// Writes `fill` to every byte of the *open* row of `bank`, clearing
+    /// any bitflips (data is overwritten).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowNotOpen`] if `row` is not the open row.
+    pub fn write_open_row(&mut self, bank: usize, row: u32, fill: u8) -> Result<(), DramError> {
+        self.check_addr(bank, row)?;
+        if self.banks[bank].open_row != Some(row) {
+            return Err(DramError::RowNotOpen { bank, row });
+        }
+        let state = self.row_state(bank, row);
+        state.data = RowData::Uniform(fill);
+        state.flipped.clear();
+        Ok(())
+    }
+
+    /// Writes arbitrary `bytes` to the open row (truncated / zero-padded
+    /// to the row size), clearing any bitflips.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowNotOpen`] if `row` is not the open row.
+    pub fn write_open_row_bytes(
+        &mut self,
+        bank: usize,
+        row: u32,
+        bytes: &[u8],
+    ) -> Result<(), DramError> {
+        self.check_addr(bank, row)?;
+        if self.banks[bank].open_row != Some(row) {
+            return Err(DramError::RowNotOpen { bank, row });
+        }
+        let row_bytes = self.config.row_bytes as usize;
+        let mut data = vec![0u8; row_bytes];
+        let n = bytes.len().min(row_bytes);
+        data[..n].copy_from_slice(&bytes[..n]);
+        let state = self.row_state(bank, row);
+        state.data = RowData::Bytes(data.into_boxed_slice());
+        state.flipped.clear();
+        Ok(())
+    }
+
+    /// Convenience: activate + fill-write + precharge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid addresses (use the command-level API for fallible
+    /// access).
+    pub fn write_row(&mut self, bank: usize, row: u32, fill: u8) {
+        self.precharge(bank).expect("valid bank");
+        self.activate(bank, row).expect("valid address");
+        self.write_open_row(bank, row, fill).expect("row is open");
+        self.precharge(bank).expect("valid bank");
+    }
+
+    /// Reads the open row's current contents (with flips applied, and
+    /// on-die ECC correction if enabled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowNotOpen`] if `row` is not the open row.
+    pub fn read_open_row(&mut self, bank: usize, row: u32) -> Result<Vec<u8>, DramError> {
+        self.check_addr(bank, row)?;
+        if self.banks[bank].open_row != Some(row) {
+            return Err(DramError::RowNotOpen { bank, row });
+        }
+        let row_bytes = self.config.row_bytes as usize;
+        let on_die_ecc = self.on_die_ecc_enabled;
+        let state = self.row_state(bank, row);
+        let mut bytes = match &state.data {
+            RowData::Uniform(b) => vec![*b; row_bytes],
+            RowData::Bytes(data) => data.to_vec(),
+        };
+        let flips = visible_flips(&state.flipped, on_die_ecc);
+        for bit in flips {
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+        Ok(bytes)
+    }
+
+    /// Convenience: activate (materializing pending flips) + compare the
+    /// row against a uniform `expected` fill + precharge. Returns the
+    /// observed bitflips.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid addresses.
+    pub fn read_and_compare(&mut self, bank: usize, row: u32, expected: u8) -> Vec<Bitflip> {
+        self.precharge(bank).expect("valid bank");
+        self.activate(bank, row).expect("valid address");
+        let on_die_ecc = self.on_die_ecc_enabled;
+        let state = self.row_state(bank, row);
+        let mut flips: Vec<Bitflip> = visible_flips(&state.flipped, on_die_ecc)
+            .into_iter()
+            .map(|bit| Bitflip { bit })
+            .collect();
+        // Also report any mismatch between stored fill and expectation
+        // (e.g. the row was never initialized).
+        if let RowData::Uniform(stored) = state.data {
+            if stored != expected {
+                // Whole-row mismatch: report the first differing bit of
+                // each byte value; campaigns never hit this path.
+                for bit in 0..8u32 {
+                    if (stored ^ expected) >> bit & 1 == 1 {
+                        flips.push(Bitflip { bit });
+                    }
+                }
+            }
+        }
+        self.precharge(bank).expect("valid bank");
+        flips.sort_unstable_by_key(|f| f.bit);
+        flips.dedup();
+        flips
+    }
+
+    /// Performs the paper's double-sided hammer: `hammer_count`
+    /// activations of *each* of the two physical neighbors of `victim`,
+    /// alternating, each held open `t_on_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid addresses.
+    pub fn hammer_double_sided(
+        &mut self,
+        bank: usize,
+        victim: u32,
+        hammer_count: u32,
+        t_on_ns: f64,
+    ) {
+        let (below, above) =
+            self.config.mapping.neighbors_of(victim, self.config.rows_per_bank);
+        self.precharge(bank).expect("valid bank");
+        // Alternating ACT/PRE pairs are semantically equal to bulk
+        // activation of each side because disturbance accumulates
+        // additively between victim restores.
+        if let Some(b) = below {
+            self.activate_n(bank, b, hammer_count, t_on_ns).expect("valid address");
+            self.precharge(bank).expect("valid bank");
+        }
+        if let Some(a) = above {
+            self.activate_n(bank, a, hammer_count, t_on_ns).expect("valid address");
+            self.precharge(bank).expect("valid bank");
+        }
+    }
+
+    /// Issues one refresh command: restores the next
+    /// `rows_per_refresh` rows in every bank (and, with TRR enabled, the
+    /// neighbors of recently activated rows).
+    pub fn refresh(&mut self) {
+        for bank_idx in 0..self.config.banks {
+            let start = self.banks[bank_idx].refresh_ptr;
+            for offset in 0..self.config.rows_per_refresh {
+                let row = (start + offset) % self.config.rows_per_bank;
+                self.restore_row(bank_idx, row, 1);
+            }
+            self.banks[bank_idx].refresh_ptr =
+                (start + self.config.rows_per_refresh) % self.config.rows_per_bank;
+
+            if self.trr_enabled {
+                let recent = std::mem::take(&mut self.banks[bank_idx].recent_activations);
+                for row in &recent {
+                    let (below, above) =
+                        self.config.mapping.neighbors_of(*row, self.config.rows_per_bank);
+                    for neighbor in [below, above].into_iter().flatten() {
+                        self.restore_row(bank_idx, neighbor, 1);
+                    }
+                }
+                self.banks[bank_idx].recent_activations = recent;
+            }
+        }
+    }
+
+    /// The smallest hammer count at which the given row can currently
+    /// flip under `conditions` — the row's instantaneous ground-truth
+    /// threshold (all weak cells, current trap states, current data).
+    /// Returns `None` for rows without weak cells.
+    ///
+    /// This is an oracle for tests and analyses; real campaigns must
+    /// measure it the hard way, which is the point of the paper.
+    pub fn oracle_row_threshold(
+        &mut self,
+        bank: usize,
+        row: u32,
+        conditions: &TestConditions,
+    ) -> Option<f64> {
+        self.check_addr(bank, row).ok()?;
+        self.ensure_row(bank, row);
+        let state = self.banks[bank].rows.get(&row).expect("ensured");
+        let mut min: Option<f64> = None;
+        for cell in &state.cells {
+            let stored = state.data.bit(cell.bit) ^ state.flipped.contains(&cell.bit);
+            let t = cell.effective_threshold(conditions, stored);
+            min = Some(min.map_or(t, |m: f64| m.min(t)));
+        }
+        min
+    }
+
+    /// Number of weak cells in a row (oracle for tests).
+    pub fn oracle_weak_cell_count(&mut self, bank: usize, row: u32) -> usize {
+        if self.check_addr(bank, row).is_err() {
+            return 0;
+        }
+        self.ensure_row(bank, row);
+        self.banks[bank].rows[&row].cells.len()
+    }
+
+    // ----- internals -------------------------------------------------
+
+    fn row_state(&mut self, bank: usize, row: u32) -> &mut RowState {
+        self.ensure_row(bank, row);
+        self.banks[bank].rows.get_mut(&row).expect("ensured")
+    }
+
+    fn ensure_row(&mut self, bank: usize, row: u32) {
+        if self.banks[bank].rows.contains_key(&row) {
+            return;
+        }
+        let cells = self.generate_weak_cells(bank, row);
+        self.banks[bank].rows.insert(
+            row,
+            RowState {
+                data: RowData::Uniform(0),
+                flipped: Vec::new(),
+                disturb: DisturbState::default(),
+                cells,
+            },
+        );
+    }
+
+    /// Deterministic per-row weak-cell generation from the device seed.
+    fn generate_weak_cells(&mut self, bank: usize, row: u32) -> Vec<WeakCell> {
+        let seed = derive_row_seed(self.seed, bank as u64, u64::from(row));
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let p = &self.config.vrd;
+        let physical = self.config.mapping.physical_of(row);
+        let polarity = self.config.cell_layout.polarity_of_physical_row(physical);
+        let row_bits = self.config.row_bytes * 8;
+
+        let spatial_factor = self.config.spatial.factor(physical, self.seed);
+        let count = sample_poisson(&mut rng, p.weak_cells_per_row);
+        let mut cells = Vec::with_capacity(count);
+        for _ in 0..count {
+            let base_ln =
+                (p.median_rdt * spatial_factor).ln() + p.sigma_ln * sample_normal(&mut rng);
+            let mut pattern_sense = [1.0f64; 4];
+            for s in &mut pattern_sense {
+                *s = (p.pattern_spread * sample_normal(&mut rng)).exp();
+            }
+            let press = (p.press_coeff * (0.08 * sample_normal(&mut rng)).exp()).max(0.01);
+            let temp_coeff = p.temp_coeff_mean + p.temp_coeff_spread * sample_normal(&mut rng);
+            let discharged_penalty = 2.0 + 2.0 * rng.gen::<f64>();
+
+            let jitter_sigma = p.jitter_sigma_range.0
+                + (p.jitter_sigma_range.1 - p.jitter_sigma_range.0) * rng.gen::<f64>();
+            let mut pattern_vrd_sense = self.pattern_vrd_bias;
+            for s in &mut pattern_vrd_sense {
+                *s *= (0.15 * sample_normal(&mut rng)).exp();
+            }
+            let mix = |rng: &mut ChaCha12Rng| {
+                p.mix_rate_range.0 + (p.mix_rate_range.1 - p.mix_rate_range.0) * rng.gen::<f64>()
+            };
+            let mut traps = Vec::new();
+            if p.bimodal {
+                // One dominant, moderately occupied trap: two clearly
+                // separated RDT populations (HBM2 Chip1 in Fig. 4).
+                traps.push(Trap::new(&mut rng, 0.4, 0.02, p.tail_assist.max(0.18)));
+            } else {
+                // A few small traps add discrete states on top of the
+                // session jitter.
+                let n_traps = 1 + sample_geometric(&mut rng, 0.5).min(3);
+                for _ in 0..n_traps {
+                    let occupancy = 0.2 + 0.6 * rng.gen::<f64>();
+                    let m = mix(&mut rng);
+                    let assist = (p.typical_assist * (0.5 + rng.gen::<f64>())).min(0.6);
+                    traps.push(Trap::new(&mut rng, occupancy, m, assist));
+                }
+                if rng.gen_bool(p.tail_probability) {
+                    // A deep trap whose occupied state is rare: the
+                    // minimum RDT appears in only a small fraction of
+                    // measurements (Findings 7–9). Occupancy is sampled
+                    // log-uniformly over the configured range.
+                    let (lo, hi) = p.tail_occupancy_range;
+                    let occupancy = (lo.ln() + (hi.ln() - lo.ln()) * rng.gen::<f64>()).exp();
+                    let m = mix(&mut rng) * 0.5;
+                    traps.push(Trap::new(&mut rng, occupancy, m.max(1e-4), p.tail_assist));
+                }
+            }
+
+            cells.push(WeakCell {
+                bit: rng.gen_range(0..row_bits),
+                polarity,
+                base_threshold: base_ln.exp(),
+                pattern_sense,
+                press_coeff: press,
+                temp_coeff,
+                discharged_penalty,
+                jitter_sigma,
+                pattern_vrd_sense,
+                traps,
+            });
+        }
+        cells
+    }
+
+    fn add_disturbance(&mut self, bank: usize, victim: u32, from_below: bool, n: u32, t_on_ns: f64) {
+        self.ensure_row(bank, victim);
+        // Rows without weak cells never flip in the tested range; skip
+        // the bookkeeping for them (the dominant case).
+        let state = self.banks[bank].rows.get_mut(&victim).expect("ensured");
+        if state.cells.is_empty() {
+            return;
+        }
+        if from_below {
+            state.disturb.below += f64::from(n);
+        } else {
+            state.disturb.above += f64::from(n);
+        }
+        state.disturb.t_on_ns = state.disturb.t_on_ns.max(t_on_ns);
+    }
+
+    /// Charge restoration of a row: materialize pending flips, reset
+    /// accumulated disturbance, step traps `n` times.
+    fn restore_row(&mut self, bank: usize, row: u32, n: u32) {
+        // Avoid instantiating untouched rows on refresh.
+        if !self.banks[bank].rows.contains_key(&row) {
+            return;
+        }
+        let temperature = self.temperature_c;
+        let conditions = self.infer_conditions(bank, row);
+        let state = self.banks[bank].rows.get_mut(&row).expect("checked");
+        if !state.disturb.is_clean() {
+            let hammers = state.disturb.effective_hammers();
+            for cell in &state.cells {
+                let already = state.flipped.contains(&cell.bit);
+                let stored = state.data.bit(cell.bit) ^ already;
+                let threshold = cell.sample_threshold(&mut self.rng, &conditions, stored);
+                if hammers >= threshold && !already {
+                    state.flipped.push(cell.bit);
+                }
+            }
+            state.disturb = DisturbState::default();
+        }
+        if !state.cells.is_empty() {
+            // One Markov step per restoration event; bulk restorations
+            // step with the compound redraw probability.
+            for cell in &mut state.cells {
+                for trap in &mut cell.traps {
+                    step_trap_n(trap, &mut self.rng, temperature, n);
+                }
+            }
+        }
+    }
+
+    /// Infers the effective test conditions for a victim row from its own
+    /// and its aggressors' stored data (the physical coupling the
+    /// pattern-sensitivity factors model) plus device temperature and the
+    /// recorded aggressor on-time.
+    fn infer_conditions(&self, bank: usize, row: u32) -> TestConditions {
+        let state = self.banks[bank].rows.get(&row).expect("caller ensured");
+        let t_on = if state.disturb.t_on_ns > 0.0 {
+            state.disturb.t_on_ns
+        } else {
+            T_AGG_ON_MIN_TRAS_NS
+        };
+        let victim_fill = match state.data {
+            RowData::Uniform(b) => Some(b),
+            RowData::Bytes(_) => None,
+        };
+        let (below, above) = self.config.mapping.neighbors_of(row, self.config.rows_per_bank);
+        let aggressor_fill = [below, above]
+            .into_iter()
+            .flatten()
+            .filter_map(|r| self.banks[bank].rows.get(&r))
+            .find_map(|s| match s.data {
+                RowData::Uniform(b) => Some(b),
+                RowData::Bytes(_) => None,
+            });
+        let pattern = classify_pattern(victim_fill, aggressor_fill)
+            .or_else(|| victim_fill.map(nearest_pattern))
+            .unwrap_or(DataPattern::Checkered0);
+        TestConditions { pattern, t_agg_on_ns: t_on, temperature_c: self.temperature_c }
+    }
+}
+
+/// Classifies the Table-2 data pattern from victim/aggressor fill bytes.
+///
+/// Returns `None` when the fills match no standard pattern.
+pub fn classify_pattern(victim: Option<u8>, aggressor: Option<u8>) -> Option<DataPattern> {
+    let v = victim?;
+    match (v, aggressor) {
+        (0x00, _) => Some(DataPattern::Rowstripe0),
+        (0xFF, _) => Some(DataPattern::Rowstripe1),
+        (0x55, _) => Some(DataPattern::Checkered0),
+        (0xAA, _) => Some(DataPattern::Checkered1),
+        _ => None,
+    }
+}
+
+/// Maps an arbitrary victim fill byte to the Table-2 pattern with the
+/// nearest coupling behaviour: exact matches first, then by Hamming
+/// distance of the fill to the four victim bytes (coupling is driven by
+/// which victim bits sit against inverted aggressor bits, which the
+/// Hamming distance captures to first order).
+pub fn nearest_pattern(victim_fill: u8) -> DataPattern {
+    DataPattern::ALL
+        .into_iter()
+        .min_by_key(|p| (victim_fill ^ p.victim_byte()).count_ones())
+        .expect("four candidates")
+}
+
+fn visible_flips(flipped: &[u32], on_die_ecc: bool) -> Vec<u32> {
+    if !on_die_ecc {
+        return flipped.to_vec();
+    }
+    // On-die ECC corrects a single bit error per aligned 64-bit word.
+    let mut per_word: HashMap<u32, Vec<u32>> = HashMap::new();
+    for &bit in flipped {
+        per_word.entry(bit / 64).or_default().push(bit);
+    }
+    let mut visible = Vec::new();
+    for (_, bits) in per_word {
+        if bits.len() > 1 {
+            visible.extend(bits);
+        }
+    }
+    visible.sort_unstable();
+    visible
+}
+
+/// Steps a trap `n` times in one draw using the compound redraw
+/// probability `1 - (1 - r)^n` (statistically identical to `n` single
+/// steps for a redraw-style chain).
+fn step_trap_n<R: Rng + ?Sized>(trap: &mut Trap, rng: &mut R, temperature_c: f64, n: u32) {
+    if n == 0 {
+        return;
+    }
+    if n == 1 {
+        trap.step(rng, temperature_c);
+        return;
+    }
+    let accel = 1.0 + 0.01 * (temperature_c - 50.0);
+    let rate = (trap.mix_rate * accel).clamp(f64::MIN_POSITIVE, 1.0);
+    let compound = 1.0 - (1.0 - rate).powi(n as i32);
+    if rng.gen_bool(compound.clamp(0.0, 1.0)) {
+        trap.occupied = rng.gen_bool(trap.occupancy);
+    }
+}
+
+fn derive_row_seed(device_seed: u64, bank: u64, row: u64) -> u64 {
+    let mut z = device_seed ^ bank.rotate_left(32) ^ row.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> usize {
+    // Knuth's method; lambda is small (≈ 1–2) everywhere we use it.
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 64 {
+            return k; // guard against pathological lambda
+        }
+    }
+}
+
+fn sample_geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> usize {
+    let mut k = 0usize;
+    while !rng.gen_bool(p) && k < 32 {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strong_config() -> DeviceConfig {
+        // Dense weak cells with low thresholds so hammering reliably flips.
+        let mut cfg = DeviceConfig::small_test();
+        cfg.vrd.median_rdt = 3_000.0;
+        cfg.vrd.weak_cells_per_row = 4.0;
+        cfg
+    }
+
+    /// Finds a row whose weak-cell threshold is low enough to flip fast.
+    fn find_vulnerable_row(dev: &mut DramDevice) -> u32 {
+        let cond = TestConditions::foundational();
+        for row in 2..4000 {
+            if let Some(t) = dev.oracle_row_threshold(0, row, &cond) {
+                if t < 20_000.0 {
+                    return row;
+                }
+            }
+        }
+        panic!("no vulnerable row in test device");
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let mut a = DramDevice::new(DeviceConfig::small_test(), 7);
+        let mut b = DramDevice::new(DeviceConfig::small_test(), 7);
+        for row in 0..200 {
+            assert_eq!(a.oracle_weak_cell_count(0, row), b.oracle_weak_cell_count(0, row));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DramDevice::new(DeviceConfig::small_test(), 1);
+        let mut b = DramDevice::new(DeviceConfig::small_test(), 2);
+        let counts_a: Vec<usize> = (0..100).map(|r| a.oracle_weak_cell_count(0, r)).collect();
+        let counts_b: Vec<usize> = (0..100).map(|r| b.oracle_weak_cell_count(0, r)).collect();
+        assert_ne!(counts_a, counts_b);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut dev = DramDevice::new(DeviceConfig::small_test(), 0);
+        assert!(matches!(dev.activate(9, 0), Err(DramError::BankOutOfRange { .. })));
+        assert!(matches!(dev.activate(0, 1 << 30), Err(DramError::RowOutOfRange { .. })));
+    }
+
+    #[test]
+    fn activate_requires_precharge_between_rows() {
+        let mut dev = DramDevice::new(DeviceConfig::small_test(), 0);
+        dev.activate(0, 10).unwrap();
+        assert!(matches!(dev.activate(0, 11), Err(DramError::RowNotOpen { .. })));
+        dev.precharge(0).unwrap();
+        dev.activate(0, 11).unwrap();
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut dev = DramDevice::new(DeviceConfig::small_test(), 0);
+        dev.write_row(0, 5, 0x55);
+        dev.activate(0, 5).unwrap();
+        let data = dev.read_open_row(0, 5).unwrap();
+        assert!(data.iter().all(|&b| b == 0x55));
+        dev.precharge(0).unwrap();
+    }
+
+    #[test]
+    fn write_bytes_round_trips() {
+        let mut dev = DramDevice::new(DeviceConfig::small_test(), 0);
+        dev.activate(0, 7).unwrap();
+        dev.write_open_row_bytes(0, 7, &[1, 2, 3]).unwrap();
+        let data = dev.read_open_row(0, 7).unwrap();
+        assert_eq!(&data[..3], &[1, 2, 3]);
+        assert_eq!(data[3], 0);
+    }
+
+    #[test]
+    fn heavy_hammer_flips_vulnerable_row() {
+        let mut dev = DramDevice::new(strong_config(), 42);
+        let victim = find_vulnerable_row(&mut dev);
+        let p = DataPattern::Checkered0;
+        dev.write_row(0, victim, p.victim_byte());
+        dev.write_row(0, victim - 1, p.aggressor_byte());
+        dev.write_row(0, victim + 1, p.aggressor_byte());
+        dev.hammer_double_sided(0, victim, 500_000, 35.0);
+        let flips = dev.read_and_compare(0, victim, p.victim_byte());
+        assert!(!flips.is_empty(), "500k hammers must flip a vulnerable row");
+    }
+
+    #[test]
+    fn light_hammer_does_not_flip() {
+        let mut dev = DramDevice::new(strong_config(), 42);
+        let victim = find_vulnerable_row(&mut dev);
+        let p = DataPattern::Checkered0;
+        dev.write_row(0, victim, p.victim_byte());
+        dev.write_row(0, victim - 1, p.aggressor_byte());
+        dev.write_row(0, victim + 1, p.aggressor_byte());
+        dev.hammer_double_sided(0, victim, 5, 35.0);
+        let flips = dev.read_and_compare(0, victim, p.victim_byte());
+        assert!(flips.is_empty(), "5 hammers must not flip anything");
+    }
+
+    #[test]
+    fn rewriting_clears_flips() {
+        let mut dev = DramDevice::new(strong_config(), 42);
+        let victim = find_vulnerable_row(&mut dev);
+        let p = DataPattern::Checkered0;
+        dev.write_row(0, victim, p.victim_byte());
+        dev.write_row(0, victim - 1, p.aggressor_byte());
+        dev.write_row(0, victim + 1, p.aggressor_byte());
+        dev.hammer_double_sided(0, victim, 500_000, 35.0);
+        assert!(!dev.read_and_compare(0, victim, p.victim_byte()).is_empty());
+        // Re-initialize and read without hammering: clean.
+        dev.write_row(0, victim, p.victim_byte());
+        assert!(dev.read_and_compare(0, victim, p.victim_byte()).is_empty());
+    }
+
+    #[test]
+    fn bulk_activation_equals_repeated_activation() {
+        // Statistical equivalence of activate_n and n× activate on the
+        // disturbance counters (trap RNG draws differ; counters must not).
+        let mut a = DramDevice::new(strong_config(), 3);
+        let mut b = DramDevice::new(strong_config(), 3);
+        let victim = find_vulnerable_row(&mut a);
+        let aggressor = victim + 1;
+        a.activate_n(0, aggressor, 100, 35.0).unwrap();
+        for _ in 0..100 {
+            b.activate(0, aggressor).unwrap();
+            b.precharge(0).unwrap();
+        }
+        let da = a.banks[0].rows[&victim].disturb;
+        let db = b.banks[0].rows[&victim].disturb;
+        assert_eq!(da.below, db.below);
+        assert_eq!(da.above, db.above);
+    }
+
+    #[test]
+    fn single_sided_is_weaker() {
+        let s = DisturbState { below: 1000.0, above: 1000.0, t_on_ns: 35.0 };
+        assert_eq!(s.effective_hammers(), 1000.0);
+        let s = DisturbState { below: 1000.0, above: 0.0, t_on_ns: 35.0 };
+        assert_eq!(s.effective_hammers(), 400.0);
+    }
+
+    #[test]
+    fn refresh_resets_disturbance() {
+        let mut cfg = strong_config();
+        cfg.rows_per_refresh = cfg.rows_per_bank; // refresh all rows at once
+        let mut dev = DramDevice::new(cfg, 42);
+        let victim = find_vulnerable_row(&mut dev);
+        let p = DataPattern::Checkered0;
+        dev.write_row(0, victim, p.victim_byte());
+        dev.write_row(0, victim - 1, p.aggressor_byte());
+        dev.write_row(0, victim + 1, p.aggressor_byte());
+        // Hammer heavily but refresh before reading: refresh restores the
+        // row, but flips already "occurred" during hammering, so restore
+        // materializes them — hammering must flip regardless of whether
+        // the read or the refresh performs the restore.
+        dev.hammer_double_sided(0, victim, 500_000, 35.0);
+        dev.refresh();
+        let flips = dev.read_and_compare(0, victim, p.victim_byte());
+        assert!(!flips.is_empty());
+
+        // But split hammering with interleaved refreshes never crosses
+        // the threshold: each refresh resets accumulation.
+        dev.write_row(0, victim, p.victim_byte());
+        for _ in 0..50 {
+            dev.hammer_double_sided(0, victim, 100, 35.0);
+            dev.refresh();
+        }
+        let flips = dev.read_and_compare(0, victim, p.victim_byte());
+        assert!(flips.is_empty(), "interleaved refresh must prevent flips");
+    }
+
+    #[test]
+    fn on_die_ecc_hides_single_flips() {
+        let mut dev = DramDevice::new(strong_config(), 42);
+        let victim = find_vulnerable_row(&mut dev);
+        let p = DataPattern::Checkered0;
+        dev.write_row(0, victim, p.victim_byte());
+        dev.write_row(0, victim - 1, p.aggressor_byte());
+        dev.write_row(0, victim + 1, p.aggressor_byte());
+        dev.hammer_double_sided(0, victim, 500_000, 35.0);
+        dev.set_on_die_ecc_enabled(true);
+        let with_ecc = dev.read_and_compare(0, victim, p.victim_byte());
+        dev.set_on_die_ecc_enabled(false);
+        let without_ecc = dev.read_and_compare(0, victim, p.victim_byte());
+        assert!(with_ecc.len() <= without_ecc.len());
+    }
+
+    #[test]
+    fn classify_patterns() {
+        assert_eq!(classify_pattern(Some(0x00), Some(0xFF)), Some(DataPattern::Rowstripe0));
+        assert_eq!(classify_pattern(Some(0xAA), Some(0x55)), Some(DataPattern::Checkered1));
+        assert_eq!(classify_pattern(Some(0x12), Some(0x34)), None);
+        assert_eq!(classify_pattern(None, Some(0xFF)), None);
+    }
+
+    #[test]
+    fn nearest_pattern_by_hamming_distance() {
+        assert_eq!(nearest_pattern(0x00), DataPattern::Rowstripe0);
+        assert_eq!(nearest_pattern(0xFF), DataPattern::Rowstripe1);
+        assert_eq!(nearest_pattern(0x01), DataPattern::Rowstripe0);
+        assert_eq!(nearest_pattern(0xFE), DataPattern::Rowstripe1);
+        assert_eq!(nearest_pattern(0x54), DataPattern::Checkered0);
+        assert_eq!(nearest_pattern(0xAB), DataPattern::Checkered1);
+    }
+
+    #[test]
+    fn oracle_threshold_none_for_strong_rows() {
+        let mut cfg = DeviceConfig::small_test();
+        cfg.vrd.weak_cells_per_row = 0.0;
+        let mut dev = DramDevice::new(cfg, 0);
+        assert_eq!(dev.oracle_row_threshold(0, 100, &TestConditions::foundational()), None);
+    }
+
+    #[test]
+    fn total_activations_counts_bulk() {
+        let mut dev = DramDevice::new(DeviceConfig::small_test(), 0);
+        dev.activate_n(0, 1, 500, 35.0).unwrap();
+        dev.precharge(0).unwrap();
+        dev.activate(0, 2).unwrap();
+        assert_eq!(dev.total_activations(), 501);
+    }
+}

@@ -1,0 +1,211 @@
+//! The fleet of simulated modules matching the paper's Table 1.
+//!
+//! A [`Fleet`] instantiates one device per tested module/chip, each with
+//! the VRD parameters calibrated from Table 7. Devices are created lazily
+//! (constructing a device is cheap; rows materialize on first touch).
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::{DeviceConfig, DramDevice};
+use crate::error::DramError;
+use crate::spec::{DramStandard, ModuleSpec};
+
+/// One simulated module: its spec plus a live device model.
+#[derive(Debug)]
+pub struct Module {
+    spec: ModuleSpec,
+    device: DramDevice,
+}
+
+/// Derives a per-module device seed: campaigns pass one campaign seed,
+/// but each module must get its own RNG streams (chip-to-chip variation
+/// is the point of testing 25 of them).
+fn module_seed(spec: &ModuleSpec, seed: u64) -> u64 {
+    let mut h = seed ^ 0x005E_ED0F_3E0D_u64;
+    for b in spec.name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        h ^= h >> 29;
+    }
+    h
+}
+
+impl Module {
+    /// Instantiates the device model for `spec`, deterministic in `seed`
+    /// (internally combined with the module name, so the same campaign
+    /// seed yields distinct per-module devices).
+    pub fn new(spec: ModuleSpec, seed: u64) -> Self {
+        let config = DeviceConfig {
+            banks: spec.banks(),
+            rows_per_bank: spec.rows_per_bank(),
+            row_bytes: 8192, // 64 Kibit rows, as in the paper's Fig. 16
+            mapping: spec.row_mapping(),
+            cell_layout: spec.cell_layout(),
+            vrd: spec.vrd_params(),
+            spatial: crate::spatial::SpatialProfile::ddr4_default(),
+            rows_per_refresh: 64,
+        };
+        let seed = module_seed(&spec, seed);
+        Module { device: DramDevice::new(config, seed), spec }
+    }
+
+    /// Like [`new`](Self::new) but with a reduced row size, for fast tests.
+    pub fn new_with_row_bytes(spec: ModuleSpec, seed: u64, row_bytes: u32) -> Self {
+        let config = DeviceConfig {
+            banks: spec.banks(),
+            rows_per_bank: spec.rows_per_bank(),
+            row_bytes,
+            mapping: spec.row_mapping(),
+            cell_layout: spec.cell_layout(),
+            vrd: spec.vrd_params(),
+            spatial: crate::spatial::SpatialProfile::ddr4_default(),
+            rows_per_refresh: 64,
+        };
+        let seed = module_seed(&spec, seed);
+        Module { device: DramDevice::new(config, seed), spec }
+    }
+
+    /// The module's specification.
+    pub fn spec(&self) -> &ModuleSpec {
+        &self.spec
+    }
+
+    /// The device model.
+    pub fn device(&self) -> &DramDevice {
+        &self.device
+    }
+
+    /// Mutable access to the device model.
+    pub fn device_mut(&mut self) -> &mut DramDevice {
+        &mut self.device
+    }
+
+    /// Consumes the module, returning the device model.
+    pub fn into_device(self) -> DramDevice {
+        self.device
+    }
+}
+
+/// Identifier scoping which part of the fleet an experiment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FleetScope {
+    /// All 21 DDR4 modules and 4 HBM2 chips.
+    All,
+    /// Only the DDR4 modules.
+    Ddr4,
+    /// Only the HBM2 chips.
+    Hbm2,
+}
+
+/// The full roster of simulated modules.
+#[derive(Debug)]
+pub struct Fleet {
+    modules: Vec<Module>,
+}
+
+impl Fleet {
+    /// Instantiates the paper's full Table-1 roster, deterministic in
+    /// `seed` (each module derives its own sub-seed).
+    pub fn standard(seed: u64) -> Self {
+        Self::with_scope(seed, FleetScope::All)
+    }
+
+    /// Instantiates a subset of the roster.
+    pub fn with_scope(seed: u64, scope: FleetScope) -> Self {
+        let modules = ModuleSpec::table1()
+            .into_iter()
+            .filter(|s| match scope {
+                FleetScope::All => true,
+                FleetScope::Ddr4 => s.standard == DramStandard::Ddr4,
+                FleetScope::Hbm2 => s.standard == DramStandard::Hbm2,
+            })
+            .enumerate()
+            .map(|(i, spec)| Module::new(spec, seed.wrapping_add(0x9E37 * (i as u64 + 1))))
+            .collect();
+        Fleet { modules }
+    }
+
+    /// The modules in Table-1 order.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// Mutable access to the modules.
+    pub fn modules_mut(&mut self) -> &mut [Module] {
+        &mut self.modules
+    }
+
+    /// Number of modules in the fleet.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Whether the fleet is empty (only for non-standard scopes).
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// Finds a module by its paper name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::UnknownModule`] when no module matches.
+    pub fn module_mut(&mut self, name: &str) -> Result<&mut Module, DramError> {
+        self.modules
+            .iter_mut()
+            .find(|m| m.spec.name == name)
+            .ok_or_else(|| DramError::UnknownModule(name.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_fleet_has_25_modules() {
+        let fleet = Fleet::standard(1);
+        assert_eq!(fleet.len(), 25);
+        assert!(!fleet.is_empty());
+    }
+
+    #[test]
+    fn scopes_partition_roster() {
+        let ddr4 = Fleet::with_scope(1, FleetScope::Ddr4);
+        let hbm2 = Fleet::with_scope(1, FleetScope::Hbm2);
+        assert_eq!(ddr4.len(), 21);
+        assert_eq!(hbm2.len(), 4);
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut fleet = Fleet::standard(1);
+        assert!(fleet.module_mut("S0").is_ok());
+        assert!(matches!(fleet.module_mut("nope"), Err(DramError::UnknownModule(_))));
+    }
+
+    #[test]
+    fn modules_have_distinct_seeds() {
+        let mut fleet = Fleet::standard(1);
+        // Two same-spec modules (H3/H4) must still get different weak-cell
+        // layouts because their seeds differ.
+        let h3_counts: Vec<usize> = {
+            let m = fleet.module_mut("H3").unwrap();
+            (0..200).map(|r| m.device_mut().oracle_weak_cell_count(0, r)).collect()
+        };
+        let h4_counts: Vec<usize> = {
+            let m = fleet.module_mut("H4").unwrap();
+            (0..200).map(|r| m.device_mut().oracle_weak_cell_count(0, r)).collect()
+        };
+        assert_ne!(h3_counts, h4_counts);
+    }
+
+    #[test]
+    fn device_config_matches_spec() {
+        let mut fleet = Fleet::standard(1);
+        let m = fleet.module_mut("M0").unwrap();
+        assert_eq!(m.device().config().banks, 16);
+        assert_eq!(m.device().config().rows_per_bank, 128 * 1024);
+        let c = fleet.module_mut("Chip0").unwrap();
+        assert_eq!(c.device().config().banks, 32);
+    }
+}

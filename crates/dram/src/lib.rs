@@ -1,0 +1,60 @@
+//! Behavioural DRAM device model for the VRD reproduction.
+//!
+//! This crate replaces the real DDR4/HBM2 chips of the paper with a
+//! software device model whose read-disturbance behaviour follows the
+//! paper's own hypothetical explanation for variable read disturbance
+//! (§4.2): weak victim cells whose effective disturbance thresholds are
+//! modulated by charge traps that randomly occupy/vacate between hammer
+//! sessions.
+//!
+//! Main entry points:
+//!
+//! - [`device::DramDevice`] — a bank-organized DRAM chip you can
+//!   activate/precharge/read/write; reading a row materializes
+//!   read-disturbance bitflips from accumulated aggressor activity.
+//! - [`spec::ModuleSpec`] and [`fleet::Fleet`] — the 21 DDR4 modules and
+//!   4 HBM2 chips of the paper's Table 1, with per-module VRD model
+//!   parameters calibrated to Table 7.
+//! - [`mapping::RowMapping`] — logical→physical row address translation
+//!   schemes plus reverse engineering (§3.1).
+//! - [`pattern::DataPattern`] — the four data patterns of Table 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use vrd_dram::device::{DeviceConfig, DramDevice};
+//! use vrd_dram::pattern::DataPattern;
+//!
+//! let mut dev = DramDevice::new(DeviceConfig::small_test(), 42);
+//! let victim = 100;
+//! dev.write_row(0, victim, DataPattern::Checkered0.victim_byte());
+//! dev.write_row(0, victim - 1, DataPattern::Checkered0.aggressor_byte());
+//! dev.write_row(0, victim + 1, DataPattern::Checkered0.aggressor_byte());
+//! dev.hammer_double_sided(0, victim, 200_000, 35.0);
+//! let flips = dev.read_and_compare(0, victim, DataPattern::Checkered0.victim_byte());
+//! // A heavy enough hammer count flips at least the row's weakest cell,
+//! // if the row has any weak cell at all.
+//! println!("{} bitflips", flips.len());
+//! ```
+
+pub mod access;
+pub mod cells;
+pub mod conditions;
+pub mod device;
+pub mod error;
+pub mod fleet;
+pub mod mapping;
+pub mod pattern;
+pub mod retention;
+pub mod spatial;
+pub mod spec;
+pub mod vrd;
+
+pub use cells::CellPolarity;
+pub use conditions::TestConditions;
+pub use device::{Bitflip, DeviceConfig, DramDevice};
+pub use error::DramError;
+pub use fleet::{Fleet, Module};
+pub use mapping::RowMapping;
+pub use pattern::DataPattern;
+pub use spec::{DieDensity, DramStandard, Manufacturer, ModuleSpec};

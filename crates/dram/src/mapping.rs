@@ -1,0 +1,224 @@
+//! Logical-to-physical row address mapping and its reverse engineering.
+//!
+//! DRAM manufacturers internally remap memory-controller-visible (logical)
+//! row addresses to physical rows; identifying the aggressor rows that are
+//! *physically* adjacent to a victim requires knowing the scheme. The paper
+//! reverse-engineers the mapping following prior work (§3.1); this module
+//! provides the common scheme families and a disturbance-based
+//! reverse-engineering routine.
+
+use serde::{Deserialize, Serialize};
+
+/// A logical↔physical row remapping scheme.
+///
+/// All schemes are bijections on the row address space; the variants model
+/// address swizzles observed in real DDR4 devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum RowMapping {
+    /// Identity: physical = logical.
+    #[default]
+    Direct,
+    /// "Vendor A" swizzle: when bit 3 of the address is set, bits 1 and 2
+    /// are inverted (a self-inverse XOR swizzle, similar to the scheme
+    /// reverse-engineered for some Samsung parts).
+    VendorA,
+    /// "Vendor B" swizzle: bits 0 and 1 are swapped (models interleaved
+    /// sub-wordline pairing).
+    VendorB,
+    /// "Vendor C" swizzle: XOR of bit 1 into bit 0 (models folded layouts
+    /// where consecutive logical rows alternate physical sides).
+    VendorC,
+}
+
+impl RowMapping {
+    /// All known schemes, in the order the reverse-engineering routine
+    /// tries them.
+    pub const ALL: [RowMapping; 4] =
+        [RowMapping::Direct, RowMapping::VendorA, RowMapping::VendorB, RowMapping::VendorC];
+
+    /// Physical row for a logical row address.
+    pub fn physical_of(self, logical: u32) -> u32 {
+        match self {
+            RowMapping::Direct => logical,
+            RowMapping::VendorA => {
+                if logical & 0b1000 != 0 {
+                    logical ^ 0b0110
+                } else {
+                    logical
+                }
+            }
+            RowMapping::VendorB => {
+                let b0 = logical & 1;
+                let b1 = (logical >> 1) & 1;
+                (logical & !0b11) | (b0 << 1) | b1
+            }
+            RowMapping::VendorC => logical ^ ((logical >> 1) & 1),
+        }
+    }
+
+    /// Logical row for a physical row address (inverse of
+    /// [`physical_of`](Self::physical_of)).
+    pub fn logical_of(self, physical: u32) -> u32 {
+        match self {
+            // Direct, VendorA and VendorB are self-inverse.
+            RowMapping::Direct | RowMapping::VendorA | RowMapping::VendorB => {
+                self.physical_of(physical)
+            }
+            // VendorC: bit 0 of physical = b0 ^ b1 with b1 unchanged, so
+            // recovering b0 applies the same XOR again.
+            RowMapping::VendorC => physical ^ ((physical >> 1) & 1),
+        }
+    }
+
+    /// Logical addresses of the two physical neighbors of `logical`'s
+    /// physical row, clamped to `0..rows`. Returns `(below, above)`, where
+    /// either side is `None` at the edge of the bank.
+    pub fn neighbors_of(self, logical: u32, rows: u32) -> (Option<u32>, Option<u32>) {
+        let phys = self.physical_of(logical);
+        let below =
+            if phys == 0 { None } else { Some(self.logical_of(phys - 1)).filter(|&r| r < rows) };
+        let above = if phys + 1 >= rows { None } else { Some(self.logical_of(phys + 1)) };
+        (below, above.filter(|&r| r < rows))
+    }
+}
+
+
+/// Reverse-engineers the row mapping of a device under test.
+///
+/// `neighbor_oracle(logical)` must return the logical addresses observed to
+/// be disturbed when `logical` is hammered heavily single-sided — in a real
+/// campaign this comes from scanning which rows develop bitflips (the
+/// methodology of prior work the paper reuses); against the model it can
+/// simply wrap [`crate::device::DramDevice`] probing. `probe_rows` selects
+/// the logical rows to probe.
+///
+/// Returns the scheme matching the most probes, together with its match
+/// count; ties resolve to the earlier scheme in [`RowMapping::ALL`].
+pub fn reverse_engineer<F>(
+    probe_rows: &[u32],
+    rows: u32,
+    mut neighbor_oracle: F,
+) -> (RowMapping, usize)
+where
+    F: FnMut(u32) -> Vec<u32>,
+{
+    let mut best = (RowMapping::Direct, 0usize);
+    let observations: Vec<(u32, Vec<u32>)> =
+        probe_rows.iter().map(|&r| (r, neighbor_oracle(r))).collect();
+    for scheme in RowMapping::ALL {
+        let mut matches = 0;
+        for (probe, observed) in &observations {
+            let (below, above) = scheme.neighbors_of(*probe, rows);
+            let predicted: Vec<u32> = [below, above].into_iter().flatten().collect();
+            let mut pred_sorted = predicted.clone();
+            pred_sorted.sort_unstable();
+            let mut obs_sorted = observed.clone();
+            obs_sorted.sort_unstable();
+            if pred_sorted == obs_sorted {
+                matches += 1;
+            }
+        }
+        if matches > best.1 {
+            best = (scheme, matches);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schemes_are_bijections() {
+        for scheme in RowMapping::ALL {
+            for logical in 0..1024u32 {
+                let phys = scheme.physical_of(logical);
+                assert_eq!(scheme.logical_of(phys), logical, "{scheme:?} at {logical}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_schemes_are_permutations() {
+        for scheme in RowMapping::ALL {
+            let mut seen = vec![false; 256];
+            for logical in 0..256u32 {
+                let phys = scheme.physical_of(logical) as usize;
+                assert!(phys < 256, "{scheme:?} escaped range");
+                assert!(!seen[phys], "{scheme:?} collided at {phys}");
+                seen[phys] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn direct_neighbors() {
+        let (b, a) = RowMapping::Direct.neighbors_of(5, 100);
+        assert_eq!(b, Some(4));
+        assert_eq!(a, Some(6));
+    }
+
+    #[test]
+    fn edge_rows_have_one_neighbor() {
+        let (b, a) = RowMapping::Direct.neighbors_of(0, 100);
+        assert_eq!(b, None);
+        assert_eq!(a, Some(1));
+        let (b, a) = RowMapping::Direct.neighbors_of(99, 100);
+        assert_eq!(b, Some(98));
+        assert_eq!(a, None);
+    }
+
+    #[test]
+    fn vendor_a_swizzles_upper_half_only() {
+        // Rows 0..8 unswizzled.
+        for r in 0..8 {
+            assert_eq!(RowMapping::VendorA.physical_of(r), r);
+        }
+        // Row 8 (0b1000) -> 0b1110 = 14.
+        assert_eq!(RowMapping::VendorA.physical_of(8), 14);
+    }
+
+    #[test]
+    fn vendor_b_swaps_low_bits() {
+        assert_eq!(RowMapping::VendorB.physical_of(0b01), 0b10);
+        assert_eq!(RowMapping::VendorB.physical_of(0b10), 0b01);
+        assert_eq!(RowMapping::VendorB.physical_of(0b11), 0b11);
+        assert_eq!(RowMapping::VendorB.physical_of(0b100), 0b100);
+    }
+
+    #[test]
+    fn reverse_engineering_recovers_each_scheme() {
+        let rows = 4096u32;
+        let probes: Vec<u32> = (0..64).map(|i| i * 37 % rows).collect();
+        for truth in RowMapping::ALL {
+            let (found, matches) = reverse_engineer(&probes, rows, |logical| {
+                let (b, a) = truth.neighbors_of(logical, rows);
+                [b, a].into_iter().flatten().collect()
+            });
+            // Some schemes agree on many addresses (e.g. Direct and VendorA
+            // below row 8); probes are spread widely enough to separate
+            // them.
+            assert_eq!(found, truth, "expected {truth:?}, got {found:?}");
+            assert_eq!(matches, probes.len());
+        }
+    }
+
+    #[test]
+    fn reverse_engineering_tolerates_noisy_oracle() {
+        let rows = 4096u32;
+        let probes: Vec<u32> = (0..64).map(|i| i * 61 % rows).collect();
+        let truth = RowMapping::VendorC;
+        let (found, matches) = reverse_engineer(&probes, rows, |logical| {
+            if logical % 10 == 0 {
+                vec![] // probe failed: no bitflips observed
+            } else {
+                let (b, a) = truth.neighbors_of(logical, rows);
+                [b, a].into_iter().flatten().collect()
+            }
+        });
+        assert_eq!(found, truth);
+        assert!(matches > probes.len() / 2);
+    }
+}

@@ -1,0 +1,323 @@
+//! Data-retention model with variable retention time (VRT).
+//!
+//! The paper repeatedly draws the analogy between VRD and the *variable
+//! retention time* phenomenon (§4.2, §6.5): a DRAM cell's retention time
+//! switches between discrete states as a metastable trap occupies and
+//! vacates. This module provides that substrate — both because the
+//! paper's methodology must control retention interference (§3.1: all
+//! tests finish within one refresh window) and because retention-failure
+//! profiling literature (§7) is the template for the online RDT
+//! profiling this repository implements in `vrd-core`.
+//!
+//! Like the read-disturbance engine, only the tail cells matter: a row
+//! owns a few *leaky cells* whose retention time can fall below the
+//! refresh window; everything else retains data indefinitely at any
+//! tested refresh interval.
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A leaky cell with a two-state (VRT) retention time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakyCell {
+    /// Bit position within the row.
+    pub bit: u32,
+    /// Retention time in the trap's *vacant* state (ms).
+    pub retention_high_ms: f64,
+    /// Retention time in the trap's *occupied* state (ms) — the VRT low
+    /// state; `retention_low_ms <= retention_high_ms`.
+    pub retention_low_ms: f64,
+    /// Probability of being in the low state at any refresh.
+    pub low_occupancy: f64,
+    /// Per-refresh probability of redrawing the state.
+    pub mix_rate: f64,
+    /// Whether the cell currently sits in the low-retention state.
+    pub in_low_state: bool,
+}
+
+impl LeakyCell {
+    /// The current retention time (ms).
+    pub fn retention_ms(&self) -> f64 {
+        if self.in_low_state {
+            self.retention_low_ms
+        } else {
+            self.retention_high_ms
+        }
+    }
+
+    /// Steps the VRT state (one refresh event). Temperature halves
+    /// retention every ~10 °C above 50 °C (the standard retention rule of
+    /// thumb is applied by the caller via
+    /// [`temperature_retention_factor`]).
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if rng.gen_bool(self.mix_rate) {
+            self.in_low_state = rng.gen_bool(self.low_occupancy);
+        }
+    }
+
+    /// Whether the cell loses its charge if left unrefreshed for
+    /// `interval_ms` at `temperature_c`.
+    pub fn fails_at(&self, interval_ms: f64, temperature_c: f64) -> bool {
+        self.retention_ms() * temperature_retention_factor(temperature_c) < interval_ms
+    }
+}
+
+/// Relative retention at `temperature_c` versus the 50 °C reference:
+/// retention halves every 10 °C of additional heat.
+pub fn temperature_retention_factor(temperature_c: f64) -> f64 {
+    0.5f64.powf((temperature_c - 50.0) / 10.0)
+}
+
+/// Parameters of the retention model for one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionParams {
+    /// Expected leaky cells per row (Poisson rate; most rows have none).
+    pub leaky_cells_per_row: f64,
+    /// Median high-state retention (ms) of leaky cells.
+    pub median_retention_ms: f64,
+    /// Lognormal sigma of the high-state retention.
+    pub sigma_ln: f64,
+    /// Fraction of leaky cells subject to VRT (two-state behaviour).
+    pub vrt_fraction: f64,
+    /// Ratio low-state / high-state retention for VRT cells.
+    pub vrt_ratio: f64,
+}
+
+impl Default for RetentionParams {
+    fn default() -> Self {
+        RetentionParams {
+            leaky_cells_per_row: 0.02,
+            median_retention_ms: 800.0,
+            sigma_ln: 0.9,
+            vrt_fraction: 0.3,
+            vrt_ratio: 0.25,
+        }
+    }
+}
+
+/// Per-row retention state generator and failure oracle.
+///
+/// # Examples
+///
+/// ```
+/// use vrd_dram::retention::{RetentionModel, RetentionParams};
+///
+/// let model = RetentionModel::new(RetentionParams::default(), 7);
+/// // At the standard 64 ms refresh window and 50 °C almost nothing fails.
+/// let failures = model.profile_rows(0..10_000, 64.0, 50.0, 1);
+/// assert!(failures.len() < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetentionModel {
+    params: RetentionParams,
+    seed: u64,
+}
+
+/// A retention failure found by profiling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionFailure {
+    /// Failing row.
+    pub row: u32,
+    /// Failing bit.
+    pub bit: u32,
+    /// The retention time observed when the failure manifested (ms).
+    pub retention_ms: f64,
+}
+
+impl RetentionModel {
+    /// Creates a model, deterministic in `seed`.
+    pub fn new(params: RetentionParams, seed: u64) -> Self {
+        RetentionModel { params, seed }
+    }
+
+    /// The leaky cells of `row` (deterministic per row).
+    pub fn cells_of(&self, row: u32) -> Vec<LeakyCell> {
+        let mut rng = ChaCha12Rng::seed_from_u64(
+            self.seed ^ u64::from(row).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let p = &self.params;
+        // Poisson via Knuth (rate is tiny).
+        let l = (-p.leaky_cells_per_row).exp();
+        let mut k = 0usize;
+        let mut acc = 1.0;
+        loop {
+            acc *= rng.gen::<f64>();
+            if acc <= l {
+                break;
+            }
+            k += 1;
+            if k > 16 {
+                break;
+            }
+        }
+        (0..k)
+            .map(|_| {
+                let z = {
+                    let u1: f64 = 1.0 - rng.gen::<f64>();
+                    let u2: f64 = rng.gen();
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                };
+                let high = (p.median_retention_ms.ln() + p.sigma_ln * z).exp();
+                let vrt = rng.gen_bool(p.vrt_fraction);
+                let low_occupancy = if vrt { 0.1 + 0.3 * rng.gen::<f64>() } else { 0.0 };
+                LeakyCell {
+                    bit: rng.gen_range(0..65_536),
+                    retention_high_ms: high,
+                    retention_low_ms: if vrt { high * p.vrt_ratio } else { high },
+                    low_occupancy,
+                    mix_rate: 0.05 + 0.2 * rng.gen::<f64>(),
+                    in_low_state: vrt && rng.gen_bool(low_occupancy),
+                }
+            })
+            .collect()
+    }
+
+    /// Profiles rows at a refresh `interval_ms` and `temperature_c`,
+    /// repeating `rounds` times with VRT stepping between rounds (the
+    /// REAPER-style profiling loop the paper's §7 cites). Returns every
+    /// failure observed in any round.
+    pub fn profile_rows(
+        &self,
+        rows: std::ops::Range<u32>,
+        interval_ms: f64,
+        temperature_c: f64,
+        rounds: u32,
+    ) -> Vec<RetentionFailure> {
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed ^ 0xF0F0);
+        let mut failures = Vec::new();
+        for row in rows {
+            let mut cells = self.cells_of(row);
+            if cells.is_empty() {
+                continue;
+            }
+            let mut seen = std::collections::BTreeSet::new();
+            for _ in 0..rounds {
+                for cell in &mut cells {
+                    if cell.fails_at(interval_ms, temperature_c) && seen.insert(cell.bit) {
+                        failures.push(RetentionFailure {
+                            row,
+                            bit: cell.bit,
+                            retention_ms: cell.retention_ms(),
+                        });
+                    }
+                    cell.step(&mut rng);
+                }
+            }
+        }
+        failures
+    }
+
+    /// Fraction of failures at `interval_ms` that a single profiling
+    /// round *misses* because the VRT cell sat in its high state — the
+    /// exact analogue of the paper's "few RDT measurements miss the
+    /// minimum RDT".
+    pub fn single_round_miss_fraction(
+        &self,
+        rows: std::ops::Range<u32>,
+        interval_ms: f64,
+        temperature_c: f64,
+        exhaustive_rounds: u32,
+    ) -> f64 {
+        let one = self.profile_rows(rows.clone(), interval_ms, temperature_c, 1).len();
+        let many = self.profile_rows(rows, interval_ms, temperature_c, exhaustive_rounds).len();
+        if many == 0 {
+            0.0
+        } else {
+            1.0 - one as f64 / many as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_are_deterministic_per_row() {
+        let model = RetentionModel::new(RetentionParams::default(), 1);
+        assert_eq!(model.cells_of(42), model.cells_of(42));
+        // Distinct rows differ somewhere in 1000 rows.
+        let differs = (0..1000).any(|r| model.cells_of(r) != model.cells_of(r + 1000));
+        assert!(differs);
+    }
+
+    #[test]
+    fn standard_window_is_nearly_failure_free() {
+        let model = RetentionModel::new(RetentionParams::default(), 2);
+        let failures = model.profile_rows(0..20_000, 64.0, 50.0, 1);
+        let rate = failures.len() as f64 / 20_000.0;
+        assert!(rate < 0.01, "64 ms @ 50 °C must be nearly clean, rate {rate}");
+    }
+
+    #[test]
+    fn longer_intervals_fail_more() {
+        let model = RetentionModel::new(RetentionParams::default(), 3);
+        let short = model.profile_rows(0..20_000, 64.0, 50.0, 1).len();
+        let long = model.profile_rows(0..20_000, 2_000.0, 50.0, 1).len();
+        assert!(long > short, "2 s interval must fail more ({long} vs {short})");
+    }
+
+    #[test]
+    fn heat_reduces_retention() {
+        assert!((temperature_retention_factor(50.0) - 1.0).abs() < 1e-12);
+        assert!((temperature_retention_factor(60.0) - 0.5).abs() < 1e-12);
+        assert!(temperature_retention_factor(85.0) < 0.1);
+        let model = RetentionModel::new(RetentionParams::default(), 4);
+        let cool = model.profile_rows(0..20_000, 500.0, 50.0, 1).len();
+        let hot = model.profile_rows(0..20_000, 500.0, 85.0, 1).len();
+        assert!(hot >= cool);
+    }
+
+    #[test]
+    fn vrt_makes_single_round_profiling_incomplete() {
+        // The VRT phenomenon: one profiling round misses failures that
+        // only manifest when the trap occupies — the retention analogue
+        // of the paper's Takeaway 2.
+        let params = RetentionParams {
+            leaky_cells_per_row: 0.05,
+            vrt_fraction: 0.9,
+            vrt_ratio: 0.15,
+            ..RetentionParams::default()
+        };
+        let model = RetentionModel::new(params, 5);
+        // Pick an interval between the low and high states of typical
+        // VRT cells so state matters.
+        let miss = model.single_round_miss_fraction(0..30_000, 300.0, 50.0, 64);
+        assert!(miss > 0.05, "one round must miss VRT failures, missed {miss}");
+    }
+
+    #[test]
+    fn vrt_cell_switches_states() {
+        let mut cell = LeakyCell {
+            bit: 0,
+            retention_high_ms: 1000.0,
+            retention_low_ms: 100.0,
+            low_occupancy: 0.5,
+            mix_rate: 0.5,
+            in_low_state: false,
+        };
+        let mut rng = ChaCha12Rng::seed_from_u64(6);
+        let mut visited_low = false;
+        let mut visited_high = false;
+        for _ in 0..200 {
+            cell.step(&mut rng);
+            if cell.in_low_state {
+                visited_low = true;
+            } else {
+                visited_high = true;
+            }
+        }
+        assert!(visited_low && visited_high);
+        assert!(cell.fails_at(500.0, 50.0) == cell.in_low_state);
+    }
+
+    #[test]
+    fn repeated_rounds_find_superset() {
+        let model = RetentionModel::new(RetentionParams::default(), 7);
+        let one = model.profile_rows(0..10_000, 400.0, 50.0, 1).len();
+        let many = model.profile_rows(0..10_000, 400.0, 50.0, 32).len();
+        assert!(many >= one);
+    }
+}

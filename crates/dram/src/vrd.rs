@@ -1,0 +1,349 @@
+//! The trap-based variable-read-disturbance engine.
+//!
+//! The paper's hypothetical explanation for VRD (§4.2) attributes the
+//! temporal variation in a row's read-disturbance threshold (RDT) to charge
+//! traps in the shared active region of aggressor and victim cells whose
+//! occupied/unoccupied state changes randomly over time, as in the variable
+//! retention time (VRT) phenomenon. This module implements exactly that
+//! mechanism:
+//!
+//! - A vulnerable row owns a handful of [`WeakCell`]s — the tail of the
+//!   per-cell disturbance distribution. All other cells have thresholds far
+//!   above any tested hammer count and need no explicit state.
+//! - Each weak cell owns up to a few [`Trap`]s. Between hammer sessions
+//!   (concretely: on every victim-row charge restoration) each trap's
+//!   occupancy takes a Markov-chain step. An occupied trap assists electron
+//!   migration into the victim cell, lowering the cell's effective
+//!   threshold multiplicatively.
+//! - The effective threshold also depends on the test conditions: data
+//!   pattern (per-cell coupling sensitivities), aggressor on-time
+//!   (RowPress amplification), temperature, and whether the stored data
+//!   leaves the cell charged.
+//!
+//! The discrete trap states produce the paper's "RDT has multiple states"
+//! (Finding 2); per-session threshold jitter (thermal/supply noise) makes
+//! consecutive measurements differ ("79% of state changes happen after
+//! every measurement", Finding 3) and forms the near-normal histogram
+//! bulk; slow, low-occupancy deep traps produce the rare low-RDT
+//! excursions that make the minimum RDT so hard to observe (Findings
+//! 7–9), and one dominant trap produces the bimodal histogram of HBM2
+//! Chip1 (Fig. 4).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::cells::CellPolarity;
+use crate::conditions::{TestConditions, T_AGG_ON_MIN_TRAS_NS};
+
+/// A charge trap adjacent to a weak cell.
+///
+/// Occupancy evolves as a two-state Markov chain: on each step, with
+/// probability `mix_rate` the state is redrawn from the stationary
+/// distribution (`occupied` with probability `occupancy`), otherwise it is
+/// retained. This parameterization makes the stationary distribution and
+/// the mixing speed independently controllable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Trap {
+    /// Stationary probability of being occupied, in `[0, 1]`.
+    pub occupancy: f64,
+    /// Per-step probability of redrawing the state, in `(0, 1]`.
+    pub mix_rate: f64,
+    /// Relative threshold reduction when occupied, in `[0, 1)`:
+    /// an occupied trap multiplies the cell threshold by `1 - assist`.
+    pub assist: f64,
+    /// Current state.
+    pub occupied: bool,
+}
+
+impl Trap {
+    /// Creates a trap in a state drawn from its stationary distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is outside its documented range.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, occupancy: f64, mix_rate: f64, assist: f64) -> Self {
+        assert!((0.0..=1.0).contains(&occupancy), "occupancy must be in [0, 1]");
+        assert!(mix_rate > 0.0 && mix_rate <= 1.0, "mix_rate must be in (0, 1]");
+        assert!((0.0..1.0).contains(&assist), "assist must be in [0, 1)");
+        Trap { occupancy, mix_rate, assist, occupied: rng.gen_bool(occupancy) }
+    }
+
+    /// One Markov step. `temperature_c` accelerates mixing: trap
+    /// capture/emission is thermally activated, so the effective redraw
+    /// probability grows with temperature (+1%/°C relative to 50 °C,
+    /// clamped to `(0, 1]`).
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, temperature_c: f64) {
+        let accel = 1.0 + 0.01 * (temperature_c - 50.0);
+        let rate = (self.mix_rate * accel).clamp(f64::MIN_POSITIVE, 1.0);
+        if rng.gen_bool(rate) {
+            self.occupied = rng.gen_bool(self.occupancy);
+        }
+    }
+
+    /// The threshold multiplier contributed by this trap right now.
+    pub fn multiplier(&self) -> f64 {
+        if self.occupied {
+            1.0 - self.assist
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A weak victim cell: one of the few cells in a row whose disturbance
+/// threshold falls inside the testable hammer-count range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeakCell {
+    /// Bit position within the row (0 = LSB of byte 0).
+    pub bit: u32,
+    /// Data-encoding polarity of this cell.
+    pub polarity: CellPolarity,
+    /// Base double-sided threshold (activations per aggressor) at
+    /// reference conditions: charged cell, pattern coupling 1.0,
+    /// `t_AggOn` = min `t_RAS`, 50 °C, all traps empty.
+    pub base_threshold: f64,
+    /// Multiplicative pattern sensitivity, one factor per
+    /// [`crate::pattern::DataPattern`] index.
+    pub pattern_sense: [f64; 4],
+    /// RowPress exponent: threshold multiplier
+    /// `(t_AggOn / tRAS)^(-press_coeff)` for `t_AggOn > tRAS`.
+    pub press_coeff: f64,
+    /// Relative threshold change per °C away from 50 °C (may be negative).
+    pub temp_coeff: f64,
+    /// Threshold multiplier applied when the stored data leaves this cell
+    /// *discharged* (charge-gain flips are weaker than charge-loss flips).
+    pub discharged_penalty: f64,
+    /// Per-session multiplicative threshold noise (lognormal sigma):
+    /// thermal and supply fluctuations jitter the effective threshold a
+    /// few percent between hammer sessions, producing the near-normal
+    /// bulk of the measured RDT distribution (Fig. 4) on top of the
+    /// discrete trap states.
+    pub jitter_sigma: f64,
+    /// Multiplicative modulation of the VRD *strength* (jitter sigma)
+    /// per data pattern: different patterns couple differently into the
+    /// noise mechanisms, so a chip's VRD profile is pattern-dependent
+    /// (Findings 12–13) beyond the threshold-scale effect of
+    /// `pattern_sense`.
+    pub pattern_vrd_sense: [f64; 4],
+    /// The traps assisting disturbance of this cell.
+    pub traps: Vec<Trap>,
+}
+
+impl WeakCell {
+    /// Effective threshold (activations per aggressor, double-sided) under
+    /// `conditions`, given the bit value currently stored in the cell.
+    ///
+    /// Returns the hammer count at which this cell flips; always positive.
+    pub fn effective_threshold(&self, conditions: &TestConditions, stored_bit: bool) -> f64 {
+        let mut t = self.base_threshold;
+        t *= self.pattern_sense[conditions.pattern.index()];
+        // RowPress amplification: longer on-time lowers the threshold.
+        let on_ratio = (conditions.t_agg_on_ns / T_AGG_ON_MIN_TRAS_NS).max(1.0);
+        t *= on_ratio.powf(-self.press_coeff);
+        // Temperature sensitivity, clamped so the factor stays positive.
+        t *= (1.0 + self.temp_coeff * (conditions.temperature_c - 50.0)).max(0.05);
+        // Trap assists.
+        for trap in &self.traps {
+            t *= trap.multiplier();
+        }
+        // Discharged cells flip by charge gain, which needs more hammers.
+        if !self.polarity.is_charged(stored_bit) {
+            t *= self.discharged_penalty;
+        }
+        t.max(1.0)
+    }
+
+    /// Steps every trap's Markov chain once (one charge-restoration event).
+    pub fn step_traps<R: Rng + ?Sized>(&mut self, rng: &mut R, temperature_c: f64) {
+        for trap in &mut self.traps {
+            trap.step(rng, temperature_c);
+        }
+    }
+
+    /// Samples the threshold for one hammer session: the deterministic
+    /// [`effective_threshold`](Self::effective_threshold) scaled by the
+    /// per-session lognormal jitter.
+    pub fn sample_threshold<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        conditions: &TestConditions,
+        stored_bit: bool,
+    ) -> f64 {
+        let base = self.effective_threshold(conditions, stored_bit);
+        let sigma = self.jitter_sigma * self.pattern_vrd_sense[conditions.pattern.index()];
+        if sigma == 0.0 {
+            return base;
+        }
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (base * (sigma * z).exp()).max(1.0)
+    }
+
+    /// The smallest threshold this cell can exhibit under `conditions`
+    /// (all traps occupied), for the given stored bit.
+    pub fn min_possible_threshold(&self, conditions: &TestConditions, stored_bit: bool) -> f64 {
+        let mut all_occupied = self.clone();
+        for trap in &mut all_occupied.traps {
+            trap.occupied = true;
+        }
+        all_occupied.effective_threshold(conditions, stored_bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::DataPattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_cell() -> WeakCell {
+        WeakCell {
+            bit: 0,
+            polarity: CellPolarity::True,
+            base_threshold: 10_000.0,
+            pattern_sense: [1.0, 1.1, 0.9, 1.05],
+            press_coeff: 0.2,
+            temp_coeff: -0.002,
+            discharged_penalty: 2.5,
+            jitter_sigma: 0.0,
+            pattern_vrd_sense: [1.0; 4],
+            traps: vec![],
+        }
+    }
+
+    #[test]
+    fn trap_respects_stationary_distribution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut trap = Trap::new(&mut rng, 0.3, 1.0, 0.1);
+        let mut occupied = 0u32;
+        for _ in 0..20_000 {
+            trap.step(&mut rng, 50.0);
+            occupied += u32::from(trap.occupied);
+        }
+        let frac = f64::from(occupied) / 20_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "stationary occupancy {frac}");
+    }
+
+    #[test]
+    fn slow_trap_changes_rarely() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut trap = Trap::new(&mut rng, 0.5, 0.01, 0.1);
+        let mut changes = 0u32;
+        let mut prev = trap.occupied;
+        for _ in 0..10_000 {
+            trap.step(&mut rng, 50.0);
+            changes += u32::from(trap.occupied != prev);
+            prev = trap.occupied;
+        }
+        // Redraw prob 0.01, half of redraws change state: ~50 changes.
+        assert!(changes < 200, "slow trap changed {changes} times");
+    }
+
+    #[test]
+    fn temperature_accelerates_mixing() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let count_changes = |temp: f64, rng: &mut StdRng| {
+            let mut trap = Trap::new(rng, 0.5, 0.2, 0.1);
+            let mut changes = 0u32;
+            let mut prev = trap.occupied;
+            for _ in 0..20_000 {
+                trap.step(rng, temp);
+                changes += u32::from(trap.occupied != prev);
+                prev = trap.occupied;
+            }
+            changes
+        };
+        let cold = count_changes(50.0, &mut rng);
+        let hot = count_changes(80.0, &mut rng);
+        assert!(hot > cold, "hot {hot} vs cold {cold}");
+    }
+
+    #[test]
+    fn occupied_trap_lowers_threshold() {
+        let mut cell = test_cell();
+        let mut rng = StdRng::seed_from_u64(4);
+        cell.traps.push(Trap::new(&mut rng, 0.5, 1.0, 0.2));
+        cell.traps[0].occupied = false;
+        let clean = cell.effective_threshold(&TestConditions::foundational(), true);
+        cell.traps[0].occupied = true;
+        let assisted = cell.effective_threshold(&TestConditions::foundational(), true);
+        assert!((assisted / clean - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_on_time_lowers_threshold() {
+        let cell = test_cell();
+        let short = cell.effective_threshold(&TestConditions::foundational(), true);
+        let long = cell.effective_threshold(
+            &TestConditions::foundational().with_t_agg_on_ns(7_800.0),
+            true,
+        );
+        assert!(long < short, "RowPress must lower the threshold: {long} !< {short}");
+    }
+
+    #[test]
+    fn on_time_below_tras_does_not_raise_threshold() {
+        let cell = test_cell();
+        let at_tras = cell.effective_threshold(&TestConditions::foundational(), true);
+        let below =
+            cell.effective_threshold(&TestConditions::foundational().with_t_agg_on_ns(10.0), true);
+        assert_eq!(at_tras, below);
+    }
+
+    #[test]
+    fn pattern_sensitivity_applies() {
+        let cell = test_cell();
+        let c = TestConditions::foundational();
+        let rs0 = cell.effective_threshold(&c.with_pattern(DataPattern::Rowstripe0), true);
+        let ck0 = cell.effective_threshold(&c.with_pattern(DataPattern::Checkered0), true);
+        assert!((rs0 / ck0 - 1.0 / 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discharged_cell_needs_more_hammers() {
+        let cell = test_cell();
+        let c = TestConditions::foundational();
+        let charged = cell.effective_threshold(&c, true); // true cell, bit 1
+        let discharged = cell.effective_threshold(&c, false);
+        assert!((discharged / charged - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anti_cell_polarity_inverts_charging() {
+        let mut cell = test_cell();
+        cell.polarity = CellPolarity::Anti;
+        let c = TestConditions::foundational();
+        assert!(cell.effective_threshold(&c, false) < cell.effective_threshold(&c, true));
+    }
+
+    #[test]
+    fn threshold_never_below_one() {
+        let mut cell = test_cell();
+        cell.base_threshold = 0.001;
+        assert_eq!(cell.effective_threshold(&TestConditions::foundational(), true), 1.0);
+    }
+
+    #[test]
+    fn min_possible_threshold_is_lower_bound() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cell = test_cell();
+        for _ in 0..3 {
+            cell.traps.push(Trap::new(&mut rng, 0.5, 0.5, 0.1));
+        }
+        let c = TestConditions::foundational();
+        let floor = cell.min_possible_threshold(&c, true);
+        for _ in 0..100 {
+            cell.step_traps(&mut rng, 50.0);
+            assert!(cell.effective_threshold(&c, true) >= floor - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assist")]
+    fn invalid_assist_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        Trap::new(&mut rng, 0.5, 0.5, 1.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Analytic error-probability model behind the paper's Table 3.
+//!
+//! Given a raw bit error rate (the paper's worst empirically observed
+//! VRD-induced rate is 7.6 × 10⁻⁵ at a 10% RDT guardband), these
+//! functions compute the probability of uncorrectable, undetectable, and
+//! detectable-uncorrectable errors per codeword for SEC, SEC-DED, and
+//! Chipkill-like SSC codes, assuming independent bit errors.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's worst observed VRD-induced bit error rate (5 bitflips in a
+/// 64 Kibit row) at a 10% safety margin.
+pub const PAPER_WORST_BER: f64 = 7.6e-5;
+
+/// Binomial probability of exactly `k` successes in `n` trials at
+/// per-trial probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `k > n`.
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(k <= n, "k must not exceed n");
+    // ln C(n,k) via lgamma-free product form (n is small here).
+    let mut ln_c = 0.0f64;
+    for i in 0..k {
+        ln_c += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    let ln_p = if k == 0 { 0.0 } else { k as f64 * p.ln() };
+    let ln_q = if n == k { 0.0 } else { (n - k) as f64 * (1.0 - p).ln() };
+    (ln_c + ln_p + ln_q).exp()
+}
+
+/// Probability of at least `k` successes in `n` trials.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `k > n`.
+pub fn binomial_sf(n: u64, k: u64, p: f64) -> f64 {
+    // Sum the complement (cheaper: k is small in our uses).
+    let below: f64 = (0..k).map(|i| binomial_pmf(n, i, p)).sum();
+    (1.0 - below).max(0.0)
+}
+
+/// Per-symbol error probability for `bits`-bit symbols at bit error rate
+/// `p`: `1 − (1 − p)^bits`.
+pub fn symbol_error_probability(bits: u32, p: f64) -> f64 {
+    1.0 - (1.0 - p).powi(bits as i32)
+}
+
+/// One row of the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorRates {
+    /// Probability the codeword's error is uncorrectable.
+    pub uncorrectable: f64,
+    /// Probability the error goes undetected (returns wrong data: SDC).
+    pub undetectable: f64,
+    /// Probability the error is uncorrectable but detected
+    /// (`None` when the code class has no such category).
+    pub detectable_uncorrectable: Option<f64>,
+}
+
+/// SEC (single error correction, 72-bit codeword): any ≥2-bit error is
+/// uncorrectable, and without DED it is also undetected.
+pub fn sec72_rates(ber: f64) -> ErrorRates {
+    let unc = binomial_sf(72, 2, ber);
+    ErrorRates { uncorrectable: unc, undetectable: unc, detectable_uncorrectable: None }
+}
+
+/// SEC-DED (72-bit codeword): ≥2-bit errors are uncorrectable; even-count
+/// errors (dominated by 2 bits) are detected; odd-count errors ≥3
+/// (dominated by 3 bits) alias to single-bit syndromes and miscorrect.
+pub fn secded72_rates(ber: f64) -> ErrorRates {
+    let unc = binomial_sf(72, 2, ber);
+    // Undetected ≈ P(3 errors) + higher odd terms (negligible).
+    let undet: f64 = (0..=3u64)
+        .filter(|k| k % 2 == 1 && *k >= 3)
+        .map(|k| binomial_pmf(72, k, ber))
+        .sum::<f64>()
+        + binomial_pmf(72, 5, ber);
+    ErrorRates {
+        uncorrectable: unc,
+        undetectable: undet,
+        detectable_uncorrectable: Some((unc - undet).max(0.0)),
+    }
+}
+
+/// Chipkill-like SSC (18 symbols of 8 bits, 144-bit codeword): any
+/// ≥2-symbol error is uncorrectable and — with only two parity symbols —
+/// generally indistinguishable from a correctable pattern, so the paper
+/// counts it as undetectable too.
+pub fn ssc18_rates(ber: f64) -> ErrorRates {
+    let q = symbol_error_probability(8, ber);
+    let unc = binomial_sf(18, 2, q);
+    ErrorRates { uncorrectable: unc, undetectable: unc, detectable_uncorrectable: None }
+}
+
+/// The full Table 3 at a given bit error rate: `(SEC, SECDED, SSC)`.
+pub fn table3(ber: f64) -> (ErrorRates, ErrorRates, ErrorRates) {
+    (sec72_rates(ber), secded72_rates(ber), ssc18_rates(ber))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, rel: f64) -> bool {
+        (a - b).abs() <= rel * b.abs().max(1e-300)
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let total: f64 = (0..=20).map(|k| binomial_pmf(20, k, 0.3)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_known_values() {
+        assert!(close(binomial_pmf(2, 1, 0.5), 0.5, 1e-12));
+        assert!(close(binomial_pmf(4, 2, 0.5), 0.375, 1e-12));
+    }
+
+    #[test]
+    fn sf_complements_pmf() {
+        let p = 0.01;
+        let sf = binomial_sf(10, 3, p);
+        let direct: f64 = (3..=10).map(|k| binomial_pmf(10, k, p)).sum();
+        assert!(close(sf, direct, 1e-9));
+    }
+
+    #[test]
+    fn symbol_error_probability_bounds() {
+        let q = symbol_error_probability(8, 1e-4);
+        assert!(q > 7.9e-4 && q < 8.1e-4, "≈ 8p for small p, got {q}");
+        assert_eq!(symbol_error_probability(8, 0.0), 0.0);
+    }
+
+    #[test]
+    fn table3_sec_matches_paper() {
+        // Paper: SEC uncorrectable = undetectable = 1.48e-5 at 7.6e-5.
+        let r = sec72_rates(PAPER_WORST_BER);
+        assert!(close(r.uncorrectable, 1.48e-5, 0.03), "got {}", r.uncorrectable);
+        assert_eq!(r.uncorrectable, r.undetectable);
+        assert!(r.detectable_uncorrectable.is_none());
+    }
+
+    #[test]
+    fn table3_secded_matches_paper() {
+        // Paper: uncorrectable 1.48e-5, undetectable 2.64e-8,
+        // detectable-uncorrectable 1.48e-5.
+        let r = secded72_rates(PAPER_WORST_BER);
+        assert!(close(r.uncorrectable, 1.48e-5, 0.03), "got {}", r.uncorrectable);
+        assert!(close(r.undetectable, 2.64e-8, 0.05), "got {}", r.undetectable);
+        assert!(
+            close(r.detectable_uncorrectable.unwrap(), 1.48e-5, 0.03),
+            "got {:?}",
+            r.detectable_uncorrectable
+        );
+    }
+
+    #[test]
+    fn table3_ssc_matches_paper() {
+        // Paper: SSC uncorrectable = undetectable = 5.66e-5.
+        let r = ssc18_rates(PAPER_WORST_BER);
+        assert!(close(r.uncorrectable, 5.66e-5, 0.03), "got {}", r.uncorrectable);
+        assert_eq!(r.uncorrectable, r.undetectable);
+    }
+
+    #[test]
+    fn secded_is_strictly_safer_than_sec() {
+        let sec = sec72_rates(PAPER_WORST_BER);
+        let secded = secded72_rates(PAPER_WORST_BER);
+        assert!(secded.undetectable < sec.undetectable / 100.0);
+    }
+
+    #[test]
+    fn rates_increase_with_ber() {
+        let low = secded72_rates(1e-6);
+        let high = secded72_rates(1e-4);
+        assert!(high.uncorrectable > low.uncorrectable);
+        assert!(high.undetectable > low.undetectable);
+    }
+
+    #[test]
+    fn zero_ber_is_error_free() {
+        let (sec, secded, ssc) = table3(0.0);
+        assert_eq!(sec.uncorrectable, 0.0);
+        assert_eq!(secded.uncorrectable, 0.0);
+        assert_eq!(ssc.uncorrectable, 0.0);
+    }
+}

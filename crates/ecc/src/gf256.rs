@@ -1,0 +1,201 @@
+//! GF(2⁸) arithmetic for Reed–Solomon codes.
+//!
+//! Elements are bytes; multiplication is polynomial multiplication modulo
+//! the primitive polynomial `x⁸ + x⁴ + x³ + x² + 1` (0x11D), the standard
+//! choice for RS codes. Log/antilog tables are built once at first use.
+
+/// The primitive polynomial 0x11D (x⁸+x⁴+x³+x²+1).
+pub const PRIMITIVE_POLY: u16 = 0x11D;
+
+/// The generator element α = 2.
+pub const GENERATOR: u8 = 2;
+
+struct Tables {
+    log: [u8; 256],
+    exp: [u8; 512],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut log = [0u8; 256];
+        let mut exp = [0u8; 512];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().take(255).enumerate() {
+            *e = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= PRIMITIVE_POLY;
+            }
+        }
+        // Duplicate so exp[i + 255] = exp[i]; avoids a mod in mul.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { log, exp }
+    })
+}
+
+/// Addition in GF(2⁸) (XOR).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication in GF(2⁸).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(vrd_ecc::gf256::mul(0, 77), 0);
+/// assert_eq!(vrd_ecc::gf256::mul(1, 77), 77);
+/// ```
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse in GF(2⁸).
+///
+/// # Panics
+///
+/// Panics if `a == 0` (zero has no inverse).
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no multiplicative inverse");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Division `a / b` in GF(2⁸).
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// `α^e` for any exponent (reduced mod 255).
+#[inline]
+pub fn alpha_pow(e: i32) -> u8 {
+    let t = tables();
+    let e = e.rem_euclid(255) as usize;
+    t.exp[e]
+}
+
+/// Discrete log base α; `None` for zero.
+#[inline]
+pub fn log(a: u8) -> Option<u8> {
+    if a == 0 {
+        None
+    } else {
+        Some(tables().log[a as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative() {
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                assert_eq!(mul(a, b), mul(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_is_associative_on_sample() {
+        for a in [3u8, 29, 127, 255] {
+            for b in [5u8, 77, 200] {
+                for c in [9u8, 180] {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity_on_sample() {
+        for a in [7u8, 100, 254] {
+            for b in [3u8, 50] {
+                for c in [21u8, 99] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_has_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "inv failed for {a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse")]
+    fn zero_inverse_panics() {
+        inv(0);
+    }
+
+    #[test]
+    fn division_round_trips() {
+        for a in [1u8, 17, 230] {
+            for b in [1u8, 5, 199] {
+                assert_eq!(mul(div(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_powers_cycle_255() {
+        assert_eq!(alpha_pow(0), 1);
+        assert_eq!(alpha_pow(1), GENERATOR);
+        assert_eq!(alpha_pow(255), 1);
+        assert_eq!(alpha_pow(-1), alpha_pow(254));
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // α generates all 255 nonzero elements.
+        let mut seen = [false; 256];
+        let mut count = 0;
+        for e in 0..255 {
+            let v = alpha_pow(e) as usize;
+            assert!(v != 0);
+            if !seen[v] {
+                seen[v] = true;
+                count += 1;
+            }
+        }
+        assert_eq!(count, 255);
+    }
+
+    #[test]
+    fn log_inverts_alpha_pow() {
+        for e in 0..255u8 {
+            assert_eq!(log(alpha_pow(i32::from(e))), Some(e));
+        }
+        assert_eq!(log(0), None);
+    }
+}

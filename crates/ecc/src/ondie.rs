@@ -1,0 +1,300 @@
+//! On-die ECC: the Hamming(136,128) single-error-correcting code modern
+//! DRAM dies apply internally.
+//!
+//! The paper's methodology *disables* on-die ECC (§3.1) because it
+//! masks single-bit read-disturbance flips and mis-corrects multi-bit
+//! ones, corrupting characterization data. This module implements the
+//! actual code being disabled: 128 data bits + 8 check bits, SEC-only
+//! (no double-error detection — exactly why prior work warns that
+//! on-die ECC can *amplify* errors on double flips).
+//!
+//! Codewords exceed 128 bits, so they are carried in a small fixed
+//! bitset, [`Word192`].
+
+use serde::{Deserialize, Serialize};
+
+/// Total bits in a codeword.
+pub const CODEWORD_BITS: u32 = 136;
+
+/// Data bits per codeword.
+pub const DATA_BITS: u32 = 128;
+
+/// A fixed 192-bit bitset (three 64-bit limbs) holding codewords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Word192 {
+    limbs: [u64; 3],
+}
+
+impl Word192 {
+    /// The zero word.
+    pub fn zero() -> Self {
+        Word192::default()
+    }
+
+    /// Value of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 192`.
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < 192, "bit index out of range");
+        (self.limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 192`.
+    pub fn set_bit(&mut self, i: u32, value: bool) {
+        assert!(i < 192, "bit index out of range");
+        let limb = &mut self.limbs[(i / 64) as usize];
+        if value {
+            *limb |= 1 << (i % 64);
+        } else {
+            *limb &= !(1 << (i % 64));
+        }
+    }
+
+    /// Flips bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 192`.
+    pub fn flip_bit(&mut self, i: u32) {
+        assert!(i < 192, "bit index out of range");
+        self.limbs[(i / 64) as usize] ^= 1 << (i % 64);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.limbs.iter().map(|l| l.count_ones()).sum()
+    }
+}
+
+/// Outcome of an on-die decode. On-die ECC is SEC-only: there is no
+/// "detected uncorrectable" outcome — multi-bit errors silently
+/// mis-correct, which is the characterization hazard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OnDieOutcome {
+    /// Codeword clean.
+    Clean {
+        /// Decoded data.
+        data: [u64; 2],
+    },
+    /// One bit corrected (or so the decoder believes).
+    Corrected {
+        /// Decoded data (wrong if more than one bit actually flipped).
+        data: [u64; 2],
+    },
+}
+
+impl OnDieOutcome {
+    /// The decoded 128 data bits as two u64 limbs.
+    pub fn data(&self) -> [u64; 2] {
+        match self {
+            OnDieOutcome::Clean { data } | OnDieOutcome::Corrected { data } => *data,
+        }
+    }
+}
+
+/// The Hamming(136,128) on-die SEC code.
+///
+/// Layout: Hamming positions 1..=135 carry parity bits at powers of two
+/// (1, 2, 4, …, 128) and data everywhere else; position 0 is unused
+/// (kept zero) so the syndrome is exactly the error position.
+///
+/// # Examples
+///
+/// ```
+/// use vrd_ecc::ondie::OnDie136;
+///
+/// let code = OnDie136::new();
+/// let data = [0x0123_4567_89AB_CDEF, 0xFEDC_BA98_7654_3210];
+/// let mut word = code.encode(data);
+/// word.flip_bit(77);
+/// assert_eq!(code.decode(word).data(), data);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnDie136;
+
+impl OnDie136 {
+    /// Creates the code (stateless).
+    pub fn new() -> Self {
+        OnDie136
+    }
+
+    fn data_positions() -> impl Iterator<Item = u32> {
+        (1u32..=136).filter(|p| !p.is_power_of_two())
+    }
+
+    /// Encodes 128 data bits (two u64 limbs, little-endian bit order).
+    pub fn encode(&self, data: [u64; 2]) -> Word192 {
+        let mut word = Word192::zero();
+        for (i, pos) in Self::data_positions().enumerate() {
+            let bit = (data[i / 64] >> (i % 64)) & 1 == 1;
+            word.set_bit(pos, bit);
+        }
+        for i in 0..8u32 {
+            let p = 1u32 << i;
+            let mut parity = false;
+            for pos in 1..=136u32 {
+                if pos & p != 0 && word.bit(pos) {
+                    parity = !parity;
+                }
+            }
+            word.set_bit(p, parity);
+        }
+        word
+    }
+
+    fn syndrome(word: &Word192) -> u32 {
+        let mut s = 0u32;
+        for pos in 1..=136u32 {
+            if word.bit(pos) {
+                s ^= pos;
+            }
+        }
+        s
+    }
+
+    fn extract(word: &Word192) -> [u64; 2] {
+        let mut data = [0u64; 2];
+        for (i, pos) in Self::data_positions().enumerate() {
+            if word.bit(pos) {
+                data[i / 64] |= 1 << (i % 64);
+            }
+        }
+        data
+    }
+
+    /// Decodes a codeword, correcting at most one bit.
+    pub fn decode(&self, mut word: Word192) -> OnDieOutcome {
+        let s = Self::syndrome(&word);
+        if s == 0 {
+            return OnDieOutcome::Clean { data: Self::extract(&word) };
+        }
+        if s <= 136 {
+            word.flip_bit(s);
+        }
+        OnDieOutcome::Corrected { data: Self::extract(&word) }
+    }
+
+    /// Checks whether a set of raw bit errors would be *visible* to the
+    /// host after on-die correction: `false` means the on-die code fully
+    /// hid them (a single flip), `true` means the host sees wrong data
+    /// — possibly *more* wrong bits than were injected (amplification).
+    pub fn errors_visible(&self, data: [u64; 2], error_positions: &[u32]) -> bool {
+        let mut word = self.encode(data);
+        for &p in error_positions {
+            word.flip_bit(1 + (p % CODEWORD_BITS));
+        }
+        self.decode(word).data() != data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: [u64; 2] = [0xDEAD_BEEF_0BAD_F00D, 0x0123_4567_89AB_CDEF];
+
+    #[test]
+    fn clean_round_trip() {
+        let code = OnDie136::new();
+        assert_eq!(code.decode(code.encode(DATA)), OnDieOutcome::Clean { data: DATA });
+    }
+
+    #[test]
+    fn data_position_count() {
+        assert_eq!(OnDie136::data_positions().count(), 128);
+    }
+
+    #[test]
+    fn corrects_every_single_bit() {
+        let code = OnDie136::new();
+        let word = code.encode(DATA);
+        for bit in 1..=136u32 {
+            let mut corrupted = word;
+            corrupted.flip_bit(bit);
+            assert_eq!(
+                code.decode(corrupted).data(),
+                DATA,
+                "single flip at {bit} must correct"
+            );
+        }
+    }
+
+    #[test]
+    fn double_errors_silently_miscorrect() {
+        // The §3.1 hazard: without DED, double flips return wrong data
+        // with no indication.
+        let code = OnDie136::new();
+        let mut miscorrected = 0;
+        for a in (1..=136u32).step_by(7) {
+            for b in (2..=136u32).step_by(11) {
+                if a == b {
+                    continue;
+                }
+                if code.errors_visible(DATA, &[a, b]) {
+                    miscorrected += 1;
+                }
+            }
+        }
+        assert!(miscorrected > 0, "double errors must surface as wrong data");
+    }
+
+    #[test]
+    fn single_flips_are_invisible_to_characterization() {
+        // Why the paper disables on-die ECC: a genuine read-disturbance
+        // bitflip is hidden from the tester.
+        let code = OnDie136::new();
+        for bit in [3u32, 50, 99, 130] {
+            assert!(!code.errors_visible(DATA, &[bit]));
+        }
+    }
+
+    #[test]
+    fn error_amplification_exists() {
+        // Some double injections yield ≥3 wrong data bits after the
+        // "correction" — on-die ECC can amplify errors.
+        let code = OnDie136::new();
+        let word = code.encode(DATA);
+        let mut amplified = false;
+        'outer: for a in 1..=136u32 {
+            for b in (a + 1)..=136u32 {
+                let mut corrupted = word;
+                corrupted.flip_bit(a);
+                corrupted.flip_bit(b);
+                let out = code.decode(corrupted).data();
+                let wrong = (out[0] ^ DATA[0]).count_ones() + (out[1] ^ DATA[1]).count_ones();
+                if wrong >= 3 {
+                    amplified = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(amplified, "some double error must amplify to ≥3 wrong data bits");
+    }
+
+    #[test]
+    fn word192_bit_operations() {
+        let mut w = Word192::zero();
+        assert_eq!(w.count_ones(), 0);
+        w.set_bit(0, true);
+        w.set_bit(64, true);
+        w.set_bit(191, true);
+        assert_eq!(w.count_ones(), 3);
+        assert!(w.bit(64));
+        w.flip_bit(64);
+        assert!(!w.bit(64));
+        w.set_bit(191, false);
+        assert_eq!(w.count_ones(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn word192_bounds_checked() {
+        Word192::zero().bit(192);
+    }
+}

@@ -1,0 +1,265 @@
+//! Chipkill-class single-symbol-correcting (SSC) code: a shortened
+//! Reed–Solomon code over GF(2⁸) with 18 symbols per codeword (144 bits,
+//! 16 data symbols + 2 parity symbols), as in the paper's Table 3.
+//!
+//! With two parity symbols the code corrects any single-symbol error —
+//! one whole DRAM chip's contribution to the codeword, which is what
+//! makes it "Chipkill-like" — and, like real SSC, can silently
+//! miscorrect multi-symbol errors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gf256;
+
+/// Symbols per codeword.
+pub const CODEWORD_SYMBOLS: usize = 18;
+
+/// Data symbols per codeword.
+pub const DATA_SYMBOLS: usize = 16;
+
+/// Outcome of an SSC decode, symbol-level analogue of
+/// [`crate::DecodeOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SscOutcome {
+    /// Codeword was clean.
+    Clean {
+        /// Decoded data symbols.
+        data: [u8; DATA_SYMBOLS],
+    },
+    /// A single symbol was corrected.
+    Corrected {
+        /// Decoded (corrected) data symbols.
+        data: [u8; DATA_SYMBOLS],
+        /// Index of the corrected symbol within the codeword.
+        symbol: usize,
+    },
+    /// Inconsistent syndromes: detected, uncorrectable.
+    DetectedUncorrectable,
+}
+
+impl SscOutcome {
+    /// Whether decoded data equals `original` (false also for detected
+    /// errors, which return nothing).
+    pub fn matches(&self, original: &[u8; DATA_SYMBOLS]) -> bool {
+        match self {
+            SscOutcome::Clean { data } | SscOutcome::Corrected { data, .. } => data == original,
+            SscOutcome::DetectedUncorrectable => false,
+        }
+    }
+
+    /// Whether data was returned but is wrong (silent data corruption).
+    pub fn is_sdc(&self, original: &[u8; DATA_SYMBOLS]) -> bool {
+        match self {
+            SscOutcome::Clean { data } | SscOutcome::Corrected { data, .. } => data != original,
+            SscOutcome::DetectedUncorrectable => false,
+        }
+    }
+}
+
+/// The shortened RS(18,16) single-symbol-correcting code.
+///
+/// # Examples
+///
+/// ```
+/// use vrd_ecc::rs::{Ssc18, SscOutcome};
+///
+/// let code = Ssc18::new();
+/// let data = [7u8; 16];
+/// let mut word = code.encode(&data);
+/// word[4] ^= 0xFF; // clobber one full symbol (one chip's byte)
+/// match code.decode(&word) {
+///     SscOutcome::Corrected { data: d, symbol } => {
+///         assert_eq!(d, data);
+///         assert_eq!(symbol, 4);
+///     }
+///     other => panic!("single-symbol error must correct, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ssc18;
+
+impl Ssc18 {
+    /// Creates the code (stateless).
+    pub fn new() -> Self {
+        Ssc18
+    }
+
+    /// Encodes 16 data symbols into an 18-symbol codeword.
+    ///
+    /// Layout: `word[0..2]` are parity, `word[2..18]` are the data
+    /// symbols. The codeword polynomial is `c(x) = Σ word[j]·x^j` and is
+    /// divisible by `g(x) = (x − α⁰)(x − α¹)`.
+    pub fn encode(&self, data: &[u8; DATA_SYMBOLS]) -> [u8; CODEWORD_SYMBOLS] {
+        // Systematic encoding: m(x)·x² mod g(x) gives the parity.
+        // g(x) = x² + g1·x + g0 with g1 = α⁰+α¹ = 3, g0 = α⁰·α¹ = 2.
+        let g1 = gf256::add(gf256::alpha_pow(0), gf256::alpha_pow(1));
+        let g0 = gf256::mul(gf256::alpha_pow(0), gf256::alpha_pow(1));
+        // Long division of m(x)·x² by g(x): process data from the top
+        // coefficient down, tracking the 2-symbol remainder.
+        let mut r = [0u8; 2]; // r[1]·x + r[0]
+        for &m in data.iter().rev() {
+            let top = gf256::add(m, r[1]);
+            // new remainder = (r[0] − top·g1)·x + (0 − top·g0)
+            let new_r1 = gf256::add(r[0], gf256::mul(top, g1));
+            let new_r0 = gf256::mul(top, g0);
+            r = [new_r0, new_r1];
+        }
+        let mut word = [0u8; CODEWORD_SYMBOLS];
+        word[0] = r[0];
+        word[1] = r[1];
+        word[2..].copy_from_slice(data);
+        word
+    }
+
+    /// Computes the two syndromes `S_k = c(α^k)` for k = 0, 1.
+    pub fn syndromes(&self, word: &[u8; CODEWORD_SYMBOLS]) -> (u8, u8) {
+        let mut s0 = 0u8;
+        let mut s1 = 0u8;
+        for (j, &c) in word.iter().enumerate() {
+            s0 = gf256::add(s0, c);
+            s1 = gf256::add(s1, gf256::mul(c, gf256::alpha_pow(j as i32)));
+        }
+        (s0, s1)
+    }
+
+    /// Decodes an 18-symbol codeword, correcting up to one symbol.
+    pub fn decode(&self, word: &[u8; CODEWORD_SYMBOLS]) -> SscOutcome {
+        let (s0, s1) = self.syndromes(word);
+        match (s0, s1) {
+            (0, 0) => SscOutcome::Clean { data: extract(word) },
+            (0, _) | (_, 0) => {
+                // A single error at position j would give S1 = e·α^j ≠ 0
+                // and S0 = e ≠ 0; one zero syndrome is inconsistent.
+                SscOutcome::DetectedUncorrectable
+            }
+            (e, s1) => {
+                // Single-error hypothesis: location α^j = S1 / S0.
+                let loc = gf256::div(s1, e);
+                match gf256::log(loc) {
+                    Some(j) if (j as usize) < CODEWORD_SYMBOLS => {
+                        let mut fixed = *word;
+                        fixed[j as usize] = gf256::add(fixed[j as usize], e);
+                        SscOutcome::Corrected { data: extract(&fixed), symbol: j as usize }
+                    }
+                    _ => SscOutcome::DetectedUncorrectable,
+                }
+            }
+        }
+    }
+}
+
+fn extract(word: &[u8; CODEWORD_SYMBOLS]) -> [u8; DATA_SYMBOLS] {
+    let mut data = [0u8; DATA_SYMBOLS];
+    data.copy_from_slice(&word[2..]);
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data() -> [u8; DATA_SYMBOLS] {
+        let mut d = [0u8; DATA_SYMBOLS];
+        for (i, v) in d.iter_mut().enumerate() {
+            *v = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        d
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let code = Ssc18::new();
+        let data = sample_data();
+        let word = code.encode(&data);
+        assert_eq!(code.decode(&word), SscOutcome::Clean { data });
+    }
+
+    #[test]
+    fn codeword_evaluates_to_zero_at_roots() {
+        let code = Ssc18::new();
+        let word = code.encode(&sample_data());
+        assert_eq!(code.syndromes(&word), (0, 0));
+    }
+
+    #[test]
+    fn every_single_symbol_error_corrects() {
+        let code = Ssc18::new();
+        let data = sample_data();
+        let word = code.encode(&data);
+        for sym in 0..CODEWORD_SYMBOLS {
+            for err in [0x01u8, 0x80, 0xFF, 0x5A] {
+                let mut corrupted = word;
+                corrupted[sym] ^= err;
+                match code.decode(&corrupted) {
+                    SscOutcome::Corrected { data: d, symbol } => {
+                        assert_eq!(symbol, sym);
+                        assert_eq!(d, data);
+                    }
+                    other => panic!("symbol {sym} err {err:#x}: got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_bit_within_one_symbol_still_corrects() {
+        // The Chipkill property: any garbage from one chip is fixable.
+        let code = Ssc18::new();
+        let data = sample_data();
+        let mut word = code.encode(&data);
+        word[9] = !word[9];
+        assert!(code.decode(&word).matches(&data));
+    }
+
+    #[test]
+    fn double_symbol_errors_are_unsafe() {
+        // Two-symbol errors either get detected or silently miscorrect —
+        // both happen, which is exactly the paper's Table-3 concern.
+        let code = Ssc18::new();
+        let data = sample_data();
+        let word = code.encode(&data);
+        let mut sdc = 0;
+        let mut detected = 0;
+        let mut miscount = 0;
+        for a in 0..CODEWORD_SYMBOLS {
+            for b in (a + 1)..CODEWORD_SYMBOLS {
+                let mut corrupted = word;
+                corrupted[a] ^= 0x3C;
+                corrupted[b] ^= 0xA5;
+                match code.decode(&corrupted) {
+                    SscOutcome::DetectedUncorrectable => detected += 1,
+                    out if out.is_sdc(&data) => sdc += 1,
+                    _ => miscount += 1,
+                }
+            }
+        }
+        assert_eq!(miscount, 0, "a double error can never decode to the right data");
+        assert!(sdc > 0, "some double errors miscorrect silently");
+        assert!(detected + sdc == 18 * 17 / 2);
+    }
+
+    #[test]
+    fn zero_data_encodes_to_zero() {
+        let code = Ssc18::new();
+        let word = code.encode(&[0u8; DATA_SYMBOLS]);
+        assert_eq!(word, [0u8; CODEWORD_SYMBOLS]);
+    }
+
+    #[test]
+    fn linearity_of_encoding() {
+        let code = Ssc18::new();
+        let a = sample_data();
+        let mut b = sample_data();
+        b.reverse();
+        let mut xor = [0u8; DATA_SYMBOLS];
+        for i in 0..DATA_SYMBOLS {
+            xor[i] = a[i] ^ b[i];
+        }
+        let wa = code.encode(&a);
+        let wb = code.encode(&b);
+        let wx = code.encode(&xor);
+        for i in 0..CODEWORD_SYMBOLS {
+            assert_eq!(wx[i], wa[i] ^ wb[i], "RS encoding must be linear");
+        }
+    }
+}

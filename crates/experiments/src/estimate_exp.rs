@@ -1,0 +1,216 @@
+//! Appendix A: RDT test time and energy projections (Figs. 17–24).
+
+use serde::{Deserialize, Serialize};
+
+use vrd_bender::estimate::{
+    one_measurement_energy_nj, one_measurement_time_ns, single_row_test_time_s, CampaignSpec,
+    EnergyModel, MeasurementSpec,
+};
+use vrd_bender::TimingParams;
+
+use crate::render::{f, Table};
+
+/// Hammer counts swept in the appendix figures.
+pub const HAMMER_COUNTS: [u64; 4] = [1_000, 5_000, 10_000, 50_000];
+
+/// Bank counts swept in the appendix figures.
+pub const BANK_COUNTS: [u32; 4] = [1, 4, 16, 32];
+
+/// Victim-row counts swept in the appendix figures.
+pub const ROW_COUNTS: [u64; 4] = [1_024, 16_384, 262_144, 8_388_608];
+
+/// One appendix data point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimatePoint {
+    /// Activations per aggressor.
+    pub hammer_count: u64,
+    /// Banks tested in parallel.
+    pub banks: u32,
+    /// Victim rows covered.
+    pub rows: u64,
+    /// Measurements per row.
+    pub measurements: u64,
+    /// Total time (seconds).
+    pub time_s: f64,
+    /// Total energy (joules).
+    pub energy_j: f64,
+}
+
+/// The appendix sweep for one access pattern.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EstimateSweep {
+    /// `"RowHammer"` or `"RowPress"`.
+    pub label: String,
+    /// The aggressor on-time (ns).
+    pub t_agg_on_ns: f64,
+    /// Single-measurement points (Figs. 17/18, 21/22).
+    pub single: Vec<EstimatePoint>,
+    /// 1K-measurement campaign points (Figs. 19, 23).
+    pub campaign_1k: Vec<EstimatePoint>,
+    /// 100K-measurement campaign points (Figs. 20, 24).
+    pub campaign_100k: Vec<EstimatePoint>,
+}
+
+fn sweep(label: &str, t_agg_on_ns: f64) -> EstimateSweep {
+    let timing = TimingParams::ddr5();
+    let energy = EnergyModel::default();
+    let make = |hc: u64, banks: u32| MeasurementSpec {
+        hammer_count: hc,
+        t_agg_on_ns,
+        banks,
+    };
+    let mut single = Vec::new();
+    for &hc in &HAMMER_COUNTS {
+        for &banks in &BANK_COUNTS {
+            let spec = make(hc, banks);
+            single.push(EstimatePoint {
+                hammer_count: hc,
+                banks,
+                rows: u64::from(banks),
+                measurements: 1,
+                time_s: one_measurement_time_ns(&timing, &spec) / 1e9,
+                energy_j: one_measurement_energy_nj(&timing, &spec, &energy) * 1e-9,
+            });
+        }
+    }
+    let campaign = |measurements: u64| -> Vec<EstimatePoint> {
+        let mut points = Vec::new();
+        for &rows in &ROW_COUNTS {
+            for &banks in &BANK_COUNTS {
+                let spec = CampaignSpec { measurement: make(1_000, banks), rows, measurements };
+                points.push(EstimatePoint {
+                    hammer_count: 1_000,
+                    banks,
+                    rows,
+                    measurements,
+                    time_s: spec.total_time_ns(&timing) / 1e9,
+                    energy_j: spec.total_energy_j(&timing, &energy),
+                });
+            }
+        }
+        points
+    };
+    EstimateSweep {
+        label: label.to_owned(),
+        t_agg_on_ns,
+        single,
+        campaign_1k: campaign(1_000),
+        campaign_100k: campaign(100_000),
+    }
+}
+
+/// Figs. 17–20: RowHammer testing time and energy.
+pub fn rowhammer_sweep() -> EstimateSweep {
+    sweep("RowHammer", TimingParams::ddr5().t_ras)
+}
+
+/// Figs. 21–24: RowPress testing time and energy at `t_AggOn` = 7.8 µs.
+pub fn rowpress_sweep() -> EstimateSweep {
+    sweep("RowPress", 7_800.0)
+}
+
+/// Renders one appendix sweep.
+pub fn render(sweep: &EstimateSweep) -> String {
+    let mut single = Table::new(["hammers", "banks", "time/meas (ms)", "energy/meas (mJ)"]);
+    for p in &sweep.single {
+        single.row([
+            p.hammer_count.to_string(),
+            p.banks.to_string(),
+            f(p.time_s * 1e3, 4),
+            f(p.energy_j * 1e3, 4),
+        ]);
+    }
+    let campaign_table = |points: &[EstimatePoint]| {
+        let mut t = Table::new(["rows", "banks", "time", "energy (kJ)"]);
+        for p in points {
+            let time = if p.time_s > 2.0 * 86_400.0 {
+                format!("{:.1} days", p.time_s / 86_400.0)
+            } else if p.time_s > 7_200.0 {
+                format!("{:.1} hours", p.time_s / 3_600.0)
+            } else {
+                format!("{:.1} s", p.time_s)
+            };
+            t.row([p.rows.to_string(), p.banks.to_string(), time, f(p.energy_j / 1e3, 2)]);
+        }
+        t.render()
+    };
+    format!(
+        "{} (tAggOn = {} ns)\n\
+         single measurement (Figs. 17/21):\n{}\n\
+         1K measurements, hammer count 1K (Figs. 19/23):\n{}\n\
+         100K measurements, hammer count 1K (Figs. 20/24):\n{}\n\
+         headline: 94,467 measurements of one row at mean RDT 1,000 ≈ {:.1} s (paper: 9.5 s)\n",
+        sweep.label,
+        sweep.t_agg_on_ns,
+        single.render(),
+        campaign_table(&sweep.campaign_1k),
+        campaign_table(&sweep.campaign_100k),
+        single_row_test_time_s(94_467, 1_000),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rowpress_slower_than_rowhammer_everywhere() {
+        let rh = rowhammer_sweep();
+        let rp = rowpress_sweep();
+        for (a, b) in rh.single.iter().zip(&rp.single) {
+            assert!(b.time_s > a.time_s * 10.0, "RowPress must dominate testing time");
+        }
+    }
+
+    #[test]
+    fn chip_scale_100k_lands_in_paper_band() {
+        // The paper: 100K measurements of a 32-bank chip (8M rows) at
+        // hammer count 1K take ~61 days for RowHammer and years for
+        // RowPress.
+        let rh = rowhammer_sweep();
+        let p = rh
+            .campaign_100k
+            .iter()
+            .find(|p| p.rows == 8_388_608 && p.banks == 32)
+            .expect("chip-scale point present");
+        let days = p.time_s / 86_400.0;
+        assert!(days > 20.0 && days < 200.0, "got {days} days");
+
+        let rp = rowpress_sweep();
+        let p = rp
+            .campaign_100k
+            .iter()
+            .find(|p| p.rows == 8_388_608 && p.banks == 32)
+            .expect("chip-scale point present");
+        let years = p.time_s / 86_400.0 / 365.0;
+        assert!(years > 3.0, "RowPress takes years, got {years}");
+    }
+
+    #[test]
+    fn time_scales_linearly_with_measurements() {
+        let rh = rowhammer_sweep();
+        for (k1, k100) in rh.campaign_1k.iter().zip(&rh.campaign_100k) {
+            assert!((k100.time_s / k1.time_s - 100.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn bank_parallelism_reduces_campaign_time() {
+        let rh = rowhammer_sweep();
+        let pick = |banks: u32| {
+            rh.campaign_1k
+                .iter()
+                .find(|p| p.rows == 262_144 && p.banks == banks)
+                .expect("point")
+                .time_s
+        };
+        assert!(pick(32) < pick(1));
+    }
+
+    #[test]
+    fn render_mentions_headline() {
+        let s = render(&rowhammer_sweep());
+        assert!(s.contains("94,467"));
+        assert!(s.contains("RowHammer"));
+    }
+}

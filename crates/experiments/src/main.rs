@@ -1,0 +1,308 @@
+//! `vrd-exp`: regenerate the VRD paper's tables and figures.
+//!
+//! ```text
+//! vrd-exp <id>... [flags]
+//!
+//! ids: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+//!      fig14 fig15 fig16 fig17-20 fig21-24 fig25 tab3 tab7 findings all
+//!
+//! flags:
+//!   --paper               paper-scale measurement counts (slow!)
+//!   --measurements N      foundational measurements per row
+//!   --indepth N           in-depth measurements per row per condition
+//!   --rows N              rows selected per segment (in-depth)
+//!   --trials N            guardband trials per margin
+//!   --mixes N             Fig.-14 workload mixes
+//!   --cycles N            Fig.-14 simulated nanoseconds
+//!   --modules A,B,...     restrict the module roster
+//!   --seed N              root RNG seed
+//!   --threads N           worker threads (0 = all cores)
+//!   --out DIR             JSON output directory (default: results)
+//! ```
+
+use std::sync::OnceLock;
+
+use vrd_experiments::{
+    ecc_exp, estimate_exp, extensions, findings, foundational, guardband_exp, indepth, mc,
+    memsim_exp, runner::save_json, Options,
+};
+
+/// Lazily computed shared studies so `all` runs each campaign once.
+#[derive(Default)]
+struct Ctx {
+    foundational: OnceLock<foundational::FoundationalStudy>,
+    indepth: OnceLock<indepth::InDepthStudy>,
+    guardband: OnceLock<guardband_exp::GuardbandStudy>,
+}
+
+impl Ctx {
+    fn foundational(&self, opts: &Options) -> &foundational::FoundationalStudy {
+        self.foundational.get_or_init(|| {
+            eprintln!(
+                "[vrd-exp] running foundational campaign ({} measurements/row)...",
+                opts.foundational_measurements
+            );
+            foundational::run(opts)
+        })
+    }
+
+    fn indepth(&self, opts: &Options) -> &indepth::InDepthStudy {
+        self.indepth.get_or_init(|| {
+            eprintln!(
+                "[vrd-exp] running in-depth campaign ({} meas/row/cond, {} conds)...",
+                opts.indepth_measurements,
+                opts.condition_grid().len()
+            );
+            indepth::run(opts)
+        })
+    }
+
+    fn guardband(&self, opts: &Options) -> &guardband_exp::GuardbandStudy {
+        self.guardband.get_or_init(|| {
+            eprintln!(
+                "[vrd-exp] running guardband experiment ({} trials/margin)...",
+                opts.guardband_trials
+            );
+            guardband_exp::run(opts)
+        })
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok((ids, opts)) => {
+            if ids.is_empty() {
+                eprintln!("usage: vrd-exp <id>... [flags]; see --help");
+                std::process::exit(2);
+            }
+            let ctx = Ctx::default();
+            for id in ids {
+                run_experiment(&id, &opts, &ctx);
+            }
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+const ALL_IDS: &[&str] = &[
+    "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "fig16", "fig17-20", "fig21-24", "fig25", "tab3", "tab7",
+    "findings", "ablation", "security", "online", "takeaways",
+];
+
+fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
+    let mut opts = Options::default();
+    let mut ids = Vec::new();
+    let mut iter = args.iter().peekable();
+    let need = |iter: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                    flag: &str|
+     -> Result<String, String> {
+        iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("vrd-exp <id>... [flags]\nids: {} all", ALL_IDS.join(" "));
+                std::process::exit(0);
+            }
+            "--paper" => {
+                let keep_modules = std::mem::take(&mut opts.modules);
+                opts = Options::paper();
+                opts.modules = keep_modules;
+            }
+            "--measurements" => {
+                opts.foundational_measurements =
+                    need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--indepth" => {
+                opts.indepth_measurements =
+                    need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--rows" => {
+                opts.picks_per_segment =
+                    need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--trials" => {
+                opts.guardband_trials =
+                    need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--mixes" => {
+                opts.mixes = need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--cycles" => {
+                opts.sim_cycles =
+                    need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--modules" => {
+                opts.modules =
+                    need(&mut iter, arg)?.split(',').map(|s| s.trim().to_owned()).collect()
+            }
+            "--seed" => {
+                opts.seed = need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--threads" => {
+                opts.threads = need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--out" => opts.out_dir = need(&mut iter, arg)?,
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            id if ALL_IDS.contains(&id) => ids.push(id.to_owned()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    ids.dedup();
+    Ok((ids, opts))
+}
+
+fn run_experiment(id: &str, opts: &Options, ctx: &Ctx) {
+    match id {
+        "fig1" => {
+            let study = ctx.foundational(opts);
+            println!("{}", foundational::render_fig1(study));
+            let _ = save_json(opts, "fig1", &study.per_module);
+        }
+        "fig3" => {
+            let study = ctx.foundational(opts);
+            println!("{}", foundational::render_fig3(study));
+            let _ = save_json(opts, "fig3", &foundational::fig3_summaries(study));
+        }
+        "fig4" => {
+            let study = ctx.foundational(opts);
+            println!("{}", foundational::render_fig4(study));
+        }
+        "fig5" => {
+            let study = ctx.foundational(opts);
+            println!("{}", foundational::render_fig5(study));
+        }
+        "fig6" => {
+            let study = ctx.foundational(opts);
+            println!("{}", foundational::render_fig6(study));
+            let _ = save_json(opts, "fig6", &foundational::fig6_reports(study));
+        }
+        "fig7" => {
+            let study = ctx.indepth(opts);
+            println!("{}", indepth::render_fig7(study));
+            let _ = save_json(opts, "fig7", &indepth::max_cv_per_row(study));
+        }
+        "fig8" => {
+            let study = ctx.indepth(opts);
+            println!("{}", mc::render_fig8(study));
+            let _ = save_json(opts, "fig8", &mc::fig8_stats(study));
+        }
+        "fig9" => {
+            let study = ctx.indepth(opts);
+            println!("{}", indepth::render_fig9(study));
+            let _ = save_json(opts, "fig9", &indepth::fig9_groups(study));
+        }
+        "fig10" => {
+            let study = ctx.indepth(opts);
+            println!("{}", indepth::render_fig10(study));
+            let _ = save_json(opts, "fig10", &indepth::fig10_groups(study));
+        }
+        "fig11" => {
+            let study = ctx.indepth(opts);
+            println!("{}", indepth::render_fig11(study));
+            let _ = save_json(opts, "fig11", &indepth::fig11_groups(study));
+        }
+        "fig12" => {
+            let study = ctx.indepth(opts);
+            println!("{}", indepth::render_fig12(study));
+            let _ = save_json(opts, "fig12", &indepth::fig12_groups(study));
+        }
+        "fig13" => {
+            let study = ctx.indepth(opts);
+            println!("{}", indepth::render_fig13(study));
+        }
+        "fig14" => {
+            eprintln!("[vrd-exp] running Fig.-14 mitigation sweep...");
+            let result = memsim_exp::run(opts);
+            println!("{}", memsim_exp::render(&result));
+            let _ = save_json(opts, "fig14", &result);
+        }
+        "fig15" => {
+            let study = ctx.indepth(opts);
+            println!("{}", mc::render_fig15(study));
+            let _ = save_json(opts, "fig15", &mc::fig15_stats(study));
+        }
+        "fig16" => {
+            let study = ctx.guardband(opts);
+            println!("{}", guardband_exp::render_fig16(study));
+            let _ = save_json(opts, "fig16", study);
+        }
+        "fig17-20" => {
+            let sweep = estimate_exp::rowhammer_sweep();
+            println!("{}", estimate_exp::render(&sweep));
+            let _ = save_json(opts, "fig17-20", &sweep);
+        }
+        "fig21-24" => {
+            let sweep = estimate_exp::rowpress_sweep();
+            println!("{}", estimate_exp::render(&sweep));
+            let _ = save_json(opts, "fig21-24", &sweep);
+        }
+        "fig25" => {
+            let study = ctx.indepth(opts);
+            println!("{}", mc::render_fig25(study));
+        }
+        "tab3" => {
+            let ber = {
+                let study = ctx.guardband(opts);
+                let measured = guardband_exp::worst_margin_ber(study, 0.1);
+                if measured > 0.0 {
+                    measured
+                } else {
+                    vrd_ecc::analysis::PAPER_WORST_BER
+                }
+            };
+            let result = ecc_exp::run(ber, 20_000, opts.seed);
+            println!("{}", ecc_exp::render(&result));
+            // Also print the paper's exact operating point for reference.
+            let paper = ecc_exp::run_paper(20_000, opts.seed);
+            println!("{}", ecc_exp::render(&paper));
+            let _ = save_json(opts, "tab3", &paper);
+        }
+        "tab7" => {
+            let study = ctx.indepth(opts);
+            println!("{}", indepth::render_table7(study));
+            let _ = save_json(opts, "tab7", &indepth::table7(study));
+        }
+        "takeaways" => {
+            let foundational = ctx.foundational(opts);
+            let indepth = ctx.indepth(opts);
+            println!("{}", extensions::render_takeaways(foundational, indepth));
+        }
+        "ablation" => {
+            eprintln!("[vrd-exp] running model ablation...");
+            let rows = extensions::ablation(opts);
+            println!("{}", extensions::render_ablation(&rows));
+            let _ = save_json(opts, "ablation", &rows);
+        }
+        "security" => {
+            let study = ctx.foundational(opts);
+            eprintln!("[vrd-exp] running guardband security sweep...");
+            let rows = extensions::security(study, opts);
+            println!("{}", extensions::render_security(&rows));
+            let _ = save_json(opts, "security", &rows);
+        }
+        "online" => {
+            eprintln!("[vrd-exp] running online-profiling experiment...");
+            match extensions::online(opts) {
+                Some(result) => {
+                    println!("{}", extensions::render_online(&result));
+                    let _ = save_json(opts, "online", &result);
+                }
+                None => eprintln!("no module in scope produced profilable rows"),
+            }
+        }
+        "findings" => {
+            let mut checks = findings::check_foundational(ctx.foundational(opts));
+            checks.extend(findings::check_indepth(ctx.indepth(opts)));
+            checks.extend(findings::check_cells(ctx.indepth(opts)));
+            println!("{}", findings::render(&checks));
+            let _ = save_json(opts, "findings", &checks);
+        }
+        other => eprintln!("unknown experiment {other:?}"),
+    }
+}

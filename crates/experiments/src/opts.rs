@@ -1,0 +1,163 @@
+//! Experiment scale options.
+//!
+//! Defaults finish each experiment in seconds to a few minutes in
+//! `--release`; `--paper` switches every knob to the paper's full scale
+//! (expect long runs, exactly like the paper's 29-day footnote warns).
+
+use serde::{Deserialize, Serialize};
+
+/// Scale and scope configuration shared by all experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Options {
+    /// Measurements per row for the foundational study (paper: 100,000).
+    pub foundational_measurements: u32,
+    /// Measurements per row per condition for the in-depth study
+    /// (paper: 1,000).
+    pub indepth_measurements: u32,
+    /// Rows selected per segment in the in-depth study (paper: 50).
+    pub picks_per_segment: usize,
+    /// Rows scanned per segment (paper: 1,024).
+    pub segment_rows: u32,
+    /// Use the paper's full 4×3×3 condition grid instead of the reduced
+    /// 4×2×2 default.
+    pub full_grid: bool,
+    /// Guardbanded hammer trials per margin (paper: 10,000).
+    pub guardband_trials: u32,
+    /// Rows per module in the guardband experiment (paper: 50).
+    pub guardband_rows: usize,
+    /// Workload mixes for Fig. 14 (paper: 15).
+    pub mixes: usize,
+    /// Simulated nanoseconds per Fig.-14 run (paper: full workloads).
+    pub sim_cycles: u64,
+    /// Module names to test; empty = the full Table-1 roster.
+    pub modules: Vec<String>,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Device-model row size in bytes (smaller is faster; the paper's
+    /// rows are 8,192 bytes).
+    pub row_bytes: u32,
+    /// Output directory for JSON results.
+    pub out_dir: String,
+    /// Worker threads for per-module parallelism (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            foundational_measurements: 10_000,
+            indepth_measurements: 300,
+            picks_per_segment: 10,
+            segment_rows: 256,
+            full_grid: false,
+            guardband_trials: 1_500,
+            guardband_rows: 8,
+            mixes: 5,
+            sim_cycles: 400_000,
+            modules: Vec::new(),
+            seed: 2025,
+            row_bytes: 2048,
+            out_dir: "results".to_owned(),
+            threads: 0,
+        }
+    }
+}
+
+impl Options {
+    /// The paper's full scale.
+    pub fn paper() -> Self {
+        Options {
+            foundational_measurements: 100_000,
+            indepth_measurements: 1_000,
+            picks_per_segment: 50,
+            segment_rows: 1_024,
+            full_grid: true,
+            guardband_trials: 10_000,
+            guardband_rows: 50,
+            mixes: 15,
+            sim_cycles: 2_000_000,
+            row_bytes: 8_192,
+            ..Options::default()
+        }
+    }
+
+    /// A minimal scale for integration tests.
+    pub fn smoke() -> Self {
+        Options {
+            foundational_measurements: 60,
+            indepth_measurements: 40,
+            picks_per_segment: 2,
+            segment_rows: 48,
+            full_grid: false,
+            guardband_trials: 60,
+            guardband_rows: 2,
+            mixes: 1,
+            sim_cycles: 60_000,
+            modules: vec!["M1".into(), "S0".into(), "Chip1".into()],
+            row_bytes: 512,
+            threads: 2,
+            ..Options::default()
+        }
+    }
+
+    /// The module specs in scope.
+    pub fn specs(&self) -> Vec<vrd_dram::ModuleSpec> {
+        let all = vrd_dram::ModuleSpec::table1();
+        if self.modules.is_empty() {
+            all
+        } else {
+            all.into_iter().filter(|s| self.modules.iter().any(|m| m == &s.name)).collect()
+        }
+    }
+
+    /// The in-depth condition grid at this scale.
+    pub fn condition_grid(&self) -> Vec<vrd_dram::TestConditions> {
+        use vrd_dram::conditions::{T_AGG_ON_MIN_TRAS_NS, T_AGG_ON_TREFI_NS};
+        use vrd_dram::{DataPattern, TestConditions};
+        if self.full_grid {
+            return TestConditions::full_grid();
+        }
+        let mut grid = Vec::new();
+        for pattern in DataPattern::ALL {
+            for t in [T_AGG_ON_MIN_TRAS_NS, T_AGG_ON_TREFI_NS] {
+                for temp in [50.0, 80.0] {
+                    grid.push(TestConditions { pattern, t_agg_on_ns: t, temperature_c: temp });
+                }
+            }
+        }
+        grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scope_is_full_roster() {
+        assert_eq!(Options::default().specs().len(), 25);
+    }
+
+    #[test]
+    fn module_filter_applies() {
+        let o = Options { modules: vec!["M1".into(), "Chip0".into()], ..Options::default() };
+        let specs = o.specs();
+        assert_eq!(specs.len(), 2);
+    }
+
+    #[test]
+    fn grids() {
+        assert_eq!(Options::default().condition_grid().len(), 16);
+        assert_eq!(Options::paper().condition_grid().len(), 36);
+    }
+
+    #[test]
+    fn paper_scale_matches_paper() {
+        let p = Options::paper();
+        assert_eq!(p.foundational_measurements, 100_000);
+        assert_eq!(p.indepth_measurements, 1_000);
+        assert_eq!(p.picks_per_segment, 50);
+        assert_eq!(p.guardband_trials, 10_000);
+        assert_eq!(p.mixes, 15);
+    }
+}

@@ -1,0 +1,112 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (short rows are padded with blanks).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+        let fmt_row = |row: &[String]| {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(cell);
+                if i + 1 < widths.len() {
+                    line.extend(std::iter::repeat_n(' ', width - cell.chars().count() + 2));
+                }
+            }
+            line.trim_end().to_owned()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` fractional digits.
+pub fn f(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+/// Formats a probability in scientific notation when tiny.
+pub fn sci(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_owned()
+    } else if value.abs() < 1e-3 {
+        format!("{value:.2e}")
+    } else {
+        format!("{value:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["a", "bb"]);
+        t.row(["1", "2"]).row(["333", "4"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("1"));
+        assert!(lines[3].starts_with("333"));
+    }
+
+    #[test]
+    fn short_rows_pad() {
+        let mut t = Table::new(["x", "y", "z"]);
+        t.row(["only"]);
+        let out = t.render();
+        assert!(out.contains("only"));
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(1.48e-5), "1.48e-5");
+        assert_eq!(sci(0.5), "0.5000");
+    }
+}

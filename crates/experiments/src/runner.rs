@@ -1,0 +1,96 @@
+//! Per-module parallel execution and result persistence.
+
+use std::fs;
+use std::path::Path;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use vrd_dram::ModuleSpec;
+
+use crate::opts::Options;
+
+/// Maps `f` over the option's module specs in parallel (crossbeam scoped
+/// threads), preserving Table-1 order in the output.
+pub fn map_modules<T, F>(opts: &Options, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&ModuleSpec) -> T + Sync,
+{
+    let specs = opts.specs();
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        opts.threads
+    }
+    .min(specs.len().max(1));
+
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..specs.len()).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let out = f(&specs[i]);
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results.into_inner().into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// Writes `value` as pretty JSON to `<out_dir>/<name>.json`.
+///
+/// # Errors
+///
+/// Returns an I/O error if the directory cannot be created or the file
+/// cannot be written.
+pub fn save_json<T: Serialize>(opts: &Options, name: &str, value: &T) -> std::io::Result<()> {
+    fs::create_dir_all(&opts.out_dir)?;
+    let path = Path::new(&opts.out_dir).join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable result");
+    fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_modules_preserves_order() {
+        let mut opts = Options::smoke();
+        opts.modules = vec!["H0".into(), "M1".into(), "S0".into()];
+        let names = map_modules(&opts, |spec| spec.name.clone());
+        assert_eq!(names, vec!["H0", "M1", "S0"]);
+    }
+
+    #[test]
+    fn map_modules_parallel_matches_serial() {
+        let mut opts = Options::smoke();
+        opts.modules.clear(); // all 25
+        opts.threads = 8;
+        let parallel = map_modules(&opts, |spec| spec.rows_per_bank());
+        opts.threads = 1;
+        let serial = map_modules(&opts, |spec| spec.rows_per_bank());
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn save_json_round_trips() {
+        let mut opts = Options::smoke();
+        opts.out_dir = std::env::temp_dir()
+            .join(format!("vrd-test-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        save_json(&opts, "probe", &vec![1, 2, 3]).unwrap();
+        let content =
+            std::fs::read_to_string(Path::new(&opts.out_dir).join("probe.json")).unwrap();
+        let back: Vec<i32> = serde_json::from_str(&content).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        let _ = std::fs::remove_dir_all(&opts.out_dir);
+    }
+}

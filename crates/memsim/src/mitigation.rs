@@ -1,0 +1,564 @@
+//! Read-disturbance mitigation mechanisms (paper §6.3, Fig. 14).
+//!
+//! Four mechanisms, configured by an effective read-disturbance
+//! threshold (the RDT minus any guardband):
+//!
+//! - [`Graphene`] — memory-controller-side Misra–Gries counter table;
+//!   preventively refreshes an aggressor's neighbors when its counter
+//!   reaches `RDT/4` \[Park et al., MICRO'20\].
+//! - [`Para`] — stateless probabilistic refresh: every activation
+//!   triggers a neighbor refresh with probability `∝ 1/RDT`
+//!   \[Kim et al., ISCA'14\].
+//! - [`Prac`] — in-DRAM per-row activation counters with back-off: when
+//!   a row's counter crosses the alert threshold the DRAM raises ABO and
+//!   the controller issues RFMs, blocking the channel
+//!   \[JEDEC JESD79-5C\].
+//! - [`Mint`] — minimalist in-DRAM tracker: one mitigation per tREFI
+//!   suffices when the RDT exceeds the activations-per-tREFI bound;
+//!   below it, periodic RFMs are inserted every `RDT/2` activations
+//!   \[Qureshi et al., 2024\].
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Action requested by a mitigation in response to an activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MitigationAction {
+    /// Refresh the two neighbors of `(bank, row)` — blocks that bank for
+    /// one RFM duration.
+    RefreshNeighbors {
+        /// Bank of the aggressor.
+        bank: usize,
+        /// Aggressor row.
+        row: u32,
+    },
+    /// Block one bank for the given duration in nanoseconds (a per-bank
+    /// RFM slot).
+    BlockBank {
+        /// Bank to block.
+        bank: usize,
+        /// Block duration (ns).
+        duration: u64,
+    },
+    /// Block the whole channel (ABO back-off / RFM-all) for the given
+    /// duration in nanoseconds.
+    BlockChannel {
+        /// Block duration (ns).
+        duration: u64,
+    },
+}
+
+/// A read-disturbance mitigation mechanism.
+pub trait Mitigation: std::fmt::Debug {
+    /// Called on every row activation; returns preventive actions.
+    fn on_activate(&mut self, bank: usize, row: u32, now: u64) -> Vec<MitigationAction>;
+
+    /// Called on every periodic refresh; returns preventive actions
+    /// (counters may also be maintained here).
+    fn on_refresh(&mut self, now: u64) -> Vec<MitigationAction> {
+        let _ = now;
+        Vec::new()
+    }
+
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+}
+
+/// Which mitigation to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MitigationKind {
+    /// No mitigation (the baseline system).
+    None,
+    /// Graphene counter tables.
+    Graphene,
+    /// PARA probabilistic refresh.
+    Para,
+    /// PRAC per-row counters with back-off.
+    Prac,
+    /// MINT minimalist in-DRAM tracker.
+    Mint,
+    /// BlockHammer-style throttling of rapidly activated rows (an
+    /// extension beyond the paper's Fig. 14 set; the paper cites
+    /// throttling defenses in §2.3).
+    BlockHammer,
+}
+
+impl MitigationKind {
+    /// All mitigations evaluated in Fig. 14 (excluding the baseline).
+    pub const EVALUATED: [MitigationKind; 4] = [
+        MitigationKind::Graphene,
+        MitigationKind::Prac,
+        MitigationKind::Para,
+        MitigationKind::Mint,
+    ];
+
+    /// The extended set including throttling (BlockHammer).
+    pub const EXTENDED: [MitigationKind; 5] = [
+        MitigationKind::Graphene,
+        MitigationKind::Prac,
+        MitigationKind::Para,
+        MitigationKind::Mint,
+        MitigationKind::BlockHammer,
+    ];
+
+    /// Instantiates the mechanism for an effective threshold.
+    pub fn build(self, threshold: u32, banks: usize, seed: u64) -> Box<dyn Mitigation> {
+        match self {
+            MitigationKind::None => Box::new(NoMitigation),
+            MitigationKind::Graphene => Box::new(Graphene::new(threshold, banks)),
+            MitigationKind::Para => Box::new(Para::new(threshold, seed)),
+            MitigationKind::Prac => Box::new(Prac::new(threshold)),
+            MitigationKind::Mint => Box::new(Mint::new(threshold)),
+            MitigationKind::BlockHammer => Box::new(BlockHammer::new(threshold)),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MitigationKind::None => "Baseline",
+            MitigationKind::Graphene => "Graphene",
+            MitigationKind::Para => "PARA",
+            MitigationKind::Prac => "PRAC",
+            MitigationKind::Mint => "MINT",
+            MitigationKind::BlockHammer => "BlockHammer",
+        }
+    }
+}
+
+/// The baseline: never acts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMitigation;
+
+impl Mitigation for NoMitigation {
+    fn on_activate(&mut self, _bank: usize, _row: u32, _now: u64) -> Vec<MitigationAction> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+}
+
+/// Graphene: per-bank Misra–Gries tables.
+#[derive(Debug)]
+pub struct Graphene {
+    /// Preventive-refresh trigger count (`RDT / 4`).
+    trigger: u32,
+    /// Counter table capacity per bank.
+    capacity: usize,
+    tables: Vec<HashMap<u32, u32>>,
+    /// Misra–Gries spillover counters.
+    spill: Vec<u32>,
+}
+
+impl Graphene {
+    /// Builds tables sized for the activation budget of one refresh
+    /// window (`tREFW / tRC` activations) divided by the trigger count.
+    pub fn new(threshold: u32, banks: usize) -> Self {
+        let trigger = (threshold / 4).max(1);
+        let acts_per_window = 32_000_000 / 46; // DDR5 tREFW / tRC
+        let capacity = ((acts_per_window / u64::from(trigger)) as usize).clamp(16, 4096);
+        Graphene {
+            trigger,
+            capacity,
+            tables: (0..banks).map(|_| HashMap::new()).collect(),
+            spill: vec![0; banks],
+        }
+    }
+
+    /// The preventive-refresh trigger count.
+    pub fn trigger(&self) -> u32 {
+        self.trigger
+    }
+}
+
+impl Mitigation for Graphene {
+    fn on_activate(&mut self, bank: usize, row: u32, _now: u64) -> Vec<MitigationAction> {
+        let table = &mut self.tables[bank];
+        let count = if let Some(c) = table.get_mut(&row) {
+            *c += 1;
+            *c
+        } else if table.len() < self.capacity {
+            table.insert(row, self.spill[bank] + 1);
+            self.spill[bank] + 1
+        } else {
+            // Misra–Gries: increment the spillover and evict entries that
+            // fall to it.
+            self.spill[bank] += 1;
+            let spill = self.spill[bank];
+            table.retain(|_, c| *c > spill);
+            return Vec::new();
+        };
+        if count >= self.trigger {
+            table.insert(row, 0);
+            vec![MitigationAction::RefreshNeighbors { bank, row }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Graphene"
+    }
+}
+
+/// PARA: refresh neighbors with probability `p = 10 / RDT` per
+/// activation.
+#[derive(Debug)]
+pub struct Para {
+    p: f64,
+    rng: ChaCha12Rng,
+}
+
+impl Para {
+    /// Probability constant: `p = PARA_CONSTANT / threshold`. The value
+    /// follows the security argument that an aggressor must survive
+    /// `threshold` activations unrefreshed with negligible probability:
+    /// `(1 - p)^T < 1e-13` gives `p ≈ 30 / T`.
+    pub const PARA_CONSTANT: f64 = 30.0;
+
+    /// Creates PARA for the given effective threshold.
+    pub fn new(threshold: u32, seed: u64) -> Self {
+        Para {
+            p: (Self::PARA_CONSTANT / f64::from(threshold.max(1))).min(1.0),
+            rng: ChaCha12Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The per-activation refresh probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Mitigation for Para {
+    fn on_activate(&mut self, bank: usize, row: u32, _now: u64) -> Vec<MitigationAction> {
+        if self.rng.gen_bool(self.p) {
+            vec![MitigationAction::RefreshNeighbors { bank, row }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "PARA"
+    }
+}
+
+/// PRAC: per-row activation counters with alert back-off.
+#[derive(Debug)]
+pub struct Prac {
+    /// Alert threshold (three quarters of the effective RDT — the JEDEC
+    /// NBO margin leaves room for in-flight activations).
+    alert: u32,
+    counters: HashMap<(usize, u32), u32>,
+    /// Channel-wide stall of the ABO handshake (ns).
+    backoff_ns: u64,
+}
+
+impl Prac {
+    /// Creates PRAC for the given effective threshold.
+    pub fn new(threshold: u32) -> Self {
+        Prac {
+            alert: (threshold * 3 / 4).max(1),
+            counters: HashMap::new(),
+            backoff_ns: 100,
+        }
+    }
+}
+
+impl Mitigation for Prac {
+    fn on_activate(&mut self, bank: usize, row: u32, _now: u64) -> Vec<MitigationAction> {
+        let c = self.counters.entry((bank, row)).or_insert(0);
+        *c += 1;
+        if *c >= self.alert {
+            *c = 0;
+            // The alerted DRAM refreshes the aggressor's neighbors during
+            // the RFM the controller issues, and the ABO handshake stalls
+            // the channel briefly.
+            vec![
+                MitigationAction::RefreshNeighbors { bank, row },
+                MitigationAction::BlockChannel { duration: self.backoff_ns },
+            ]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "PRAC"
+    }
+}
+
+/// MINT: one tracked mitigation per tREFI, plus inserted RFMs when the
+/// threshold is below the per-tREFI activation bound.
+#[derive(Debug)]
+pub struct Mint {
+    /// Activations between inserted RFMs; `None` when the threshold is
+    /// high enough that the per-REF mitigation alone is secure.
+    rfm_interval: Option<u32>,
+    acts: u32,
+    /// RFM duration (ns).
+    rfm_ns: u64,
+    /// The row MINT currently tracks for the REF-time mitigation.
+    selected: Option<(usize, u32)>,
+}
+
+impl Mint {
+    /// Activations that fit in one tREFI at back-to-back row cycles.
+    pub const ACTS_PER_TREFI: u32 = 3900 / 46;
+
+    /// Creates MINT for the given effective threshold.
+    pub fn new(threshold: u32) -> Self {
+        let rfm_interval =
+            if threshold >= Self::ACTS_PER_TREFI { None } else { Some((threshold / 2).max(1)) };
+        Mint { rfm_interval, acts: 0, rfm_ns: 350, selected: None }
+    }
+
+    /// Whether this configuration inserts extra RFMs.
+    pub fn inserts_rfms(&self) -> bool {
+        self.rfm_interval.is_some()
+    }
+}
+
+impl Mitigation for Mint {
+    fn on_activate(&mut self, bank: usize, row: u32, _now: u64) -> Vec<MitigationAction> {
+        // Reservoir-style selection: remember the most recent activation
+        // (a 1-deep uniform sampler is enough for the overhead study).
+        self.selected = Some((bank, row));
+        if let Some(interval) = self.rfm_interval {
+            self.acts += 1;
+            if self.acts >= interval {
+                self.acts = 0;
+                return vec![MitigationAction::BlockChannel { duration: self.rfm_ns }];
+            }
+        }
+        Vec::new()
+    }
+
+    fn on_refresh(&mut self, _now: u64) -> Vec<MitigationAction> {
+        // The per-REF mitigation refreshes the sampled row's neighbors
+        // inside the REF envelope — modeled as one neighbor refresh.
+        match self.selected.take() {
+            Some((bank, row)) => vec![MitigationAction::RefreshNeighbors { bank, row }],
+            None => Vec::new(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "MINT"
+    }
+}
+
+/// BlockHammer-style throttling: rows whose activation count within a
+/// blacklisting window exceeds a quota derived from the threshold get
+/// their subsequent activations delayed, so the row physically cannot
+/// reach the threshold before the refresh window resets it.
+#[derive(Debug)]
+pub struct BlockHammer {
+    /// Activation quota per window before throttling engages.
+    quota: u32,
+    /// Throttle delay applied per over-quota activation (ns).
+    throttle_ns: u64,
+    counters: HashMap<(usize, u32), u32>,
+    /// Activations seen since the last window reset.
+    window_acts: u64,
+    /// Window length in activations (≈ one refresh window of row cycles).
+    window_len: u64,
+}
+
+impl BlockHammer {
+    /// Creates BlockHammer for the given effective threshold.
+    pub fn new(threshold: u32) -> Self {
+        // The row may receive at most `threshold` activations per
+        // refresh window; throttle from half that, with a delay sized so
+        // the remaining budget cannot be spent within the window.
+        let quota = (threshold / 2).max(1);
+        let window_len = 32_000_000 / 46; // tREFW / tRC activations
+        let spare = u64::from(quota);
+        // Delay per throttled ACT so `spare` more ACTs span > tREFW.
+        let throttle_ns = (32_000_000 / spare.max(1)).max(100);
+        BlockHammer { quota, throttle_ns, counters: HashMap::new(), window_acts: 0, window_len }
+    }
+
+    /// The activation quota before throttling.
+    pub fn quota(&self) -> u32 {
+        self.quota
+    }
+}
+
+impl Mitigation for BlockHammer {
+    fn on_activate(&mut self, bank: usize, row: u32, _now: u64) -> Vec<MitigationAction> {
+        self.window_acts += 1;
+        if self.window_acts >= self.window_len {
+            self.window_acts = 0;
+            self.counters.clear();
+        }
+        let c = self.counters.entry((bank, row)).or_insert(0);
+        *c += 1;
+        if *c > self.quota {
+            vec![MitigationAction::BlockBank { bank, duration: self.throttle_ns }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "BlockHammer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_never_acts() {
+        let mut m = MitigationKind::None.build(128, 4, 0);
+        for i in 0..1000 {
+            assert!(m.on_activate(0, i % 7, u64::from(i)).is_empty());
+        }
+    }
+
+    #[test]
+    fn graphene_triggers_at_quarter_threshold() {
+        let mut g = Graphene::new(1024, 2);
+        assert_eq!(g.trigger(), 256);
+        let mut refreshes = 0;
+        for _ in 0..256 {
+            refreshes += g.on_activate(0, 42, 0).len();
+        }
+        assert_eq!(refreshes, 1, "the 256th activation of one row must trigger");
+    }
+
+    #[test]
+    fn graphene_tracks_heavy_hitters_despite_noise() {
+        let mut g = Graphene::new(1024, 1);
+        let mut refreshed_hot = false;
+        for i in 0..100_000u32 {
+            // One hot row hammered among a stream of one-off rows.
+            let row = if i % 3 == 0 { 7 } else { 1000 + i };
+            for a in g.on_activate(0, row, 0) {
+                if a == (MitigationAction::RefreshNeighbors { bank: 0, row: 7 }) {
+                    refreshed_hot = true;
+                }
+            }
+        }
+        assert!(refreshed_hot, "Graphene must catch the heavy hitter");
+    }
+
+    #[test]
+    fn para_probability_scales_inverse_threshold() {
+        let p_high = Para::new(1024, 0);
+        let p_low = Para::new(128, 0);
+        assert!((p_high.probability() - 30.0 / 1024.0).abs() < 1e-12);
+        assert!((p_low.probability() - 30.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn para_empirical_rate_matches_p() {
+        let mut para = Para::new(300, 9); // p = 0.1
+        let mut hits = 0;
+        for i in 0..20_000u32 {
+            hits += para.on_activate(0, i, 0).len();
+        }
+        let rate = f64::from(hits as u32) / 20_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn prac_backs_off_at_alert() {
+        let mut prac = Prac::new(128);
+        let mut actions = Vec::new();
+        for _ in 0..96 {
+            actions = prac.on_activate(1, 5, 0);
+        }
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(actions[1], MitigationAction::BlockChannel { .. }));
+        // Counter reset: the next 95 activations are free.
+        for _ in 0..95 {
+            assert!(prac.on_activate(1, 5, 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn mint_inserts_no_rfms_at_high_threshold() {
+        let mint = Mint::new(1024);
+        assert!(!mint.inserts_rfms());
+        let mut m = Mint::new(1024);
+        for i in 0..10_000u32 {
+            assert!(m.on_activate(0, i % 3, 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn mint_inserts_rfms_at_low_threshold() {
+        // Effective threshold 64 < ACTS_PER_TREFI (84): RFM every 32 acts.
+        let mut m = Mint::new(64);
+        assert!(m.inserts_rfms());
+        let mut blocks = 0;
+        for i in 0..320u32 {
+            for a in m.on_activate(0, i, 0) {
+                if matches!(a, MitigationAction::BlockChannel { .. }) {
+                    blocks += 1;
+                }
+            }
+        }
+        assert_eq!(blocks, 10);
+    }
+
+    #[test]
+    fn mint_mitigates_sampled_row_at_refresh() {
+        let mut m = Mint::new(1024);
+        m.on_activate(3, 77, 0);
+        let actions = m.on_refresh(3900);
+        assert_eq!(actions, vec![MitigationAction::RefreshNeighbors { bank: 3, row: 77 }]);
+        assert!(m.on_refresh(7800).is_empty(), "nothing sampled since");
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(MitigationKind::Graphene.name(), "Graphene");
+        assert_eq!(MitigationKind::EVALUATED.len(), 4);
+        assert_eq!(MitigationKind::EXTENDED.len(), 5);
+        assert_eq!(MitigationKind::BlockHammer.name(), "BlockHammer");
+    }
+
+    #[test]
+    fn blockhammer_throttles_over_quota() {
+        let mut bh = BlockHammer::new(128);
+        assert_eq!(bh.quota(), 64);
+        for _ in 0..64 {
+            assert!(bh.on_activate(0, 9, 0).is_empty());
+        }
+        let actions = bh.on_activate(0, 9, 0);
+        assert!(matches!(actions[..], [MitigationAction::BlockBank { bank: 0, .. }]));
+    }
+
+    #[test]
+    fn blockhammer_ignores_benign_rows() {
+        let mut bh = BlockHammer::new(1024);
+        for i in 0..10_000u32 {
+            assert!(bh.on_activate(0, i, 0).is_empty(), "one-shot rows never throttle");
+        }
+    }
+
+    #[test]
+    fn blockhammer_window_resets_counters() {
+        let mut bh = BlockHammer::new(64);
+        // Exceed the quota, then push past the window length with other
+        // rows; the hot row's counter must clear.
+        for _ in 0..40 {
+            bh.on_activate(0, 1, 0);
+        }
+        let window = 32_000_000 / 46;
+        for i in 0..window as u32 {
+            bh.on_activate(0, 1000 + i, 0);
+        }
+        assert!(bh.on_activate(0, 1, 0).is_empty(), "window reset must clear counters");
+    }
+}

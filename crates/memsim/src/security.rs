@@ -1,0 +1,260 @@
+//! Security analysis: do mitigations configured with a *measured* RDT
+//! actually prevent bitflips when the row's true threshold varies?
+//!
+//! This operationalizes the paper's central claim (§6.1): "the RDT value
+//! used to configure a mitigation technique cannot be larger than the
+//! one experienced (at any time) by any victim DRAM row … otherwise the
+//! mitigation's security guarantees are compromised."
+//!
+//! The model: an attacker hammers one aggressor row continuously. The
+//! victim's *instantaneous* RDT for each inter-refresh epoch is drawn
+//! from an empirical VRD distribution (e.g. a measured
+//! `vrd-core` series). The mitigation — configured with some threshold —
+//! occasionally refreshes the victim, resetting the accumulated hammer
+//! count. An **escape** occurs whenever the accumulated count reaches
+//! the epoch's true RDT before a preventive refresh lands.
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::mitigation::{MitigationAction, MitigationKind};
+
+/// Configuration of one attack simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackConfig {
+    /// Total aggressor activations the attacker issues.
+    pub activations: u64,
+    /// The victim row's empirical RDT distribution (drawn per epoch).
+    pub rdt_distribution: Vec<u32>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl AttackConfig {
+    /// A default attack of 2M activations against the given measured
+    /// distribution.
+    pub fn new(rdt_distribution: Vec<u32>, seed: u64) -> Self {
+        assert!(!rdt_distribution.is_empty(), "need a non-empty RDT distribution");
+        AttackConfig { activations: 2_000_000, rdt_distribution, seed }
+    }
+}
+
+/// Result of one attack simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackResult {
+    /// Activations issued.
+    pub activations: u64,
+    /// Preventive refreshes the mitigation performed on the victim.
+    pub preventive_refreshes: u64,
+    /// Escapes: epochs in which the accumulated count reached the true
+    /// RDT before a preventive refresh.
+    pub escapes: u64,
+}
+
+impl AttackResult {
+    /// Escapes per million attacker activations.
+    pub fn escapes_per_million(&self) -> f64 {
+        self.escapes as f64 / (self.activations as f64 / 1e6)
+    }
+
+    /// Whether the mitigation held (no escape at all).
+    pub fn secure(&self) -> bool {
+        self.escapes == 0
+    }
+}
+
+/// Simulates a continuous one-row hammer attack against a mitigation
+/// configured with `configured_threshold`.
+///
+/// The victim's true RDT is redrawn from the empirical distribution
+/// after every restoration of the victim (preventive refresh or escape),
+/// modelling VRD's unpredictable epoch-to-epoch threshold changes.
+pub fn simulate_attack(
+    kind: MitigationKind,
+    configured_threshold: u32,
+    config: &AttackConfig,
+) -> AttackResult {
+    let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+    let mut mitigation = kind.build(configured_threshold, 1, config.seed);
+    let dist = &config.rdt_distribution;
+    let draw_rdt =
+        |rng: &mut ChaCha12Rng| -> u64 { u64::from(dist[rng.gen_range(0..dist.len())]) };
+
+    let bank = 0usize;
+    let aggressor_row = 7u32;
+    let mut accumulated = 0u64;
+    let mut true_rdt = draw_rdt(&mut rng);
+    let mut escapes = 0u64;
+    let mut preventive = 0u64;
+    // The attacker saturates one bank: one ACT per tRC (46 ns), slowed
+    // down by any blocking actions (throttling, back-offs). The victim
+    // is restored by periodic refresh once per tREFW of wall-clock time.
+    const T_RC_NS: u64 = 46;
+    const T_REFW_NS: u64 = 32_000_000;
+    let mut time_ns = 0u64;
+    let mut next_periodic = T_REFW_NS;
+
+    for act in 0..config.activations {
+        time_ns += T_RC_NS;
+        accumulated += 1;
+        let mut restored = false;
+        if accumulated >= true_rdt {
+            escapes += 1;
+            restored = true;
+        }
+        for action in mitigation.on_activate(bank, aggressor_row, act) {
+            match action {
+                MitigationAction::RefreshNeighbors { .. } => {
+                    preventive += 1;
+                    restored = true;
+                }
+                // Blocking actions slow the attacker down but do not
+                // restore the victim directly.
+                MitigationAction::BlockBank { duration, .. }
+                | MitigationAction::BlockChannel { duration } => {
+                    time_ns += duration;
+                }
+            }
+        }
+        while time_ns >= next_periodic {
+            next_periodic += T_REFW_NS;
+            restored = true;
+            // MINT's REF-time mitigation also lands here.
+            for action in mitigation.on_refresh(act) {
+                if matches!(action, MitigationAction::RefreshNeighbors { .. }) {
+                    preventive += 1;
+                }
+            }
+        }
+        if restored {
+            accumulated = 0;
+            true_rdt = draw_rdt(&mut rng);
+        }
+    }
+    AttackResult { activations: config.activations, preventive_refreshes: preventive, escapes }
+}
+
+/// Sweeps configured thresholds derived from N-measurement estimates of
+/// the distribution's minimum with different guardbands, reporting the
+/// escape rate of each — the "inaccurate RDT ⇒ insecure" curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SecuritySweep {
+    /// `(margin, configured threshold, escapes per million)` rows.
+    pub points: Vec<(f64, u32, f64)>,
+    /// The distribution's true minimum.
+    pub true_min: u32,
+    /// The N-measurement estimate the margins were applied to.
+    pub estimated_min: u32,
+}
+
+/// Runs the sweep for one mitigation: estimate the minimum from
+/// `estimate_n` random draws (as a vendor with limited test time would),
+/// then configure with margins `0%, 10%, 25%, 50%` below that estimate.
+pub fn security_sweep(
+    kind: MitigationKind,
+    config: &AttackConfig,
+    estimate_n: usize,
+) -> SecuritySweep {
+    let mut rng = ChaCha12Rng::seed_from_u64(config.seed ^ 0xEC0);
+    let dist = &config.rdt_distribution;
+    let estimated_min = (0..estimate_n.max(1))
+        .map(|_| dist[rng.gen_range(0..dist.len())])
+        .min()
+        .expect("estimate_n >= 1");
+    let true_min = *dist.iter().min().expect("non-empty");
+
+    let mut points = Vec::new();
+    for margin in [0.0f64, 0.10, 0.25, 0.50] {
+        let configured =
+            ((f64::from(estimated_min)) * (1.0 - margin)).floor().max(1.0) as u32;
+        let result = simulate_attack(kind, configured, config);
+        points.push((margin, configured, result.escapes_per_million()));
+    }
+    SecuritySweep { points, true_min, estimated_min }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A VRD-like distribution: bulk near 5000, rare dips to 3500.
+    fn vrd_distribution() -> Vec<u32> {
+        let mut d: Vec<u32> = (0..990).map(|i| 4_800 + (i % 17) * 25).collect();
+        d.extend([3_500, 3_520, 3_540, 3_560, 3_580, 3_600, 3_650, 3_700, 3_750, 3_800]);
+        d
+    }
+
+    #[test]
+    fn correctly_configured_graphene_is_secure() {
+        // Configured at the true minimum: Graphene refreshes at
+        // threshold/4, far before any epoch's RDT.
+        let config = AttackConfig::new(vrd_distribution(), 1);
+        let result = simulate_attack(MitigationKind::Graphene, 3_500, &config);
+        assert!(result.secure(), "true-min config must hold, {} escapes", result.escapes);
+        assert!(result.preventive_refreshes > 0);
+    }
+
+    #[test]
+    fn overconfigured_graphene_leaks() {
+        // Configured with the *bulk* RDT (as a few measurements would
+        // suggest): rare low-RDT epochs escape.
+        let config = AttackConfig::new(vrd_distribution(), 2);
+        let result = simulate_attack(MitigationKind::Graphene, 3_500 * 5, &config);
+        assert!(
+            !result.secure(),
+            "a 5x-too-high configuration must leak (trigger = threshold/4 > low epochs)"
+        );
+    }
+
+    #[test]
+    fn guardband_reduces_escapes_monotonically() {
+        let config = AttackConfig::new(vrd_distribution(), 3);
+        // Estimate from only 3 measurements: almost surely misses the
+        // 1% low tail.
+        let sweep = security_sweep(MitigationKind::Graphene, &config, 3);
+        assert!(sweep.estimated_min >= sweep.true_min);
+        let rates: Vec<f64> = sweep.points.iter().map(|(_, _, r)| *r).collect();
+        for pair in rates.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-9, "wider margins must not leak more: {rates:?}");
+        }
+    }
+
+    #[test]
+    fn prac_secure_when_configured_at_true_min() {
+        let config = AttackConfig::new(vrd_distribution(), 4);
+        let result = simulate_attack(MitigationKind::Prac, 3_500, &config);
+        assert!(result.secure(), "{} escapes", result.escapes);
+    }
+
+    #[test]
+    fn para_escape_rate_shrinks_with_lower_threshold() {
+        let config = AttackConfig::new(vrd_distribution(), 5);
+        let loose = simulate_attack(MitigationKind::Para, 12_000, &config);
+        let tight = simulate_attack(MitigationKind::Para, 3_500, &config);
+        assert!(tight.escapes <= loose.escapes);
+    }
+
+    #[test]
+    fn blockhammer_throttling_is_secure_at_true_min() {
+        // Throttling never refreshes the victim, but it stretches the
+        // attack across refresh windows so the threshold is unreachable.
+        let config = AttackConfig::new(vrd_distribution(), 7);
+        let result = simulate_attack(MitigationKind::BlockHammer, 3_500, &config);
+        assert!(result.secure(), "{} escapes", result.escapes);
+    }
+
+    #[test]
+    fn baseline_always_leaks() {
+        let config = AttackConfig::new(vrd_distribution(), 6);
+        let result = simulate_attack(MitigationKind::None, 3_500, &config);
+        assert!(result.escapes > 100, "no mitigation ⇒ steady escapes, got {}", result.escapes);
+    }
+
+    #[test]
+    fn escape_rate_units() {
+        let r = AttackResult { activations: 2_000_000, preventive_refreshes: 0, escapes: 4 };
+        assert!((r.escapes_per_million() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Memory-trace capture and replay.
+//!
+//! The paper drives Ramulator with SPEC/TPC/MediaBench/YCSB traces. This
+//! module gives the simulator the same workflow: capture a synthetic
+//! stream into a portable trace, save/load it as JSON, and replay it
+//! through the same core model — so externally produced traces can be
+//! plugged in without touching the simulator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::workload::{Access, AccessStream, WorkloadParams};
+
+/// One trace record: a memory access (LLC miss) of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Target bank.
+    pub bank: usize,
+    /// Target row.
+    pub row: u32,
+}
+
+/// A recorded access trace for one core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Instructions between consecutive misses (constant-rate model).
+    pub instructions_per_miss: u64,
+    /// The accesses, in order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Records `length` accesses from a synthetic workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero.
+    pub fn record(params: WorkloadParams, banks: usize, seed: u64, length: usize) -> Self {
+        assert!(length > 0, "trace needs at least one access");
+        let mut stream = AccessStream::new(params, banks, seed);
+        let entries = (0..length)
+            .map(|_| {
+                let a = stream.next_access();
+                TraceEntry { bank: a.bank, row: a.row }
+            })
+            .collect();
+        Trace { instructions_per_miss: stream.instructions_per_miss(), entries }
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serializes")
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// A replaying stream over this trace (loops at the end, as
+    /// simulators conventionally do for short traces).
+    pub fn stream(&self) -> TraceStream<'_> {
+        TraceStream { trace: self, pos: 0 }
+    }
+
+    /// Number of distinct `(bank, row)` pairs touched.
+    pub fn footprint(&self) -> usize {
+        let mut set: Vec<(usize, u32)> = self.entries.iter().map(|e| (e.bank, e.row)).collect();
+        set.sort_unstable();
+        set.dedup();
+        set.len()
+    }
+}
+
+/// A looping replay cursor over a [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceStream<'a> {
+    trace: &'a Trace,
+    pos: usize,
+}
+
+impl TraceStream<'_> {
+    /// Instructions between misses, from the recorded trace.
+    pub fn instructions_per_miss(&self) -> u64 {
+        self.trace.instructions_per_miss
+    }
+
+    /// The next access (wrapping at the end of the trace).
+    pub fn next_access(&mut self) -> Access {
+        let e = self.trace.entries[self.pos];
+        self.pos = (self.pos + 1) % self.trace.entries.len();
+        Access { bank: e.bank, row: e.row }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace::record(WorkloadParams::memory_intensive(30.0), 8, 5, 500)
+    }
+
+    #[test]
+    fn record_matches_live_stream() {
+        let trace = sample_trace();
+        let mut live = AccessStream::new(WorkloadParams::memory_intensive(30.0), 8, 5);
+        for e in &trace.entries {
+            let a = live.next_access();
+            assert_eq!((e.bank, e.row), (a.bank, a.row));
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let trace = sample_trace();
+        let back = Trace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(Trace::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn stream_replays_and_loops() {
+        let trace = sample_trace();
+        let mut s = trace.stream();
+        let first: Vec<Access> = (0..trace.entries.len()).map(|_| s.next_access()).collect();
+        // One full pass later, it repeats.
+        let again = s.next_access();
+        assert_eq!(again, first[0]);
+        assert_eq!(s.instructions_per_miss(), trace.instructions_per_miss);
+    }
+
+    #[test]
+    fn footprint_counts_unique_addresses() {
+        let trace = Trace {
+            instructions_per_miss: 10,
+            entries: vec![
+                TraceEntry { bank: 0, row: 1 },
+                TraceEntry { bank: 0, row: 1 },
+                TraceEntry { bank: 1, row: 1 },
+            ],
+        };
+        assert_eq!(trace.footprint(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_record_panics() {
+        Trace::record(WorkloadParams::memory_intensive(30.0), 4, 0, 0);
+    }
+}

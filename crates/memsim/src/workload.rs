@@ -1,0 +1,201 @@
+//! Synthetic memory-intensive workloads.
+//!
+//! The paper builds 15 four-core "highly memory intensive" mixes (LLC
+//! MPKI ≥ 20) from SPEC CPU2006/2017, TPC, MediaBench, and YCSB. We have
+//! no SPEC traces, so each core runs a synthetic address stream with the
+//! knobs that determine mitigation overhead: memory intensity (MPKI),
+//! row-buffer locality, bank spread, and a hot-row skew (high-activation
+//! rows are what trip read-disturbance trackers).
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one core's synthetic access stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// Last-level-cache misses per kilo-instruction.
+    pub mpki: f64,
+    /// Probability that the next access targets the same row as the
+    /// previous access to that bank (row-buffer locality).
+    pub row_locality: f64,
+    /// Number of distinct rows in the working set per bank.
+    pub rows_per_bank: u32,
+    /// Zipf-like skew: fraction of misses hitting the hottest few rows.
+    pub hot_fraction: f64,
+    /// Number of hot rows per bank.
+    pub hot_rows: u32,
+}
+
+impl WorkloadParams {
+    /// A highly memory intensive profile (LLC MPKI ≥ 20), the paper's
+    /// selection criterion.
+    pub fn memory_intensive(mpki: f64) -> Self {
+        WorkloadParams {
+            mpki,
+            row_locality: 0.4,
+            rows_per_bank: 512,
+            hot_fraction: 0.5,
+            hot_rows: 4,
+        }
+    }
+
+    /// The paper's 15 four-core mixes, approximated as parameter
+    /// quadruples with varying intensity and locality.
+    pub fn paper_mixes() -> Vec<[WorkloadParams; 4]> {
+        let mut mixes = Vec::with_capacity(15);
+        for i in 0..15u32 {
+            let base = 20.0 + f64::from(i % 5) * 8.0;
+            let locality = 0.25 + f64::from(i % 3) * 0.2;
+            let mk = |mpki: f64, loc: f64| WorkloadParams {
+                mpki,
+                row_locality: loc,
+                rows_per_bank: 256 + (i % 4) * 256,
+                hot_fraction: 0.35 + f64::from(i % 4) * 0.1,
+                hot_rows: 2 + i % 6,
+            };
+            mixes.push([
+                mk(base, locality),
+                mk(base + 10.0, locality * 0.8),
+                mk(base + 5.0, (locality * 1.2).min(0.9)),
+                mk(base + 15.0, locality),
+            ]);
+        }
+        mixes
+    }
+}
+
+/// One memory request address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// Target bank.
+    pub bank: usize,
+    /// Target row.
+    pub row: u32,
+}
+
+/// Stateful generator of one core's access stream.
+#[derive(Debug, Clone)]
+pub struct AccessStream {
+    params: WorkloadParams,
+    banks: usize,
+    rng: ChaCha12Rng,
+    last_row: Vec<Option<u32>>,
+}
+
+impl AccessStream {
+    /// Creates a stream over `banks` banks, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero or the parameters are out of range.
+    pub fn new(params: WorkloadParams, banks: usize, seed: u64) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        assert!(params.mpki > 0.0, "mpki must be positive");
+        assert!((0.0..=1.0).contains(&params.row_locality), "locality is a probability");
+        assert!(params.rows_per_bank > 0 && params.hot_rows > 0, "row counts must be nonzero");
+        AccessStream {
+            params,
+            banks,
+            rng: ChaCha12Rng::seed_from_u64(seed),
+            last_row: vec![None; banks],
+        }
+    }
+
+    /// Instructions between memory requests (`1000 / mpki`).
+    pub fn instructions_per_miss(&self) -> u64 {
+        (1000.0 / self.params.mpki).round().max(1.0) as u64
+    }
+
+    /// Draws the next access.
+    pub fn next_access(&mut self) -> Access {
+        let bank = self.rng.gen_range(0..self.banks);
+        if let Some(last) = self.last_row[bank] {
+            if self.rng.gen_bool(self.params.row_locality) {
+                return Access { bank, row: last };
+            }
+        }
+        let row = if self.rng.gen_bool(self.params.hot_fraction) {
+            self.rng.gen_range(0..self.params.hot_rows)
+        } else {
+            self.rng.gen_range(0..self.params.rows_per_bank)
+        };
+        self.last_row[bank] = Some(row);
+        Access { bank, row }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let p = WorkloadParams::memory_intensive(30.0);
+        let mut a = AccessStream::new(p, 8, 5);
+        let mut b = AccessStream::new(p, 8, 5);
+        for _ in 0..100 {
+            assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+
+    #[test]
+    fn instructions_per_miss_inverse_of_mpki() {
+        let s = AccessStream::new(WorkloadParams::memory_intensive(40.0), 4, 0);
+        assert_eq!(s.instructions_per_miss(), 25);
+    }
+
+    #[test]
+    fn addresses_stay_in_range() {
+        let p = WorkloadParams::memory_intensive(25.0);
+        let mut s = AccessStream::new(p, 16, 1);
+        for _ in 0..1000 {
+            let a = s.next_access();
+            assert!(a.bank < 16);
+            assert!(a.row < p.rows_per_bank);
+        }
+    }
+
+    #[test]
+    fn hot_rows_dominate_with_full_skew() {
+        let p = WorkloadParams {
+            mpki: 30.0,
+            row_locality: 0.0,
+            rows_per_bank: 1000,
+            hot_fraction: 1.0,
+            hot_rows: 2,
+        };
+        let mut s = AccessStream::new(p, 2, 3);
+        for _ in 0..500 {
+            assert!(s.next_access().row < 2);
+        }
+    }
+
+    #[test]
+    fn locality_repeats_rows() {
+        let p = WorkloadParams {
+            mpki: 30.0,
+            row_locality: 1.0,
+            rows_per_bank: 1000,
+            hot_fraction: 0.0,
+            hot_rows: 1,
+        };
+        let mut s = AccessStream::new(p, 1, 9);
+        let first = s.next_access();
+        for _ in 0..100 {
+            assert_eq!(s.next_access().row, first.row);
+        }
+    }
+
+    #[test]
+    fn paper_mixes_shape() {
+        let mixes = WorkloadParams::paper_mixes();
+        assert_eq!(mixes.len(), 15);
+        for mix in &mixes {
+            for core in mix {
+                assert!(core.mpki >= 20.0, "mixes must be highly memory intensive");
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Sample autocorrelation function (ACF).
+//!
+//! The paper (§4.1, Fig. 6) computes the ACF of a series of 100,000 RDT
+//! measurements and compares it against the ACF of white noise to argue the
+//! series harbors no repeating pattern. [`autocorrelation`] implements the
+//! standard biased sample ACF; [`white_noise_bound`] gives the ±1.96/√n
+//! large-sample 95% confidence band under the white-noise null.
+
+use crate::error::StatsError;
+
+/// Sample autocorrelation of `values` at lags `0..=max_lag`.
+///
+/// Uses the biased estimator
+/// `r(k) = Σ (x_t - x̄)(x_{t+k} - x̄) / Σ (x_t - x̄)²`,
+/// which guarantees `r(0) = 1` and `|r(k)| <= 1`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::TooFewSamples`] if `values.len() <= max_lag`, and
+/// [`StatsError::InvalidParameter`] if the series has zero variance (the
+/// ACF is undefined for a constant series).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), vrd_stats::StatsError> {
+/// let acf = vrd_stats::autocorrelation(&[1.0, 2.0, 1.0, 2.0, 1.0, 2.0], 2)?;
+/// assert!((acf[0] - 1.0).abs() < 1e-12);
+/// assert!(acf[1] < 0.0); // alternating series anti-correlates at lag 1
+/// # Ok(())
+/// # }
+/// ```
+pub fn autocorrelation(values: &[f64], max_lag: usize) -> Result<Vec<f64>, StatsError> {
+    if values.len() <= max_lag {
+        return Err(StatsError::TooFewSamples { required: max_lag + 1, actual: values.len() });
+    }
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let denom: f64 = values.iter().map(|x| (x - mean).powi(2)).sum();
+    if denom == 0.0 {
+        return Err(StatsError::InvalidParameter("series has zero variance"));
+    }
+    let mut acf = Vec::with_capacity(max_lag + 1);
+    for k in 0..=max_lag {
+        let num: f64 = (0..n - k).map(|t| (values[t] - mean) * (values[t + k] - mean)).sum();
+        acf.push(num / denom);
+    }
+    Ok(acf)
+}
+
+/// Large-sample 95% confidence bound for the ACF of white noise:
+/// `1.96 / sqrt(n)`. Lags whose |ACF| stays below this bound are consistent
+/// with "no repeating pattern".
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn white_noise_bound(n: usize) -> f64 {
+    assert!(n > 0, "white_noise_bound requires n > 0");
+    1.96 / (n as f64).sqrt()
+}
+
+/// Fraction of lags `1..=max_lag` whose |ACF| exceeds the white-noise bound.
+/// Under the white-noise null this should be close to 0.05.
+///
+/// # Errors
+///
+/// Propagates errors from [`autocorrelation`].
+pub fn significant_lag_fraction(values: &[f64], max_lag: usize) -> Result<f64, StatsError> {
+    let acf = autocorrelation(values, max_lag)?;
+    let bound = white_noise_bound(values.len());
+    let exceed = acf[1..].iter().filter(|r| r.abs() > bound).count();
+    Ok(exceed as f64 / max_lag as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lag_zero_is_one() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let acf = autocorrelation(&xs, 2).unwrap();
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_by_one() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 0.0];
+        for r in autocorrelation(&xs, 5).unwrap() {
+            assert!(r.abs() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_series_is_error() {
+        assert!(matches!(
+            autocorrelation(&[2.0; 10], 3),
+            Err(StatsError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn too_short_is_error() {
+        assert!(matches!(
+            autocorrelation(&[1.0, 2.0], 2),
+            Err(StatsError::TooFewSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn linear_trend_has_high_lag1() {
+        let xs: Vec<f64> = (0..200).map(f64::from).collect();
+        let acf = autocorrelation(&xs, 1).unwrap();
+        assert!(acf[1] > 0.9);
+    }
+
+    #[test]
+    fn white_noise_stays_in_band() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs = crate::normal::standard_normal_series(&mut rng, 20_000);
+        let frac = significant_lag_fraction(&xs, 50).unwrap();
+        assert!(frac < 0.15, "white noise should rarely exceed the band, got {frac}");
+    }
+
+    #[test]
+    fn periodic_signal_detected() {
+        let xs: Vec<f64> = (0..1000).map(|i| f64::from(i % 10)).collect();
+        let acf = autocorrelation(&xs, 20).unwrap();
+        assert!(acf[10] > 0.9, "period-10 signal must autocorrelate at lag 10");
+        let frac = significant_lag_fraction(&xs, 20).unwrap();
+        assert!(frac > 0.5);
+    }
+
+    #[test]
+    fn bound_shrinks_with_n() {
+        assert!(white_noise_bound(10_000) < white_noise_bound(100));
+    }
+}

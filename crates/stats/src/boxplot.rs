@@ -1,0 +1,145 @@
+//! Box-and-whiskers summaries following the VRD paper's convention.
+//!
+//! The paper's footnote 6 defines the box bounds as: first quartile = median
+//! of the first half of the ordered data, third quartile = median of the
+//! second half (the "Tukey hinges" / inclusive-halves convention, excluding
+//! the overall median for odd-length inputs), whiskers = min and max, and a
+//! circle at the mean. [`BoxSummary`] reproduces exactly that.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+
+/// Five-number box-plot summary plus the mean, matching the paper's plots.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), vrd_stats::StatsError> {
+/// let b = vrd_stats::BoxSummary::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0])?;
+/// assert_eq!(b.median, 3.0);
+/// assert_eq!(b.q1, 1.5);
+/// assert_eq!(b.q3, 4.5);
+/// assert_eq!(b.iqr(), 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxSummary {
+    /// Minimum (lower whisker).
+    pub min: f64,
+    /// First quartile: median of the first half of the ordered data.
+    pub q1: f64,
+    /// Median of all data.
+    pub median: f64,
+    /// Third quartile: median of the second half of the ordered data.
+    pub q3: f64,
+    /// Maximum (upper whisker).
+    pub max: f64,
+    /// Arithmetic mean (the circle in the paper's plots).
+    pub mean: f64,
+}
+
+impl BoxSummary {
+    /// Builds a box summary from unsorted `values`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if `values` is empty.
+    pub fn from_values(values: &[f64]) -> Result<Self, StatsError> {
+        if values.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+        let n = sorted.len();
+        let median = median_of_sorted(&sorted);
+        // Halves exclude the middle element for odd n, per the paper's
+        // "median of the first/second half of the ordered set" wording.
+        let half = n / 2;
+        let (q1, q3) = if n == 1 {
+            (sorted[0], sorted[0])
+        } else {
+            (median_of_sorted(&sorted[..half]), median_of_sorted(&sorted[n - half..]))
+        };
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        Ok(BoxSummary { min: sorted[0], q1, median, q3, max: sorted[n - 1], mean })
+    }
+
+    /// Builds a box summary from integer measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if `values` is empty.
+    pub fn from_u32(values: &[u32]) -> Result<Self, StatsError> {
+        let as_f64: Vec<f64> = values.iter().map(|&v| f64::from(v)).collect();
+        Self::from_values(&as_f64)
+    }
+
+    /// Interquartile range (`q3 - q1`, the box height).
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_error() {
+        assert_eq!(BoxSummary::from_values(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn singleton() {
+        let b = BoxSummary::from_values(&[7.0]).unwrap();
+        assert_eq!(b.min, 7.0);
+        assert_eq!(b.q1, 7.0);
+        assert_eq!(b.median, 7.0);
+        assert_eq!(b.q3, 7.0);
+        assert_eq!(b.max, 7.0);
+        assert_eq!(b.iqr(), 0.0);
+    }
+
+    #[test]
+    fn even_count_quartiles() {
+        // Halves are [1,2,3] and [4,5,6].
+        let b = BoxSummary::from_values(&[6.0, 1.0, 4.0, 3.0, 2.0, 5.0]).unwrap();
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.median, 3.5);
+        assert_eq!(b.q3, 5.0);
+    }
+
+    #[test]
+    fn odd_count_excludes_overall_median_from_halves() {
+        // Sorted: [1,2,3,4,5]; halves [1,2] and [4,5].
+        let b = BoxSummary::from_values(&[5.0, 3.0, 1.0, 4.0, 2.0]).unwrap();
+        assert_eq!(b.q1, 1.5);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.q3, 4.5);
+    }
+
+    #[test]
+    fn quartiles_bracket_median() {
+        let values: Vec<f64> = (0..101).map(f64::from).collect();
+        let b = BoxSummary::from_values(&values).unwrap();
+        assert!(b.min <= b.q1 && b.q1 <= b.median);
+        assert!(b.median <= b.q3 && b.q3 <= b.max);
+    }
+
+    #[test]
+    fn from_u32_matches() {
+        let b = BoxSummary::from_u32(&[10, 20, 30, 40]).unwrap();
+        assert_eq!(b.median, 25.0);
+    }
+}

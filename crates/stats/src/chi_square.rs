@@ -1,0 +1,191 @@
+//! Pearson chi-square goodness-of-fit test against a fitted normal
+//! distribution (paper §4.1).
+//!
+//! The paper tests the null hypothesis that RDT measurements follow the
+//! normal distribution derived from their own mean and standard deviation,
+//! and reports the minimum p-value across chips (0.18), failing to reject
+//! at α = 0.05. [`chi_square_gof_normal`] reproduces that procedure:
+//! equal-probability bins under the fitted normal, expected counts `n/k`,
+//! and `k - 3` degrees of freedom (two parameters estimated + one sum
+//! constraint).
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive;
+use crate::error::StatsError;
+use crate::normal::normal_cdf;
+use crate::special::chi_square_sf;
+
+/// Outcome of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChiSquareResult {
+    /// The chi-square statistic.
+    pub statistic: f64,
+    /// Degrees of freedom used.
+    pub dof: usize,
+    /// The p-value (survival function of the statistic).
+    pub p_value: f64,
+    /// Number of bins used.
+    pub bins: usize,
+}
+
+impl ChiSquareResult {
+    /// Whether the null hypothesis ("data is normal") survives at
+    /// significance level `alpha` (i.e. `p_value > alpha`).
+    pub fn accepts_normality(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Tests whether `values` are consistent with a normal distribution whose
+/// mean and standard deviation are estimated from `values` themselves.
+///
+/// Bins are chosen with equal probability under the fitted normal, so each
+/// bin's expected count is `n / bins`; `bins` defaults (when `None`) to
+/// `max(6, n/50)` capped at 30, keeping expected counts comfortably above
+/// the usual "≥ 5 per bin" rule.
+///
+/// # Errors
+///
+/// Returns [`StatsError::TooFewSamples`] if fewer than 30 values are given
+/// and [`StatsError::InvalidParameter`] if the sample variance is zero.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let xs: Vec<f64> = (0..2000)
+///     .map(|_| vrd_stats::normal::sample_normal(&mut rng, 100.0, 15.0))
+///     .collect();
+/// let r = vrd_stats::chi_square_gof_normal(&xs, None)?;
+/// assert!(r.accepts_normality(0.05));
+/// # Ok(())
+/// # }
+/// ```
+pub fn chi_square_gof_normal(
+    values: &[f64],
+    bins: Option<usize>,
+) -> Result<ChiSquareResult, StatsError> {
+    if values.len() < 30 {
+        return Err(StatsError::TooFewSamples { required: 30, actual: values.len() });
+    }
+    let mean = descriptive::mean(values)?;
+    let sd = descriptive::stddev(values)?;
+    if sd == 0.0 {
+        return Err(StatsError::InvalidParameter("zero variance"));
+    }
+    let n = values.len();
+    let k = bins.unwrap_or_else(|| (n / 50).clamp(6, 30));
+    if k < 4 {
+        return Err(StatsError::InvalidParameter("need at least 4 bins"));
+    }
+
+    // Equal-probability bin edges under the fitted normal: the z-scores at
+    // probabilities i/k, found by bisection on the CDF.
+    let mut edges = Vec::with_capacity(k - 1);
+    for i in 1..k {
+        let target = i as f64 / k as f64;
+        edges.push(normal_quantile_bisect(target, mean, sd));
+    }
+
+    let mut observed = vec![0u64; k];
+    for &v in values {
+        let idx = edges.partition_point(|&e| e < v);
+        observed[idx] += 1;
+    }
+
+    let expected = n as f64 / k as f64;
+    let statistic: f64 =
+        observed.iter().map(|&o| (o as f64 - expected).powi(2) / expected).sum();
+    // dof = bins - 1 - 2 estimated parameters.
+    let dof = k - 3;
+    let p_value = chi_square_sf(statistic, dof);
+    Ok(ChiSquareResult { statistic, dof, p_value, bins: k })
+}
+
+/// Inverse CDF of `N(mean, sd²)` via bisection (sufficient precision for
+/// bin edges; ~1e-10 in z units).
+fn normal_quantile_bisect(p: f64, mean: f64, sd: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&p) && p > 0.0);
+    let (mut lo, mut hi) = (-10.0f64, 10.0f64);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if normal_cdf(mid, 0.0, 1.0) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    mean + sd * 0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn too_few_samples_is_error() {
+        assert!(chi_square_gof_normal(&[1.0; 10], None).is_err());
+    }
+
+    #[test]
+    fn zero_variance_is_error() {
+        assert!(matches!(
+            chi_square_gof_normal(&[3.0; 100], None),
+            Err(StatsError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn normal_data_accepted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> =
+            (0..5000).map(|_| crate::normal::sample_normal(&mut rng, 50.0, 7.0)).collect();
+        let r = chi_square_gof_normal(&xs, None).unwrap();
+        assert!(r.accepts_normality(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn uniform_data_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..5000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let r = chi_square_gof_normal(&xs, None).unwrap();
+        assert!(!r.accepts_normality(0.05), "uniform data must fail normality, p = {}", r.p_value);
+    }
+
+    #[test]
+    fn bimodal_data_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..4000)
+            .map(|i| {
+                let center = if i % 2 == 0 { 0.0 } else { 20.0 };
+                crate::normal::sample_normal(&mut rng, center, 1.0)
+            })
+            .collect();
+        let r = chi_square_gof_normal(&xs, None).unwrap();
+        assert!(!r.accepts_normality(0.05));
+    }
+
+    #[test]
+    fn explicit_bins_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<f64> =
+            (0..2000).map(|_| crate::normal::sample_normal(&mut rng, 0.0, 1.0)).collect();
+        let r = chi_square_gof_normal(&xs, Some(10)).unwrap();
+        assert_eq!(r.bins, 10);
+        assert_eq!(r.dof, 7);
+    }
+
+    #[test]
+    fn quantile_bisect_round_trip() {
+        for &p in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let x = normal_quantile_bisect(p, 5.0, 2.0);
+            let back = normal_cdf(x, 5.0, 2.0);
+            assert!((back - p).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Descriptive statistics: means, variances, coefficients of variation,
+//! percentiles, and a compact [`Summary`] record.
+//!
+//! The coefficient of variation (CV) is the headline metric of the VRD
+//! paper's in-depth analysis (§5.1, Fig. 7): the standard deviation of 1,000
+//! RDT measurements normalized to their mean.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+
+/// Arithmetic mean of `values`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `values` is empty.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), vrd_stats::StatsError> {
+/// let m = vrd_stats::descriptive::mean(&[1.0, 2.0, 3.0])?;
+/// assert_eq!(m, 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mean(values: &[f64]) -> Result<f64, StatsError> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    Ok(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Population variance of `values` (normalized by `n`, matching the paper's
+/// use of the full measurement population rather than a sample estimate).
+///
+/// Uses Welford's online algorithm for numerical stability.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `values` is empty.
+pub fn variance(values: &[f64]) -> Result<f64, StatsError> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mut mean = 0.0;
+    let mut m2 = 0.0;
+    for (i, &x) in values.iter().enumerate() {
+        let delta = x - mean;
+        mean += delta / (i + 1) as f64;
+        m2 += delta * (x - mean);
+    }
+    Ok(m2 / values.len() as f64)
+}
+
+/// Population standard deviation of `values`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `values` is empty.
+pub fn stddev(values: &[f64]) -> Result<f64, StatsError> {
+    variance(values).map(f64::sqrt)
+}
+
+/// Coefficient of variation: standard deviation normalized to the mean
+/// (paper §5.1, footnote 10).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `values` is empty and
+/// [`StatsError::InvalidParameter`] if the mean is zero.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), vrd_stats::StatsError> {
+/// let cv = vrd_stats::descriptive::coefficient_of_variation(&[9.0, 10.0, 11.0])?;
+/// assert!(cv < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn coefficient_of_variation(values: &[f64]) -> Result<f64, StatsError> {
+    let m = mean(values)?;
+    if m == 0.0 {
+        return Err(StatsError::InvalidParameter("mean is zero"));
+    }
+    Ok(stddev(values)? / m)
+}
+
+/// Percentile of `values` in `[0, 100]`, using linear interpolation between
+/// closest ranks (the "exclusive" convention used by NumPy's default).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `values` is empty and
+/// [`StatsError::InvalidParameter`] if `p` is outside `[0, 100]` or NaN.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), vrd_stats::StatsError> {
+/// let p50 = vrd_stats::descriptive::percentile(&[1.0, 2.0, 3.0, 4.0], 50.0)?;
+/// assert_eq!(p50, 2.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn percentile(values: &[f64], p: f64) -> Result<f64, StatsError> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(StatsError::InvalidParameter("percentile must be in [0, 100]"));
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+    Ok(percentile_of_sorted(&sorted, p))
+}
+
+/// Percentile of an already ascending-sorted slice. See [`percentile`].
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile_of_sorted requires a non-empty slice");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Median of `values`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `values` is empty.
+pub fn median(values: &[f64]) -> Result<f64, StatsError> {
+    percentile(values, 50.0)
+}
+
+/// Compact summary of a measurement series: count, min, max, mean, standard
+/// deviation, and coefficient of variation.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), vrd_stats::StatsError> {
+/// let s = vrd_stats::Summary::from_values(&[3242.0, 11498.0, 5000.0])?;
+/// assert_eq!(s.min, 3242.0);
+/// assert_eq!(s.max, 11498.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of values summarized.
+    pub count: usize,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Coefficient of variation (`stddev / mean`); zero when the mean is zero.
+    pub cv: f64,
+}
+
+impl Summary {
+    /// Summarizes `values`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if `values` is empty.
+    pub fn from_values(values: &[f64]) -> Result<Self, StatsError> {
+        let m = mean(values)?;
+        let sd = stddev(values)?;
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Ok(Summary {
+            count: values.len(),
+            min,
+            max,
+            mean: m,
+            stddev: sd,
+            cv: if m == 0.0 { 0.0 } else { sd / m },
+        })
+    }
+
+    /// Summarizes an integer-valued series (such as RDT measurements).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if `values` is empty.
+    pub fn from_u32(values: &[u32]) -> Result<Self, StatsError> {
+        let as_f64: Vec<f64> = values.iter().map(|&v| f64::from(v)).collect();
+        Self::from_values(&as_f64)
+    }
+
+    /// Ratio of the largest to the smallest value (e.g. the paper's "max RDT
+    /// is 3.5× the min RDT"); `None` when the minimum is zero.
+    pub fn max_over_min(&self) -> Option<f64> {
+        if self.min == 0.0 {
+            None
+        } else {
+            Some(self.max / self.min)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_error() {
+        assert_eq!(mean(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[2.0, 4.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[5.0; 10]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_two_pass() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let m = mean(&xs).unwrap();
+        let two_pass = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((variance(&xs).unwrap() - two_pass).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        let xs: Vec<f64> = (0..999).map(|i| 1e9 + f64::from(i % 3)).collect();
+        let v = variance(&xs).unwrap();
+        assert!((v - 2.0 / 3.0).abs() < 1e-6, "got {v}");
+    }
+
+    #[test]
+    fn cv_scale_invariant() {
+        let a = coefficient_of_variation(&[1.0, 2.0, 3.0]).unwrap();
+        let b = coefficient_of_variation(&[10.0, 20.0, 30.0]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_zero_mean_is_error() {
+        assert!(matches!(
+            coefficient_of_variation(&[-1.0, 1.0]),
+            Err(StatsError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&xs, 100.0).unwrap(), 3.0);
+        assert_eq!(percentile(&xs, 50.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile(&xs, 25.0).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn percentile_rejects_out_of_range() {
+        assert!(percentile(&[1.0], 101.0).is_err());
+        assert!(percentile(&[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::from_values(&[1.0, 3.0]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.max_over_min(), Some(3.0));
+    }
+
+    #[test]
+    fn summary_from_u32_matches_f64() {
+        let s = Summary::from_u32(&[10, 20, 30]).unwrap();
+        assert_eq!(s.mean, 20.0);
+    }
+
+    #[test]
+    fn max_over_min_none_when_min_zero() {
+        let s = Summary::from_values(&[0.0, 5.0]).unwrap();
+        assert_eq!(s.max_over_min(), None);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type shared by the statistics routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by statistics routines on invalid input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input slice was empty but the computation needs at least one value.
+    EmptyInput,
+    /// The input had fewer elements than the computation requires.
+    ///
+    /// Carries the required and actual lengths.
+    TooFewSamples { required: usize, actual: usize },
+    /// A parameter was outside its valid domain (e.g. a percentile not in
+    /// `[0, 100]`, or a zero-variance series passed to a normality test).
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input slice was empty"),
+            StatsError::TooFewSamples { required, actual } => {
+                write!(f, "need at least {required} samples, got {actual}")
+            }
+            StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        assert_eq!(StatsError::EmptyInput.to_string(), "input slice was empty");
+        assert_eq!(
+            StatsError::TooFewSamples { required: 3, actual: 1 }.to_string(),
+            "need at least 3 samples, got 1"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,142 @@
+//! Normal and lognormal distributions: density, CDF, and sampling.
+//!
+//! The `rand` crate alone (without `rand_distr`) provides only uniform
+//! sampling, so Gaussian variates are generated here with the Box–Muller
+//! transform. The CDF is built on [`crate::special::erfc`].
+
+use rand::Rng;
+
+/// Probability density of `N(mean, sd²)` at `x`.
+///
+/// # Panics
+///
+/// Panics if `sd <= 0`.
+pub fn normal_pdf(x: f64, mean: f64, sd: f64) -> f64 {
+    assert!(sd > 0.0, "normal_pdf requires sd > 0");
+    let z = (x - mean) / sd;
+    (-0.5 * z * z).exp() / (sd * (2.0 * std::f64::consts::PI).sqrt())
+}
+
+/// Cumulative distribution of `N(mean, sd²)` at `x`.
+///
+/// # Panics
+///
+/// Panics if `sd <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// let p = vrd_stats::normal::normal_cdf(0.0, 0.0, 1.0);
+/// assert!((p - 0.5).abs() < 1e-12);
+/// ```
+pub fn normal_cdf(x: f64, mean: f64, sd: f64) -> f64 {
+    assert!(sd > 0.0, "normal_cdf requires sd > 0");
+    let z = (x - mean) / (sd * std::f64::consts::SQRT_2);
+    0.5 * crate::special::erfc(-z)
+}
+
+/// Draws one standard-normal variate using the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let z = vrd_stats::normal::sample_standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller: u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws one `N(mean, sd²)` variate.
+///
+/// # Panics
+///
+/// Panics if `sd < 0`.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    assert!(sd >= 0.0, "sample_normal requires sd >= 0");
+    mean + sd * sample_standard_normal(rng)
+}
+
+/// Draws one lognormal variate whose *logarithm* is `N(mu, sigma²)`.
+///
+/// The median of the resulting distribution is `exp(mu)`.
+///
+/// # Panics
+///
+/// Panics if `sigma < 0`.
+pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "sample_lognormal requires sigma >= 0");
+    sample_normal(rng, mu, sigma).exp()
+}
+
+/// Generates `n` independent standard-normal variates (used as the
+/// white-noise reference series of the paper's Fig. 6).
+pub fn standard_normal_series<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| sample_standard_normal(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pdf_peaks_at_mean() {
+        assert!(normal_pdf(0.0, 0.0, 1.0) > normal_pdf(0.5, 0.0, 1.0));
+        assert!((normal_pdf(0.0, 0.0, 1.0) - 0.398_942_280_401_432_7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_known_points() {
+        assert!((normal_cdf(1.96, 0.0, 1.0) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.0, 0.0, 1.0) - 0.158_655).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut prev = 0.0;
+        for i in -40..=40 {
+            let c = normal_cdf(f64::from(i) * 0.1, 0.0, 1.0);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn samples_have_roughly_correct_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..50_000).map(|_| sample_normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = crate::descriptive::mean(&xs).unwrap();
+        let sd = crate::descriptive::stddev(&xs).unwrap();
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((sd - 2.0).abs() < 0.05, "sd {sd}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..50_000).map(|_| sample_lognormal(&mut rng, 3.0, 0.5)).collect();
+        let med = crate::descriptive::median(&xs).unwrap();
+        assert!((med - 3.0f64.exp()).abs() / 3.0f64.exp() < 0.03, "median {med}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(sample_lognormal(&mut rng, 0.0, 2.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn series_has_requested_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(standard_normal_series(&mut rng, 17).len(), 17);
+    }
+}

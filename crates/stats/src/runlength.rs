@@ -1,0 +1,134 @@
+//! Run-length analysis of measurement series (paper Fig. 5, Finding 3).
+//!
+//! The paper asks: for how many *consecutive* measurements does a DRAM row
+//! keep the same RDT value? A run of length 1 means the next measurement
+//! already differed; the paper reports that 79.0% of RDT state changes
+//! happen after every measurement, and that a row very rarely keeps one
+//! value for 14 consecutive measurements.
+
+use std::collections::BTreeMap;
+
+/// Splits `values` into maximal runs of equal consecutive values and returns
+/// the run lengths in order of appearance.
+///
+/// # Examples
+///
+/// ```
+/// let runs = vrd_stats::runlength::run_lengths(&[5, 5, 7, 7, 7, 5]);
+/// assert_eq!(runs, vec![2, 3, 1]);
+/// ```
+pub fn run_lengths<T: PartialEq>(values: &[T]) -> Vec<usize> {
+    let mut runs = Vec::new();
+    let mut iter = values.iter();
+    let Some(mut prev) = iter.next() else {
+        return runs;
+    };
+    let mut len = 1usize;
+    for v in iter {
+        if v == prev {
+            len += 1;
+        } else {
+            runs.push(len);
+            len = 1;
+            prev = v;
+        }
+    }
+    runs.push(len);
+    runs
+}
+
+/// Histogram of run lengths: maps each run length to how many runs of that
+/// length occurred (the paper's Fig. 5, aggregated across rows by merging
+/// maps).
+///
+/// # Examples
+///
+/// ```
+/// let h = vrd_stats::run_length_histogram(&[1, 1, 2, 3, 3]);
+/// assert_eq!(h.get(&2), Some(&2)); // runs "1,1" and "3,3"
+/// assert_eq!(h.get(&1), Some(&1)); // run "2"
+/// ```
+pub fn run_length_histogram<T: PartialEq>(values: &[T]) -> BTreeMap<usize, u64> {
+    let mut map = BTreeMap::new();
+    for len in run_lengths(values) {
+        *map.entry(len).or_insert(0) += 1;
+    }
+    map
+}
+
+/// Fraction of state *changes* that happen after a single measurement, i.e.
+/// the share of runs with length 1 among all runs that are followed by a
+/// change (all but possibly the last run). Returns `None` when the series
+/// has no state change at all.
+///
+/// This is the paper's "79.0% of RDT state changes happen after every
+/// measurement" statistic (Finding 3).
+pub fn immediate_change_fraction<T: PartialEq>(values: &[T]) -> Option<f64> {
+    let runs = run_lengths(values);
+    if runs.len() < 2 {
+        return None;
+    }
+    // Every run except the final one ends in a state change.
+    let changing = &runs[..runs.len() - 1];
+    let ones = changing.iter().filter(|&&len| len == 1).count();
+    Some(ones as f64 / changing.len() as f64)
+}
+
+/// Longest run of equal consecutive values; 0 for an empty series.
+pub fn longest_run<T: PartialEq>(values: &[T]) -> usize {
+    run_lengths(values).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series() {
+        assert!(run_lengths::<u32>(&[]).is_empty());
+        assert_eq!(longest_run::<u32>(&[]), 0);
+        assert_eq!(immediate_change_fraction::<u32>(&[]), None);
+    }
+
+    #[test]
+    fn single_value() {
+        assert_eq!(run_lengths(&[9]), vec![1]);
+        assert_eq!(immediate_change_fraction(&[9]), None);
+    }
+
+    #[test]
+    fn constant_series_one_run() {
+        assert_eq!(run_lengths(&[4, 4, 4]), vec![3]);
+        assert_eq!(immediate_change_fraction(&[4, 4, 4]), None);
+        assert_eq!(longest_run(&[4, 4, 4]), 3);
+    }
+
+    #[test]
+    fn alternating_series_all_immediate() {
+        let xs = [1, 2, 1, 2, 1];
+        assert_eq!(immediate_change_fraction(&xs), Some(1.0));
+        assert_eq!(longest_run(&xs), 1);
+    }
+
+    #[test]
+    fn run_lengths_sum_to_len() {
+        let xs = [3, 3, 1, 1, 1, 2, 3, 3, 3, 3];
+        assert_eq!(run_lengths(&xs).iter().sum::<usize>(), xs.len());
+    }
+
+    #[test]
+    fn histogram_counts_runs() {
+        let h = run_length_histogram(&[7, 7, 8, 8, 9]);
+        assert_eq!(h.get(&2), Some(&2));
+        assert_eq!(h.get(&1), Some(&1));
+        assert_eq!(h.values().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn immediate_fraction_mixed() {
+        // Runs: [2, 1, 1, 3] -> changing runs [2, 1, 1] -> 2/3 immediate.
+        let xs = [5, 5, 6, 7, 8, 8, 8];
+        let f = immediate_change_fraction(&xs).unwrap();
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Survey the whole Table-1 fleet: a one-screen overview of every
+//! simulated module's read-disturbance character, the way a lab notebook
+//! would summarize a drawer of DIMMs before the deep campaigns.
+//!
+//! For each of the 25 modules this locates one vulnerable row, measures
+//! it 200 times, and prints the headline VRD statistics next to the
+//! Table-7 calibration anchor.
+//!
+//! Run with: `cargo run --release --example fleet_survey`
+
+use vrd::bender::TestPlatform;
+use vrd::core::metrics::SeriesMetrics;
+use vrd::core::{find_victim, test_loop, SweepSpec};
+use vrd::dram::{ModuleSpec, TestConditions};
+
+fn main() {
+    println!(
+        "{:<7} {:<9} {:<8} {:<9} {:<8} {:<9} {:<7} {}",
+        "module", "mfr", "density", "anchor", "guess", "max/min", "states", "imm.chg"
+    );
+    println!("{}", "-".repeat(76));
+
+    for spec in ModuleSpec::table1() {
+        let name = spec.name.clone();
+        let mfr = spec.manufacturer.to_string();
+        let density = spec
+            .density
+            .gigabits()
+            .map(|g| format!("{g}Gb-{}", spec.die_revision.unwrap_or('?')))
+            .unwrap_or_else(|| "HBM2".to_owned());
+        let anchor = spec.anchor.min_rdt_tras;
+
+        let mut platform = TestPlatform::for_module_with_row_bytes(spec, 1234, 512);
+        platform.set_temperature_c(50.0);
+        let conditions = TestConditions::foundational();
+        let Some((row, guess)) = find_victim(&mut platform, 0, &conditions, 40_000, 2..20_000)
+        else {
+            println!("{name:<7} {mfr:<9} {density:<8} {anchor:<9} (no vulnerable row in scan range)");
+            continue;
+        };
+        let series =
+            test_loop(&mut platform, 0, row, &conditions, 200, &SweepSpec::from_guess(guess));
+        let metrics = SeriesMetrics::of(&series);
+        println!(
+            "{:<7} {:<9} {:<8} {:<9} {:<8} {:<9.3} {:<7} {}",
+            name,
+            mfr,
+            density,
+            anchor,
+            guess,
+            series.max_over_min().unwrap_or(1.0),
+            metrics.unique_states,
+            metrics
+                .immediate_change_fraction
+                .map(|f| format!("{:.0}%", f * 100.0))
+                .unwrap_or_else(|| "-".to_owned()),
+        );
+    }
+
+    println!("\nanchor = Table 7's minimum observed RDT at tRAS (the calibration input);");
+    println!("guess  = this run's Alg.-1 estimate for one vulnerable row (they differ:");
+    println!("the anchor is a fleet-wide minimum over 150 rows x 36 conditions x 1000");
+    println!("measurements, the guess is ten quick probes of one row).");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: observe variable read disturbance on one DRAM row.
+//!
+//! Builds a simulated DDR4 module (the paper's M1), finds a vulnerable
+//! row with Algorithm 1's `find_victim`, measures its read-disturbance
+//! threshold 500 times, and prints the statistics the paper's Findings
+//! 1–3 are about.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use vrd::bender::TestPlatform;
+use vrd::core::metrics::SeriesMetrics;
+use vrd::core::{find_victim, test_loop, SweepSpec};
+use vrd::dram::{ModuleSpec, TestConditions};
+
+fn main() {
+    let spec = ModuleSpec::by_name("M1").expect("M1 is in Table 1");
+    println!(
+        "module {} — {} ({} chips, x{})",
+        spec.name, spec.manufacturer, spec.chips, spec.chip_width
+    );
+
+    // Small rows keep the example snappy; the VRD physics is unchanged.
+    let mut platform = TestPlatform::for_module_with_row_bytes(spec, 42, 1024);
+    platform.set_temperature_c(50.0);
+    println!("thermal rig settled at {:.1} °C", platform.temperature_c());
+
+    let conditions = TestConditions::foundational();
+    let (row, guess) = find_victim(&mut platform, 0, &conditions, 40_000, 2..20_000)
+        .expect("the module has vulnerable rows");
+    println!("victim row {row}, guessed RDT ≈ {guess}");
+
+    let sweep = SweepSpec::from_guess(guess);
+    let series = test_loop(&mut platform, 0, row, &conditions, 500, &sweep);
+    let summary = series.summary().expect("series is non-empty");
+
+    println!("\n500 repeated RDT measurements of the same row:");
+    println!("  min  = {}", summary.min);
+    println!("  mean = {:.1}", summary.mean);
+    println!("  max  = {}", summary.max);
+    println!("  max/min = {:.3} (the paper observed up to 3.5x)", summary.max / summary.min);
+    println!("  coefficient of variation = {:.4}", summary.cv);
+
+    let metrics = SeriesMetrics::of(&series);
+    println!("\nVRD metrics:");
+    println!("  unique RDT states: {}", metrics.unique_states);
+    if let Some(frac) = metrics.immediate_change_fraction {
+        println!(
+            "  state changes after a single measurement: {:.1}% (paper: 79.0%)",
+            frac * 100.0
+        );
+    }
+    if let Some(idx) = metrics.first_min_index {
+        println!("  the minimum RDT first appeared at measurement #{idx}");
+    }
+    println!(
+        "\nsimulated test time: {:.2} ms of DRAM command traffic",
+        platform.elapsed_ns() / 1e6
+    );
+}

@@ -1,0 +1,46 @@
+//! `vrd`: a full Rust reproduction of *"Variable Read Disturbance: An
+//! Experimental Analysis of Temporal Variation in DRAM Read Disturbance"*
+//! (HPCA 2025).
+//!
+//! Real DRAM chips are replaced by a behavioural device model whose
+//! read-disturbance thresholds fluctuate through trap-occupancy dynamics —
+//! the paper's own hypothesized mechanism (§4.2) — and the entire
+//! characterization stack of the paper is rebuilt on top:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`stats`] | descriptive statistics, chi-square, ACF, Monte Carlo |
+//! | [`dram`] | DRAM organization + trap-based VRD device model + Table-1 fleet |
+//! | [`bender`] | DRAM-Bender-style testing platform, thermal rig, Appendix-A estimator |
+//! | [`ecc`] | Hamming(72,64) SEC/SEC-DED and Chipkill-like RS SSC codes |
+//! | [`core`] | Algorithm 1, VRD metrics, subsampling analysis, guardband+ECC study |
+//! | [`memsim`] | cycle-level DDR5 simulator with Graphene/PRAC/PARA/MINT |
+//!
+//! # Quick start
+//!
+//! Measure the RDT of one vulnerable row a hundred times and watch it
+//! change (the VRD phenomenon, Finding 1):
+//!
+//! ```
+//! use vrd::bender::TestPlatform;
+//! use vrd::core::{find_victim, test_loop, SweepSpec};
+//! use vrd::dram::TestConditions;
+//!
+//! let mut platform = TestPlatform::small_test(7);
+//! let conditions = TestConditions::foundational();
+//! let (row, guess) = find_victim(&mut platform, 0, &conditions, 40_000, 2..2000)
+//!     .expect("a vulnerable row exists");
+//! let series = test_loop(&mut platform, 0, row, &conditions, 100, &SweepSpec::from_guess(guess));
+//! assert!(vrd::stats::histogram::unique_count(series.values()) > 1);
+//! ```
+//!
+//! The `vrd-exp` binary (crate `vrd-experiments`) regenerates every table
+//! and figure of the paper's evaluation; see `DESIGN.md` for the
+//! experiment index and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use vrd_bender as bender;
+pub use vrd_core as core;
+pub use vrd_dram as dram;
+pub use vrd_ecc as ecc;
+pub use vrd_memsim as memsim;
+pub use vrd_stats as stats;

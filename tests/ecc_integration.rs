@@ -1,0 +1,157 @@
+//! Integration of the guardband experiment with the real ECC decoders,
+//! and consistency between the analytic Table-3 model and decoder
+//! behaviour.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use vrd::core::guardband::{run_guardband, GuardbandConfig};
+use vrd::dram::ModuleSpec;
+use vrd::ecc::analysis;
+use vrd::ecc::hamming::{Sec72, Secded72};
+use vrd::ecc::rs::Ssc18;
+use vrd::ecc::DecodeOutcome;
+
+#[test]
+fn guardband_flips_are_secded_correctable_per_codeword() {
+    // §6.4's key observation: at a 10% margin the observed flips land at
+    // most one per SECDED codeword, hence are correctable.
+    let spec = ModuleSpec::by_name("M4").expect("M4 exists");
+    let cfg = GuardbandConfig {
+        margins: vec![0.1],
+        estimate_measurements: 3,
+        trials: 300,
+        rows: 4,
+        row_bytes: 2048,
+        ..GuardbandConfig::default()
+    };
+    let results = run_guardband(&spec, &cfg);
+    assert!(!results.is_empty());
+
+    let secded = Secded72::new();
+    let data = 0xACE0_BA5E_0000_FFFFu64;
+    for row in &results {
+        for margin in &row.per_margin {
+            // Group flips by 64-bit codeword-data window and decode each.
+            use std::collections::HashMap;
+            let mut per_word: HashMap<u32, Vec<u32>> = HashMap::new();
+            for &bit in &margin.unique_flip_bits {
+                per_word.entry(bit / 64).or_default().push(bit % 64);
+            }
+            for (_, bits) in per_word {
+                let mut word = secded.encode(data);
+                for bit in &bits {
+                    // Map data-bit position onto the codeword layout by
+                    // flipping the corresponding encoded data bit.
+                    word ^= 1u128 << (bit + 8); // skip low parity positions
+                }
+                let outcome = secded.decode(word).classify_against(data);
+                if bits.len() <= 1 {
+                    assert!(
+                        !outcome.is_sdc(),
+                        "single flip per codeword must never silently corrupt"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn analytic_rates_match_decoder_monte_carlo() {
+    // Inject independent bit errors at a high BER (so events are common)
+    // and compare decoder outcome frequencies with the binomial model.
+    let ber = 0.004;
+    let trials = 200_000;
+    let mut rng = ChaCha12Rng::seed_from_u64(7);
+    let secded = Secded72::new();
+    let data = 0x0123_4567_89AB_CDEFu64;
+    let clean = secded.encode(data);
+
+    let mut uncorrectable = 0usize;
+    for _ in 0..trials {
+        let mut word = clean;
+        let mut flips = 0;
+        for bit in 0..72u32 {
+            if rng.gen_bool(ber) {
+                word ^= 1u128 << bit;
+                flips += 1;
+            }
+        }
+        let outcome = secded.decode(word).classify_against(data);
+        let bad = matches!(
+            outcome,
+            DecodeOutcome::DetectedUncorrectable | DecodeOutcome::SilentCorruption { .. }
+        );
+        if bad {
+            uncorrectable += 1;
+            assert!(flips >= 2, "a clean/single-error word must decode");
+        }
+    }
+    let measured = uncorrectable as f64 / trials as f64;
+    let analytic = analysis::secded72_rates(ber).uncorrectable;
+    assert!(
+        (measured - analytic).abs() / analytic < 0.15,
+        "measured {measured} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn sec_is_strictly_less_safe_than_secded() {
+    let ber = 0.004;
+    let trials = 100_000;
+    let mut rng = ChaCha12Rng::seed_from_u64(8);
+    let sec = Sec72::new();
+    let secded = Secded72::new();
+    let data = 0xFFFF_0000_FFFF_0000u64;
+    let clean = secded.encode(data);
+    let mut sec_sdc = 0usize;
+    let mut secded_sdc = 0usize;
+    for _ in 0..trials {
+        let mut word = clean;
+        for bit in 0..72u32 {
+            if rng.gen_bool(ber) {
+                word ^= 1u128 << bit;
+            }
+        }
+        if sec.decode(word).classify_against(data).is_sdc() {
+            sec_sdc += 1;
+        }
+        if secded.decode(word).classify_against(data).is_sdc() {
+            secded_sdc += 1;
+        }
+    }
+    assert!(
+        sec_sdc > secded_sdc * 5,
+        "SEC must silently corrupt far more often: {sec_sdc} vs {secded_sdc}"
+    );
+}
+
+#[test]
+fn chipkill_absorbs_a_whole_chip_of_vrd_flips() {
+    // All flips confined to one chip's byte lanes ⇒ SSC corrects.
+    let ssc = Ssc18::new();
+    let mut rng = ChaCha12Rng::seed_from_u64(9);
+    for _ in 0..200 {
+        let mut data = [0u8; 16];
+        rng.fill(&mut data);
+        let mut cw = ssc.encode(&data);
+        let chip_symbol = rng.gen_range(0..18usize);
+        cw[chip_symbol] ^= rng.gen_range(1..=255u8);
+        assert!(
+            ssc.decode(&cw).matches(&data),
+            "one corrupted symbol (chip) must always correct"
+        );
+    }
+}
+
+#[test]
+fn table3_rates_at_paper_ber_are_ordered() {
+    let (sec, secded, ssc) = analysis::table3(analysis::PAPER_WORST_BER);
+    // Paper Table 3: SEC/SECDED share the uncorrectable rate; SSC's is
+    // larger (bigger codeword); SECDED's undetectable rate is tiny.
+    assert!((sec.uncorrectable - secded.uncorrectable).abs() < 1e-12);
+    assert!(ssc.uncorrectable > sec.uncorrectable);
+    assert!(secded.undetectable < 1e-7);
+    assert!(sec.undetectable > 1e-5);
+}

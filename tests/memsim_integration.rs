@@ -1,0 +1,94 @@
+//! Fig.-14-shape assertions on the memory-system simulator: who pays for
+//! guardbands, and how the cost scales with the effective threshold.
+
+use vrd::memsim::system::{SimConfig, System};
+use vrd::memsim::workload::WorkloadParams;
+use vrd::memsim::MitigationKind;
+
+fn cfg() -> SimConfig {
+    SimConfig { cycles: 250_000, banks: 16, mix: WorkloadParams::paper_mixes()[1] }
+}
+
+fn normalized(kind: MitigationKind, threshold: u32, seed: u64) -> f64 {
+    let cfg = cfg();
+    let baseline = System::run_mix(&cfg, MitigationKind::None, threshold, seed);
+    System::run_mix(&cfg, kind, threshold, seed).weighted_ipc(&baseline)
+}
+
+#[test]
+fn all_mitigations_within_unity_at_high_threshold() {
+    for kind in MitigationKind::EVALUATED {
+        let ws = normalized(kind, 1024, 3);
+        assert!(
+            ws > 0.80 && ws <= 1.02,
+            "{} at RDT 1024 should be near-free, got {ws}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn probabilistic_mitigations_pay_most_at_guardbanded_low_rdt() {
+    // The paper's Fig.-14 shape: at RDT 128 with a 50% guardband
+    // (effective 64), PARA and MINT lose far more performance than the
+    // counter-based Graphene/PRAC.
+    let effective = 64;
+    let para = normalized(MitigationKind::Para, effective, 5);
+    let mint = normalized(MitigationKind::Mint, effective, 5);
+    let graphene = normalized(MitigationKind::Graphene, effective, 5);
+    assert!(
+        para < graphene,
+        "PARA ({para}) must degrade more than Graphene ({graphene}) at effective RDT 64"
+    );
+    assert!(mint < 0.98, "MINT must pay for inserted RFMs at effective RDT 64, got {mint}");
+}
+
+#[test]
+fn overhead_monotone_in_guardband_for_para() {
+    let mut prev = f64::INFINITY;
+    for margin in [0.0f64, 0.25, 0.50] {
+        let effective = ((128.0 * (1.0 - margin)) as u32).max(1);
+        let ws = normalized(MitigationKind::Para, effective, 9);
+        assert!(
+            ws <= prev + 0.03,
+            "PARA performance must not improve with tighter thresholds ({ws} after {prev})"
+        );
+        prev = ws;
+    }
+}
+
+#[test]
+fn prac_and_mint_are_step_functions_in_threshold() {
+    // Paper footnote 16: PRAC and MINT overheads do not change between
+    // RDT 128 and 115 — their preventive-action frequency is a step
+    // function of the threshold.
+    for kind in [MitigationKind::Prac, MitigationKind::Mint] {
+        let at_128 = normalized(kind, 128, 13);
+        let at_115 = normalized(kind, 115, 13);
+        assert!(
+            (at_128 - at_115).abs() < 0.04,
+            "{}: RDT 128 vs 115 should be nearly identical ({at_128} vs {at_115})",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn preventive_ops_drive_the_slowdown() {
+    let cfg = cfg();
+    let baseline = System::run_mix(&cfg, MitigationKind::None, 64, 21);
+    let para = System::run_mix(&cfg, MitigationKind::Para, 64, 21);
+    assert_eq!(baseline.preventive_ops, 0);
+    assert!(para.preventive_ops > 0, "PARA at RDT 64 must take preventive actions");
+    assert!(para.weighted_ipc(&baseline) < 1.0);
+}
+
+#[test]
+fn simulation_is_deterministic_per_seed() {
+    let cfg = cfg();
+    let a = System::run_mix(&cfg, MitigationKind::Graphene, 128, 33);
+    let b = System::run_mix(&cfg, MitigationKind::Graphene, 128, 33);
+    assert_eq!(a, b);
+    let c = System::run_mix(&cfg, MitigationKind::Graphene, 128, 34);
+    assert_ne!(a.instructions, c.instructions);
+}

@@ -1,0 +1,249 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use proptest::prelude::*;
+
+use vrd::core::montecarlo::{exact_expected_normalized_min, exact_p_find_min};
+use vrd::core::{RdtSeries, SweepSpec};
+use vrd::dram::RowMapping;
+use vrd::ecc::hamming::Secded72;
+use vrd::ecc::rs::Ssc18;
+use vrd::ecc::DecodeOutcome;
+use vrd::stats::{BoxSummary, Histogram};
+
+proptest! {
+    #[test]
+    fn row_mappings_are_bijective(logical in 0u32..(1 << 20)) {
+        for scheme in RowMapping::ALL {
+            let phys = scheme.physical_of(logical);
+            prop_assert_eq!(scheme.logical_of(phys), logical);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_physically_adjacent(logical in 1u32..65_535) {
+        let rows = 65_536;
+        for scheme in RowMapping::ALL {
+            let (below, above) = scheme.neighbors_of(logical, rows);
+            let phys = scheme.physical_of(logical);
+            if let Some(b) = below {
+                prop_assert_eq!(scheme.physical_of(b), phys - 1);
+            }
+            if let Some(a) = above {
+                prop_assert_eq!(scheme.physical_of(a), phys + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_grid_is_sorted_within_bounds(guess in 1u32..1_000_000) {
+        let sweep = SweepSpec::from_guess(guess);
+        let grid: Vec<u32> = sweep.grid().collect();
+        prop_assert_eq!(grid.len(), sweep.len());
+        prop_assert!(grid.windows(2).all(|w| w[0] < w[1]));
+        if let (Some(first), Some(last)) = (grid.first(), grid.last()) {
+            prop_assert!(*first == sweep.min);
+            prop_assert!(*last < sweep.max);
+        }
+    }
+
+    #[test]
+    fn box_summary_orders_quantiles(values in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let b = BoxSummary::from_values(&values).unwrap();
+        prop_assert!(b.min <= b.q1 + 1e-9);
+        prop_assert!(b.q1 <= b.median + 1e-9);
+        prop_assert!(b.median <= b.q3 + 1e-9);
+        prop_assert!(b.q3 <= b.max + 1e-9);
+        prop_assert!(b.min <= b.mean && b.mean <= b.max);
+        prop_assert!(b.iqr() >= 0.0);
+    }
+
+    #[test]
+    fn histogram_conserves_counts(values in prop::collection::vec(0.0f64..1e4, 1..300),
+                                  bins in 1usize..40) {
+        let h = Histogram::with_bins(&values, bins).unwrap();
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(h.bins(), bins);
+    }
+
+    #[test]
+    fn p_find_min_bounds_and_monotonicity(values in prop::collection::vec(1u32..10_000, 2..150)) {
+        let series = RdtSeries::new(values, 0);
+        let len = series.len();
+        let mut prev = 0.0;
+        for n in [1usize, 2, len / 2 + 1, len] {
+            let n = n.clamp(1, len);
+            let p = exact_p_find_min(&series, n);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+            prop_assert!(p >= prev - 1e-12, "monotone in n");
+            prev = p;
+        }
+        prop_assert!((exact_p_find_min(&series, len) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_normalized_min_bounds(values in prop::collection::vec(1u32..10_000, 2..150)) {
+        let series = RdtSeries::new(values, 0);
+        let len = series.len();
+        let e1 = exact_expected_normalized_min(&series, 1);
+        let efull = exact_expected_normalized_min(&series, len);
+        let mean = series.summary().unwrap().mean;
+        let min = f64::from(series.min().unwrap());
+        prop_assert!((efull - 1.0).abs() < 1e-9, "full sample always finds the min");
+        prop_assert!(e1 >= 1.0 - 1e-12);
+        // E[min of 1 draw] is the mean of the series.
+        prop_assert!((e1 - mean / min).abs() < 1e-6);
+    }
+
+    #[test]
+    fn secded_corrects_any_single_bit(data in any::<u64>(), bit in 0u32..72) {
+        let code = Secded72::new();
+        let word = code.encode(data) ^ (1u128 << bit);
+        match code.decode(word) {
+            DecodeOutcome::Corrected { data: d, .. } => prop_assert_eq!(d, data),
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn secded_detects_any_double_bit(data in any::<u64>(), a in 0u32..72, b in 0u32..72) {
+        prop_assume!(a != b);
+        let code = Secded72::new();
+        let word = code.encode(data) ^ (1u128 << a) ^ (1u128 << b);
+        prop_assert_eq!(code.decode(word), DecodeOutcome::DetectedUncorrectable);
+    }
+
+    #[test]
+    fn ssc_corrects_any_single_symbol(data in prop::array::uniform16(any::<u8>()),
+                                      symbol in 0usize..18,
+                                      error in 1u8..=255) {
+        let code = Ssc18::new();
+        let mut word = code.encode(&data);
+        word[symbol] ^= error;
+        prop_assert!(code.decode(&word).matches(&data));
+    }
+
+    #[test]
+    fn ssc_never_returns_wrong_data_as_clean(data in prop::array::uniform16(any::<u8>()),
+                                             symbol in 0usize..18,
+                                             error in 1u8..=255) {
+        // A corrupted word must never decode as Clean with wrong data.
+        let code = Ssc18::new();
+        let mut word = code.encode(&data);
+        word[symbol] ^= error;
+        if let vrd::ecc::rs::SscOutcome::Clean { data: d } = code.decode(&word) { prop_assert_eq!(d, data) }
+    }
+
+    #[test]
+    fn estimate_time_monotone_in_hammers(hc in 1u64..1_000_000) {
+        use vrd::bender::estimate::{one_measurement_time_ns, MeasurementSpec};
+        use vrd::bender::TimingParams;
+        let timing = TimingParams::ddr5();
+        let t1 = one_measurement_time_ns(&timing, &MeasurementSpec::rowhammer(hc));
+        let t2 = one_measurement_time_ns(&timing, &MeasurementSpec::rowhammer(hc + 1));
+        prop_assert!(t2 > t1);
+    }
+
+    #[test]
+    fn chunk_summaries_bracket_values(values in prop::collection::vec(1u32..100_000, 1..500),
+                                      chunk in 1usize..64) {
+        let series = RdtSeries::new(values.clone(), 0);
+        for (mean, min, max) in series.chunk_summaries(chunk) {
+            prop_assert!(f64::from(min) <= mean && mean <= f64::from(max));
+            prop_assert!(values.contains(&min) && values.contains(&max));
+        }
+    }
+}
+
+/// Fuzz the device with arbitrary (possibly illegal) command sequences:
+/// the model must never panic, and errors must only be the documented
+/// ones.
+mod device_fuzz {
+    use proptest::prelude::*;
+    use vrd::dram::device::{DeviceConfig, DramDevice};
+    use vrd::dram::DramError;
+
+    #[derive(Debug, Clone)]
+    enum Cmd {
+        Act(usize, u32),
+        Pre(usize),
+        Write(usize, u32, u8),
+        ReadCompare(usize, u32, u8),
+        Hammer(usize, u32, u32),
+        Refresh,
+        SetTemp(f64),
+    }
+
+    fn cmd_strategy() -> impl Strategy<Value = Cmd> {
+        prop_oneof![
+            (0usize..3, 0u32..5000).prop_map(|(b, r)| Cmd::Act(b, r)),
+            (0usize..3).prop_map(Cmd::Pre),
+            (0usize..3, 0u32..5000, any::<u8>()).prop_map(|(b, r, f)| Cmd::Write(b, r, f)),
+            (0usize..3, 0u32..5000, any::<u8>()).prop_map(|(b, r, f)| Cmd::ReadCompare(b, r, f)),
+            (0usize..3, 1u32..4000, 1u32..30_000).prop_map(|(b, r, n)| Cmd::Hammer(b, r, n)),
+            Just(Cmd::Refresh),
+            (20.0f64..95.0).prop_map(Cmd::SetTemp),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn arbitrary_command_sequences_never_panic(
+            seed in any::<u64>(),
+            cmds in prop::collection::vec(cmd_strategy(), 1..60),
+        ) {
+            let mut dev = DramDevice::new(DeviceConfig::small_test(), seed);
+            let banks = dev.config().banks;
+            let rows = dev.config().rows_per_bank;
+            for cmd in cmds {
+                match cmd {
+                    Cmd::Act(b, r) => {
+                        let result = dev.activate(b, r);
+                        if b >= banks {
+                            let bank_err = matches!(result, Err(DramError::BankOutOfRange { .. }));
+                            prop_assert!(bank_err, "expected BankOutOfRange");
+                        } else if r >= rows {
+                            let row_err = matches!(result, Err(DramError::RowOutOfRange { .. }));
+                            prop_assert!(row_err, "expected RowOutOfRange");
+                        }
+                    }
+                    Cmd::Pre(b) => {
+                        let result = dev.precharge(b);
+                        prop_assert_eq!(result.is_err(), b >= banks);
+                    }
+                    Cmd::Write(b, r, f) => {
+                        if b < banks && r < rows {
+                            dev.write_row(b, r, f);
+                        }
+                    }
+                    Cmd::ReadCompare(b, r, f) => {
+                        if b < banks && r < rows {
+                            let _ = dev.read_and_compare(b, r, f);
+                        }
+                    }
+                    Cmd::Hammer(b, r, n) => {
+                        if b < banks && r + 1 < rows && r >= 1 {
+                            dev.hammer_double_sided(b, r, n, 35.0);
+                        }
+                    }
+                    Cmd::Refresh => dev.refresh(),
+                    Cmd::SetTemp(t) => dev.set_temperature_c(t),
+                }
+            }
+        }
+
+        #[test]
+        fn read_after_write_returns_written_fill(
+            seed in any::<u64>(),
+            row in 1u32..4000,
+            fill in any::<u8>(),
+        ) {
+            // Without hammering, data integrity holds for any row/fill.
+            let mut dev = DramDevice::new(DeviceConfig::small_test(), seed);
+            dev.write_row(0, row, fill);
+            let flips = dev.read_and_compare(0, row, fill);
+            prop_assert!(flips.is_empty(), "unhammed row must read back clean");
+        }
+    }
+}
