@@ -1,0 +1,54 @@
+//! Benchmarks the deterministic campaign executor: serial vs parallel
+//! in-depth campaigns (same seed, so the parallel run produces
+//! bit-identical results while the wall clock shrinks), plus the raw
+//! executor overhead on trivial units.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vrd_core::campaign::{run_in_depth_campaign, InDepthConfig};
+use vrd_core::exec::{execute, ExecConfig, Unit, UnitKey};
+use vrd_dram::ModuleSpec;
+
+/// A campaign sized to a few dozen measurement cells: big enough that
+/// the parallel speedup dominates the pool setup, small enough to
+/// benchmark.
+fn bench_cfg() -> InDepthConfig {
+    InDepthConfig {
+        measurements: 30,
+        segment_rows: 48,
+        picks_per_segment: 3,
+        ..InDepthConfig::quick()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let specs: Vec<ModuleSpec> =
+        ["H3", "M1"].iter().map(|n| ModuleSpec::by_name(n).expect("module")).collect();
+    let cfg = bench_cfg();
+
+    let mut group = c.benchmark_group("campaign_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(&format!("in_depth_threads_{threads}"), |b| {
+            b.iter(|| {
+                run_in_depth_campaign(
+                    black_box(&specs),
+                    black_box(&cfg),
+                    &ExecConfig::new(threads, cfg.seed),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    // Raw executor overhead: scheduling 1,000 near-empty units.
+    c.bench_function("executor_overhead_1000_units", |b| {
+        b.iter(|| {
+            let units: Vec<Unit<u64>> =
+                (0..1000u32).map(|i| Unit::new(UnitKey::cell("OVH", i, 0), u64::from(i))).collect();
+            execute(&ExecConfig::new(4, 1), units, |ctx, &v| black_box(v ^ ctx.seed))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,8 +2,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use vrd_bender::estimate::{
-    one_measurement_energy_nj, one_measurement_time_ns, CampaignSpec, EnergyModel,
-    MeasurementSpec,
+    one_measurement_energy_nj, one_measurement_time_ns, CampaignSpec, EnergyModel, MeasurementSpec,
 };
 use vrd_bender::TimingParams;
 

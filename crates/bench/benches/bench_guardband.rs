@@ -16,9 +16,7 @@ fn bench(c: &mut Criterion) {
         row_bytes: 512,
         ..GuardbandConfig::default()
     };
-    group.bench_function("guardband_1row_50trials", |b| {
-        b.iter(|| run_guardband(&spec, &cfg))
-    });
+    group.bench_function("guardband_1row_50trials", |b| b.iter(|| run_guardband(&spec, &cfg)));
     group.finish();
 }
 

@@ -9,7 +9,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let cfg = SimConfig { cycles: 100_000, ..SimConfig::default() };
     for kind in [MitigationKind::None, MitigationKind::Graphene, MitigationKind::Para] {
-        group.bench_function(format!("run_100k_{}", kind.name()), |b| {
+        group.bench_function(&format!("run_100k_{}", kind.name()), |b| {
             b.iter(|| System::run_mix(&cfg, kind, 128, 1))
         });
     }

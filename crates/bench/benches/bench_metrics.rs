@@ -8,15 +8,11 @@ use vrd_core::predictability::analyze;
 
 fn bench(c: &mut Criterion) {
     let series = synthetic_series(10_000);
-    c.bench_function("series_metrics_10k", |b| {
-        b.iter(|| SeriesMetrics::of(black_box(&series)))
-    });
+    c.bench_function("series_metrics_10k", |b| b.iter(|| SeriesMetrics::of(black_box(&series))));
     c.bench_function("predictability_10k_lag50", |b| {
         b.iter(|| analyze(black_box(&series), 50).unwrap())
     });
-    c.bench_function("box_summary_10k", |b| {
-        b.iter(|| black_box(&series).box_summary().unwrap())
-    });
+    c.bench_function("box_summary_10k", |b| b.iter(|| black_box(&series).box_summary().unwrap()));
 }
 
 criterion_group!(benches, bench);

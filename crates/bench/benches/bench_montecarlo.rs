@@ -7,9 +7,7 @@ use vrd_core::montecarlo::{exact_p_within_margin, exact_stats, monte_carlo_stats
 
 fn bench(c: &mut Criterion) {
     let series = synthetic_series(1_000);
-    c.bench_function("exact_stats_n50", |b| {
-        b.iter(|| exact_stats(black_box(&series), 50))
-    });
+    c.bench_function("exact_stats_n50", |b| b.iter(|| exact_stats(black_box(&series), 50)));
     c.bench_function("exact_within_margin_n50", |b| {
         b.iter(|| exact_p_within_margin(black_box(&series), 50, 0.1))
     });

@@ -229,10 +229,8 @@ mod tests {
 
     #[test]
     fn loops_nest() {
-        let p = assemble(
-            "LOOP 10\n  ACT 0 1\n  LOOP 3\n    WR 0 0\n  ENDLOOP\n  PRE 0\nENDLOOP\n",
-        )
-        .unwrap();
+        let p = assemble("LOOP 10\n  ACT 0 1\n  LOOP 3\n    WR 0 0\n  ENDLOOP\n  PRE 0\nENDLOOP\n")
+            .unwrap();
         assert_eq!(p.instrs().len(), 1);
         match &p.instrs()[0] {
             Instr::Repeat { count: 10, body } => {
@@ -245,7 +243,8 @@ mod tests {
 
     #[test]
     fn hammer_loop_round_trips_and_executes() {
-        let src = "LOOP 1000\n  ACT 0 99\n  WAIT 35\n  PRE 0\n  ACT 0 101\n  WAIT 35\n  PRE 0\nENDLOOP\n";
+        let src =
+            "LOOP 1000\n  ACT 0 99\n  WAIT 35\n  PRE 0\n  ACT 0 101\n  WAIT 35\n  PRE 0\nENDLOOP\n";
         let p = assemble(src).unwrap();
         assert_eq!(assemble(&disassemble(&p)).unwrap(), p);
 

@@ -123,14 +123,12 @@ pub fn one_measurement_time_ns(timing: &TimingParams, spec: &MeasurementSpec) ->
         3.0 * init_one_row + hammer + read
     } else {
         // Table 5: B banks in lockstep.
-        let init_one_row_group = b * timing.t_rrd_s
-            + (128.0 * b - 1.0) * timing.t_ccd_s
-            + timing.t_wr
-            + timing.t_rp;
+        let init_one_row_group =
+            b * timing.t_rrd_s + (128.0 * b - 1.0) * timing.t_ccd_s + timing.t_wr + timing.t_rp;
         let hammer_interval = (t_on + timing.t_rp).max(timing.t_rrd_s * b + timing.t_rp);
         let hammer = hc * 2.0 * hammer_interval;
-        let read = timing.t_rcd + (128.0 * b - 1.0) * timing.t_ccd_l.min(timing.t_ccd_s)
-            + timing.t_rtp;
+        let read =
+            timing.t_rcd + (128.0 * b - 1.0) * timing.t_ccd_l.min(timing.t_ccd_s) + timing.t_rtp;
         3.0 * init_one_row_group + hammer + read
     }
 }
@@ -143,10 +141,8 @@ pub fn one_measurement_energy_nj(
 ) -> f64 {
     let counts = commands_per_measurement(spec);
     let time_ns = one_measurement_time_ns(timing, spec);
-    let hold_ns = spec.hammer_count as f64
-        * 2.0
-        * spec.t_agg_on_ns.max(timing.t_ras)
-        * f64::from(spec.banks);
+    let hold_ns =
+        spec.hammer_count as f64 * 2.0 * spec.t_agg_on_ns.max(timing.t_ras) * f64::from(spec.banks);
     counts.acts as f64 * energy.act_pre_nj
         + counts.writes as f64 * energy.write_nj
         + counts.reads as f64 * energy.read_nj
@@ -323,8 +319,7 @@ mod tests {
             rows: 1024,
             measurements: 100,
         };
-        let double =
-            CampaignSpec { measurements: 200, ..base };
+        let double = CampaignSpec { measurements: 200, ..base };
         assert!(base.total_energy_j(&timing, &e) > 0.0);
         assert!(
             (double.total_energy_j(&timing, &e) / base.total_energy_j(&timing, &e) - 2.0).abs()

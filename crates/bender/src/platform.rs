@@ -90,6 +90,14 @@ impl TestPlatform {
         self.spec.as_ref()
     }
 
+    /// Reseeds the device's dynamics RNG (see
+    /// [`DramDevice::reseed_dynamics`]). The weak-cell layout is
+    /// unaffected; only the stochastic measurement dynamics restart from
+    /// the given seed.
+    pub fn reseed_dynamics(&mut self, seed: u64) {
+        self.device.reseed_dynamics(seed);
+    }
+
     /// The active timing parameters.
     pub fn timing(&self) -> &TimingParams {
         &self.timing

@@ -69,7 +69,13 @@ impl Program {
     /// Builds the canonical double-sided hammer loop: `count` iterations
     /// of ACT/wait/PRE on each of the two aggressors, holding each open
     /// `t_on_ns` (a wait beyond `t_RAS` turns RowHammer into RowPress).
-    pub fn double_sided_hammer(bank: usize, aggr1: u32, aggr2: u32, count: u32, t_on_ns: f64) -> Self {
+    pub fn double_sided_hammer(
+        bank: usize,
+        aggr1: u32,
+        aggr2: u32,
+        count: u32,
+        t_on_ns: f64,
+    ) -> Self {
         let mut p = Program::new();
         p.repeat(
             count,
@@ -340,9 +346,12 @@ mod tests {
     #[test]
     fn hammer_time_scales_with_on_time() {
         let mut dev = device();
-        let short =
-            execute(&mut dev, &TimingParams::ddr4(), &Program::double_sided_hammer(0, 9, 11, 100, 35.0))
-                .unwrap();
+        let short = execute(
+            &mut dev,
+            &TimingParams::ddr4(),
+            &Program::double_sided_hammer(0, 9, 11, 100, 35.0),
+        )
+        .unwrap();
         let mut dev = device();
         let long = execute(
             &mut dev,

@@ -110,7 +110,7 @@ pub fn hammer_session(
     read_compare(platform, bank, victim, conditions.pattern)
 }
 
-/// Hammers `victim` through an arbitrary [`AccessPattern`]: each
+/// Hammers `victim` through an arbitrary [`AccessPattern`](vrd_dram::access::AccessPattern): each
 /// aggressor receives its weight share of `2 × hammer_count` total
 /// activations (so double-sided matches
 /// [`hammer_double_sided`]'s per-aggressor count). Returns the simulated

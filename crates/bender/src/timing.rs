@@ -140,8 +140,18 @@ mod tests {
     fn all_params_positive() {
         for t in [TimingParams::ddr4(), TimingParams::ddr5(), TimingParams::hbm2()] {
             for v in [
-                t.t_rrd_s, t.t_ccd_s, t.t_ccd_l, t.t_ccd_l_wr, t.t_rcd, t.t_rp, t.t_ras, t.t_rtp,
-                t.t_wr, t.t_refi, t.t_refw, t.t_rfc,
+                t.t_rrd_s,
+                t.t_ccd_s,
+                t.t_ccd_l,
+                t.t_ccd_l_wr,
+                t.t_rcd,
+                t.t_rp,
+                t.t_ras,
+                t.t_rtp,
+                t.t_wr,
+                t.t_refi,
+                t.t_refw,
+                t.t_rfc,
             ] {
                 assert!(v > 0.0);
             }

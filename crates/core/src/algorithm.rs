@@ -97,8 +97,7 @@ pub fn find_victim(
         let mut sum = u64::from(first);
         let mut count = 1u64;
         for _ in 1..10 {
-            if let Some(g) = guess_rdt(platform, bank, row, conditions, cutoff.saturating_mul(4))
-            {
+            if let Some(g) = guess_rdt(platform, bank, row, conditions, cutoff.saturating_mul(4)) {
                 sum += u64::from(g);
                 count += 1;
             }

@@ -4,6 +4,16 @@
 //!
 //! Campaign scale is configurable: the defaults match the paper; tests
 //! and quick runs shrink the measurement counts and row ranges.
+//!
+//! Two execution paths exist:
+//!
+//! - [`run_foundational`] is the legacy single-module serial entry point,
+//!   kept byte-for-byte stable (regression suites pin its output).
+//! - [`run_foundational_campaign`] / [`run_in_depth_campaign`] shard the
+//!   work across the deterministic executor ([`crate::exec`]): every
+//!   unit (module, or module × row × condition cell) runs on a fresh
+//!   platform whose dynamics RNG is reseeded from the unit's derived
+//!   seed, so the campaign output is bit-identical at any thread count.
 
 use serde::{Deserialize, Serialize};
 
@@ -13,6 +23,7 @@ use vrd_dram::spec::ModuleSpec;
 use vrd_dram::TestConditions;
 
 use crate::algorithm::{find_victim, test_loop, SweepSpec, FIND_VICTIM_CUTOFF};
+use crate::exec::{self, ExecConfig, Progress, Unit, UnitCtx, UnitKey};
 use crate::series::RdtSeries;
 
 /// Configuration of the §4 foundational campaign.
@@ -61,12 +72,69 @@ pub struct FoundationalResult {
 /// Runs the foundational campaign (Alg. 1) against one module. Returns
 /// `None` if no sufficiently vulnerable row exists in the scanned range.
 pub fn run_foundational(spec: &ModuleSpec, cfg: &FoundationalConfig) -> Option<FoundationalResult> {
-    let mut platform = TestPlatform::for_module_with_row_bytes(spec.clone(), cfg.seed, cfg.row_bytes);
+    let mut platform =
+        TestPlatform::for_module_with_row_bytes(spec.clone(), cfg.seed, cfg.row_bytes);
     platform.set_temperature_c(cfg.conditions.temperature_c);
     let (row, guess) =
         find_victim(&mut platform, 0, &cfg.conditions, FIND_VICTIM_CUTOFF, 2..cfg.scan_rows)?;
     let sweep = SweepSpec::from_guess(guess);
     let series = test_loop(&mut platform, 0, row, &cfg.conditions, cfg.measurements, &sweep);
+    Some(FoundationalResult {
+        module: spec.name.clone(),
+        row,
+        rdt_guess: guess,
+        series,
+        test_time_ns: platform.elapsed_ns(),
+    })
+}
+
+/// Runs the foundational campaign across a fleet of modules on the
+/// deterministic executor. Each module is one work unit: a fresh
+/// platform built from `cfg.seed` (so the weak-cell layout matches the
+/// legacy path) with its dynamics RNG reseeded from the unit's derived
+/// seed. Output order follows `specs`; entries are `None` for modules
+/// with no vulnerable row in the scanned range.
+pub fn run_foundational_campaign(
+    specs: &[ModuleSpec],
+    cfg: &FoundationalConfig,
+    exec_cfg: &ExecConfig,
+) -> Vec<Option<FoundationalResult>> {
+    run_foundational_campaign_observed(specs, cfg, exec_cfg, &Progress::new())
+}
+
+/// [`run_foundational_campaign`] reporting live progress into
+/// caller-owned counters (for the experiments CLI heartbeat).
+pub fn run_foundational_campaign_observed(
+    specs: &[ModuleSpec],
+    cfg: &FoundationalConfig,
+    exec_cfg: &ExecConfig,
+    progress: &Progress,
+) -> Vec<Option<FoundationalResult>> {
+    let units: Vec<Unit<ModuleSpec>> =
+        specs.iter().map(|s| Unit::new(UnitKey::module(&s.name), s.clone())).collect();
+    exec::execute_observed(exec_cfg, units, progress, |ctx, spec| {
+        foundational_unit(spec, cfg, &ctx)
+    })
+    .into_results()
+}
+
+/// One foundational work unit: Alg. 1 against one module on a fresh,
+/// unit-seeded platform.
+fn foundational_unit(
+    spec: &ModuleSpec,
+    cfg: &FoundationalConfig,
+    ctx: &UnitCtx<'_>,
+) -> Option<FoundationalResult> {
+    let mut platform =
+        TestPlatform::for_module_with_row_bytes(spec.clone(), cfg.seed, cfg.row_bytes);
+    platform.reseed_dynamics(ctx.seed);
+    platform.set_temperature_c(cfg.conditions.temperature_c);
+    let (row, guess) =
+        find_victim(&mut platform, 0, &cfg.conditions, FIND_VICTIM_CUTOFF, 2..cfg.scan_rows)?;
+    let sweep = SweepSpec::from_guess(guess);
+    let series = test_loop(&mut platform, 0, row, &cfg.conditions, cfg.measurements, &sweep);
+    ctx.record_flips(series.len() as u64);
+    ctx.record_sim_time_ns(platform.elapsed_ns());
     Some(FoundationalResult {
         module: spec.name.clone(),
         row,
@@ -182,8 +250,7 @@ pub fn select_rows(
             let mut sum = 0u64;
             let mut count = 0u64;
             for _ in 0..estimates {
-                if let Some(g) =
-                    guess_rdt(platform, bank, row, conditions, FIND_VICTIM_CUTOFF * 4)
+                if let Some(g) = guess_rdt(platform, bank, row, conditions, FIND_VICTIM_CUTOFF * 4)
                 {
                     sum += u64::from(g);
                     count += 1;
@@ -199,44 +266,135 @@ pub fn select_rows(
     selected
 }
 
-/// Runs the §5 in-depth campaign against one module.
+/// Runs the §5 in-depth campaign against one module, serially. This is
+/// the single-threaded instance of [`run_in_depth_campaign`], so its
+/// output is exactly what any parallel run of the same campaign
+/// produces.
 pub fn run_in_depth(spec: &ModuleSpec, cfg: &InDepthConfig) -> InDepthResult {
-    let mut platform = TestPlatform::for_module_with_row_bytes(spec.clone(), cfg.seed, cfg.row_bytes);
-    let selection_conditions = TestConditions::foundational();
-    platform.set_temperature_c(selection_conditions.temperature_c);
-    let rows = select_rows(
-        &mut platform,
-        0,
-        &selection_conditions,
-        cfg.segment_rows,
-        cfg.picks_per_segment,
-        3,
-    );
+    run_in_depth_campaign(std::slice::from_ref(spec), cfg, &ExecConfig::serial(cfg.seed))
+        .pop()
+        .expect("one module in, one result out")
+}
 
-    let mut row_results = Vec::with_capacity(rows.len());
-    for (row, selection_guess) in rows {
-        let mut per_condition = Vec::new();
-        for conditions in &cfg.conditions {
-            platform.set_temperature_c(conditions.temperature_c);
-            // Re-guess under these specific conditions: RowPress and
-            // temperature shift the testable range substantially.
-            let Some(guess) = guess_rdt(&mut platform, 0, row, conditions, FIND_VICTIM_CUTOFF * 8)
-            else {
-                continue;
-            };
-            let sweep = SweepSpec::from_guess(guess);
-            let series = test_loop(&mut platform, 0, row, conditions, cfg.measurements, &sweep);
-            if !series.is_empty() {
-                per_condition.push(ConditionSeries {
-                    conditions: *conditions,
-                    rdt_guess: guess,
-                    series,
-                });
+/// Runs the §5 in-depth campaign across a fleet of modules on the
+/// deterministic executor, in two phases:
+///
+/// 1. **Selection** — one unit per module scans the three bank segments
+///    and picks the most vulnerable rows (fresh platform per module, so
+///    selection is already scheduling-independent).
+/// 2. **Measurement** — every (module × row × condition) cell is one
+///    unit: a fresh platform reseeded from the cell's derived seed
+///    re-guesses the RDT under the cell's conditions and runs the
+///    `test_loop` sweep. All cells across all modules share one
+///    work-stealing pool, so a module with few vulnerable rows does not
+///    idle its threads.
+///
+/// Output order follows `specs`; within a module, rows follow selection
+/// order and conditions follow `cfg.conditions` order, independent of
+/// the thread count.
+pub fn run_in_depth_campaign(
+    specs: &[ModuleSpec],
+    cfg: &InDepthConfig,
+    exec_cfg: &ExecConfig,
+) -> Vec<InDepthResult> {
+    run_in_depth_campaign_observed(specs, cfg, exec_cfg, &Progress::new())
+}
+
+/// [`run_in_depth_campaign`] reporting live progress into caller-owned
+/// counters (for the experiments CLI heartbeat). The counters span both
+/// phases: selection units first, then every measurement cell.
+pub fn run_in_depth_campaign_observed(
+    specs: &[ModuleSpec],
+    cfg: &InDepthConfig,
+    exec_cfg: &ExecConfig,
+    progress: &Progress,
+) -> Vec<InDepthResult> {
+    // Phase 1: per-module row selection.
+    let selection_units: Vec<Unit<ModuleSpec>> =
+        specs.iter().map(|s| Unit::new(UnitKey::module(&s.name), s.clone())).collect();
+    let selections: Vec<Vec<(u32, u32)>> =
+        exec::execute_observed(exec_cfg, selection_units, progress, |ctx, spec| {
+            let mut platform =
+                TestPlatform::for_module_with_row_bytes(spec.clone(), cfg.seed, cfg.row_bytes);
+            let selection_conditions = TestConditions::foundational();
+            platform.set_temperature_c(selection_conditions.temperature_c);
+            let rows = select_rows(
+                &mut platform,
+                0,
+                &selection_conditions,
+                cfg.segment_rows,
+                cfg.picks_per_segment,
+                3,
+            );
+            ctx.record_sim_time_ns(platform.elapsed_ns());
+            rows
+        })
+        .into_results();
+
+    // Phase 2: one unit per (module × row × condition) cell, all modules
+    // in one pool.
+    let mut units: Vec<Unit<(usize, u32, TestConditions)>> = Vec::new();
+    for (module_idx, spec) in specs.iter().enumerate() {
+        for &(row, _) in &selections[module_idx] {
+            for (condition_idx, conditions) in cfg.conditions.iter().enumerate() {
+                units.push(Unit::new(
+                    UnitKey::cell(&spec.name, row, condition_idx as u32),
+                    (module_idx, row, *conditions),
+                ));
             }
         }
-        row_results.push(RowResult { row, selection_guess, per_condition });
     }
-    InDepthResult { module: spec.name.clone(), rows: row_results }
+    let cells: Vec<Option<ConditionSeries>> =
+        exec::execute_observed(exec_cfg, units, progress, |ctx, &(module_idx, row, conditions)| {
+            measure_cell(&specs[module_idx], cfg, row, &conditions, &ctx)
+        })
+        .into_results();
+
+    // Merge back in stable (module, selection, condition) order.
+    let mut cells = cells.into_iter();
+    specs
+        .iter()
+        .zip(selections)
+        .map(|(spec, rows)| InDepthResult {
+            module: spec.name.clone(),
+            rows: rows
+                .into_iter()
+                .map(|(row, selection_guess)| RowResult {
+                    row,
+                    selection_guess,
+                    per_condition: cells.by_ref().take(cfg.conditions.len()).flatten().collect(),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// One in-depth measurement cell: re-guess the RDT under the cell's
+/// conditions and sweep, on a fresh platform reseeded from the unit
+/// seed. Returns `None` when the row never flips within range under
+/// these conditions (such cells are omitted, as in the paper).
+fn measure_cell(
+    spec: &ModuleSpec,
+    cfg: &InDepthConfig,
+    row: u32,
+    conditions: &TestConditions,
+    ctx: &UnitCtx<'_>,
+) -> Option<ConditionSeries> {
+    let mut platform =
+        TestPlatform::for_module_with_row_bytes(spec.clone(), cfg.seed, cfg.row_bytes);
+    platform.reseed_dynamics(ctx.seed);
+    platform.set_temperature_c(conditions.temperature_c);
+    // Re-guess under these specific conditions: RowPress and temperature
+    // shift the testable range substantially.
+    let guess = guess_rdt(&mut platform, 0, row, conditions, FIND_VICTIM_CUTOFF * 8)?;
+    let sweep = SweepSpec::from_guess(guess);
+    let series = test_loop(&mut platform, 0, row, conditions, cfg.measurements, &sweep);
+    ctx.record_flips(series.len() as u64);
+    ctx.record_sim_time_ns(platform.elapsed_ns());
+    if series.is_empty() {
+        return None;
+    }
+    Some(ConditionSeries { conditions: *conditions, rdt_guess: guess, series })
 }
 
 #[cfg(test)]
@@ -303,5 +461,47 @@ mod tests {
                 assert_eq!(cs.conditions, TestConditions::foundational());
             }
         }
+    }
+
+    #[test]
+    fn in_depth_parallel_equals_serial() {
+        let spec = ModuleSpec::by_name("H3").unwrap();
+        let cfg = InDepthConfig::quick();
+        let serial = run_in_depth(&spec, &cfg);
+        let parallel =
+            run_in_depth_campaign(std::slice::from_ref(&spec), &cfg, &ExecConfig::new(4, cfg.seed));
+        assert_eq!(parallel.len(), 1);
+        assert_eq!(serial, parallel[0], "thread count must not change the results");
+    }
+
+    #[test]
+    fn foundational_campaign_is_thread_invariant_and_ordered() {
+        let specs: Vec<ModuleSpec> =
+            ["M1", "S2", "H3"].iter().map(|n| ModuleSpec::by_name(n).unwrap()).collect();
+        let cfg = quick_foundational();
+        let serial = run_foundational_campaign(&specs, &cfg, &ExecConfig::serial(cfg.seed));
+        let parallel = run_foundational_campaign(&specs, &cfg, &ExecConfig::new(8, cfg.seed));
+        assert_eq!(serial, parallel);
+        let names: Vec<&str> = serial.iter().flatten().map(|r| r.module.as_str()).collect();
+        assert_eq!(names, vec!["M1", "S2", "H3"], "output follows input order");
+    }
+
+    #[test]
+    fn campaign_progress_spans_both_phases() {
+        let spec = ModuleSpec::by_name("H3").unwrap();
+        let cfg = InDepthConfig::quick();
+        let progress = Progress::new();
+        let results = run_in_depth_campaign_observed(
+            std::slice::from_ref(&spec),
+            &cfg,
+            &ExecConfig::new(2, cfg.seed),
+            &progress,
+        );
+        let snap = progress.snapshot();
+        let cells: usize = results[0].rows.len() * cfg.conditions.len();
+        assert_eq!(snap.units_total, 1 + cells, "selection unit + every measurement cell");
+        assert_eq!(snap.units_done, snap.units_total);
+        assert!(snap.flips_found > 0);
+        assert!(snap.sim_time_ns > 0.0);
     }
 }

@@ -1,0 +1,493 @@
+//! Deterministic parallel campaign executor.
+//!
+//! The paper's campaigns are embarrassingly parallel — §4 measures one
+//! row per module across the fleet, §5 sweeps 150 rows × data-pattern ×
+//! `t_AggOn` × temperature grids — but naive parallelism would make the
+//! results depend on scheduling: the device's dynamics RNG advances with
+//! every measurement, so whichever unit runs first draws different
+//! numbers.
+//!
+//! This executor makes parallel campaigns **bit-identical regardless of
+//! thread count or scheduling order** by construction:
+//!
+//! 1. Work is split into *units* (module × row × condition cell), each
+//!    identified by a stable [`UnitKey`].
+//! 2. Every unit derives its own ChaCha seed from
+//!    `(campaign_seed, unit_key)` via [`derive_unit_seed`] and reseeds
+//!    its platform's dynamics RNG with it, so no unit observes RNG state
+//!    left behind by another.
+//! 3. Results are collected over a channel tagged with the unit's input
+//!    index and emitted in input order, so the output sequence is stable
+//!    no matter which worker finished first.
+//!
+//! Scheduling is work-stealing: each worker owns a queue (striped
+//! round-robin at submission), pops locally, and steals half of the
+//! largest other queue when it runs dry. A panicking unit is caught,
+//! reported as [`UnitOutcome::Panicked`], and never blocks the pool.
+//!
+//! Shared progress lives in [`Progress`] (atomic counters behind
+//! `parking_lot`-style locks only where needed): units done, bitflips
+//! found, and simulated test time consumed, for CLI throughput
+//! rendering while a campaign runs.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Executor configuration: worker-thread count and the campaign seed all
+/// unit seeds derive from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// The campaign seed; combined with each [`UnitKey`] into the
+    /// per-unit dynamics seed.
+    pub campaign_seed: u64,
+}
+
+impl ExecConfig {
+    /// A parallel configuration with the given thread count.
+    pub fn new(threads: usize, campaign_seed: u64) -> Self {
+        ExecConfig { threads, campaign_seed }
+    }
+
+    /// A single-threaded configuration (the reference ordering; parallel
+    /// runs must match it byte for byte).
+    pub fn serial(campaign_seed: u64) -> Self {
+        ExecConfig { threads: 1, campaign_seed }
+    }
+
+    /// The effective worker count for `unit_count` units.
+    pub fn effective_threads(&self, unit_count: usize) -> usize {
+        let configured = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            self.threads
+        };
+        configured.clamp(1, unit_count.max(1))
+    }
+}
+
+/// Stable identity of one work unit. The seed derivation uses the key's
+/// *contents* (not its position), so inserting or removing units never
+/// shifts the seeds of the others.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UnitKey {
+    /// Module name (paper Table 1).
+    pub module: String,
+    /// Row address, or [`UnitKey::WHOLE_MODULE`] for module-level units.
+    pub row: u32,
+    /// Condition-grid index, or [`UnitKey::WHOLE_MODULE`] for
+    /// module-level units.
+    pub condition: u32,
+}
+
+impl UnitKey {
+    /// Sentinel row/condition for units spanning a whole module.
+    pub const WHOLE_MODULE: u32 = u32::MAX;
+
+    /// Key of a module-level unit (e.g. one foundational campaign run or
+    /// the in-depth row-selection phase).
+    pub fn module(name: &str) -> Self {
+        UnitKey { module: name.to_owned(), row: Self::WHOLE_MODULE, condition: Self::WHOLE_MODULE }
+    }
+
+    /// Key of a (module × row × condition) measurement cell.
+    pub fn cell(module: &str, row: u32, condition: u32) -> Self {
+        UnitKey { module: module.to_owned(), row, condition }
+    }
+}
+
+/// Derives the per-unit ChaCha seed from the campaign seed and the unit
+/// key: FNV-1a over the module name folded with a splitmix64 finalizer
+/// over `(row, condition)`. Documented in EXPERIMENTS.md; changing this
+/// changes every campaign's numbers, so it is locked by the golden
+/// tests.
+pub fn derive_unit_seed(campaign_seed: u64, key: &UnitKey) -> u64 {
+    let mut h = campaign_seed ^ 0xCAFE_F00D_D15E_A5E5_u64;
+    for b in key.module.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h ^= u64::from(key.row).rotate_left(32) ^ u64::from(key.condition);
+    // splitmix64 finalizer.
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// One schedulable unit: a stable key plus the payload the work closure
+/// consumes.
+#[derive(Debug, Clone)]
+pub struct Unit<I> {
+    /// Stable identity (drives the seed and output labelling).
+    pub key: UnitKey,
+    /// Input handed to the work closure.
+    pub payload: I,
+}
+
+impl<I> Unit<I> {
+    /// Bundles a key with its payload.
+    pub fn new(key: UnitKey, payload: I) -> Self {
+        Unit { key, payload }
+    }
+}
+
+/// Shared live progress counters of one executor run. Cheap to read
+/// concurrently; the experiments CLI polls this from a heartbeat thread
+/// while the campaign runs.
+#[derive(Debug, Default)]
+pub struct Progress {
+    total: AtomicUsize,
+    done: AtomicUsize,
+    panicked: AtomicUsize,
+    flips: AtomicU64,
+    sim_time_ns: AtomicU64,
+}
+
+impl Progress {
+    /// Fresh counters (total is set by the executor on entry).
+    pub fn new() -> Self {
+        Progress::default()
+    }
+
+    /// Point-in-time copy of the counters.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            units_total: self.total.load(Ordering::Relaxed),
+            units_done: self.done.load(Ordering::Relaxed),
+            units_panicked: self.panicked.load(Ordering::Relaxed),
+            flips_found: self.flips.load(Ordering::Relaxed),
+            sim_time_ns: self.sim_time_ns.load(Ordering::Relaxed) as f64,
+        }
+    }
+
+    /// Enrolls another batch of units. Counters accumulate, so one
+    /// `Progress` can observe a multi-phase campaign (selection units
+    /// first, then measurement cells) as a single progress bar.
+    fn enroll(&self, total: usize) {
+        self.total.fetch_add(total, Ordering::Relaxed);
+    }
+
+    fn record_flips(&self, n: u64) {
+        self.flips.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn record_sim_time_ns(&self, ns: f64) {
+        // Whole nanoseconds are plenty for throughput display.
+        self.sim_time_ns.fetch_add(ns.max(0.0) as u64, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time view of [`Progress`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgressSnapshot {
+    /// Units submitted to this run.
+    pub units_total: usize,
+    /// Units finished (completed or panicked).
+    pub units_done: usize,
+    /// Units that panicked.
+    pub units_panicked: usize,
+    /// Bitflips (successful RDT measurements) reported by units so far.
+    pub flips_found: u64,
+    /// Simulated DRAM test time consumed so far (ns).
+    pub sim_time_ns: f64,
+}
+
+impl ProgressSnapshot {
+    /// Simulated test time in seconds.
+    pub fn sim_time_s(&self) -> f64 {
+        self.sim_time_ns * 1e-9
+    }
+}
+
+/// Per-unit context handed to the work closure.
+pub struct UnitCtx<'a> {
+    /// The unit's derived dynamics seed; reseed the platform with this.
+    pub seed: u64,
+    /// The unit's stable key.
+    pub key: &'a UnitKey,
+    progress: &'a Progress,
+}
+
+impl UnitCtx<'_> {
+    /// Reports successful RDT measurements (bitflips found).
+    pub fn record_flips(&self, n: u64) {
+        self.progress.record_flips(n);
+    }
+
+    /// Reports simulated test time consumed (ns).
+    pub fn record_sim_time_ns(&self, ns: f64) {
+        self.progress.record_sim_time_ns(ns);
+    }
+}
+
+/// How one unit ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitOutcome<T> {
+    /// The unit ran to completion.
+    Completed(T),
+    /// The unit panicked; the message is the panic payload.
+    Panicked(String),
+}
+
+impl<T> UnitOutcome<T> {
+    /// The completed value, if any.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            UnitOutcome::Completed(v) => Some(v),
+            UnitOutcome::Panicked(_) => None,
+        }
+    }
+
+    /// Whether the unit panicked.
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, UnitOutcome::Panicked(_))
+    }
+}
+
+/// The executor's result: one outcome per unit, **in input order**, plus
+/// the final progress snapshot.
+#[derive(Debug)]
+pub struct ExecReport<T> {
+    /// Per-unit outcomes, index-aligned with the submitted units.
+    pub outcomes: Vec<UnitOutcome<T>>,
+    /// Final counters.
+    pub progress: ProgressSnapshot,
+}
+
+impl<T> ExecReport<T> {
+    /// Unwraps all outcomes into their values.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first unit panic (campaign code treats a panicking
+    /// unit as a bug, matching the old `crossbeam::scope` behaviour).
+    pub fn into_results(self) -> Vec<T> {
+        self.outcomes
+            .into_iter()
+            .map(|o| match o {
+                UnitOutcome::Completed(v) => v,
+                UnitOutcome::Panicked(msg) => panic!("campaign unit panicked: {msg}"),
+            })
+            .collect()
+    }
+}
+
+/// Runs every unit through `f` on a work-stealing pool and returns the
+/// outcomes in input order. See the [module docs](self) for the
+/// determinism contract.
+pub fn execute<I, T, F>(cfg: &ExecConfig, units: Vec<Unit<I>>, f: F) -> ExecReport<T>
+where
+    I: Send + Sync,
+    T: Send,
+    F: Fn(UnitCtx<'_>, &I) -> T + Sync,
+{
+    let progress = Progress::new();
+    execute_observed(cfg, units, &progress, f)
+}
+
+/// Like [`execute`], but reports progress into caller-owned counters so
+/// a heartbeat thread can watch the run.
+pub fn execute_observed<I, T, F>(
+    cfg: &ExecConfig,
+    units: Vec<Unit<I>>,
+    progress: &Progress,
+    f: F,
+) -> ExecReport<T>
+where
+    I: Send + Sync,
+    T: Send,
+    F: Fn(UnitCtx<'_>, &I) -> T + Sync,
+{
+    progress.enroll(units.len());
+    if units.is_empty() {
+        return ExecReport { outcomes: Vec::new(), progress: progress.snapshot() };
+    }
+    let threads = cfg.effective_threads(units.len());
+
+    // Striped initial assignment: unit i starts on queue i mod threads,
+    // so every worker begins with a share of early (often larger) units.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..units.len() {
+        queues[i % threads].lock().push_back(i);
+    }
+
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, UnitOutcome<T>)>();
+    let units = &units;
+    let queues = &queues;
+    let f = &f;
+
+    let mut slots: Vec<Option<UnitOutcome<T>>> = Vec::new();
+    slots.resize_with(units.len(), || None);
+    crossbeam::scope(|scope| {
+        for worker in 0..threads {
+            let tx = tx.clone();
+            scope.spawn(move |_| {
+                while let Some(index) = next_unit(worker, queues) {
+                    let unit = &units[index];
+                    let ctx = UnitCtx {
+                        seed: derive_unit_seed(cfg.campaign_seed, &unit.key),
+                        key: &unit.key,
+                        progress,
+                    };
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| f(ctx, &unit.payload))) {
+                        Ok(value) => UnitOutcome::Completed(value),
+                        Err(payload) => {
+                            progress.panicked.fetch_add(1, Ordering::Relaxed);
+                            UnitOutcome::Panicked(panic_message(payload.as_ref()))
+                        }
+                    };
+                    progress.done.fetch_add(1, Ordering::Relaxed);
+                    // The receiver outlives the scope; send cannot fail.
+                    tx.send((index, outcome)).expect("receiver alive");
+                }
+            });
+        }
+        drop(tx); // workers hold the remaining senders
+                  // Collect on the scope's own thread, overlapping execution; the
+                  // iterator ends once every worker has exited and dropped its
+                  // sender.
+        for (index, outcome) in rx.iter() {
+            slots[index] = Some(outcome);
+        }
+    })
+    .expect("executor scope");
+
+    ExecReport {
+        outcomes: slots.into_iter().map(|s| s.expect("every unit reports exactly once")).collect(),
+        progress: progress.snapshot(),
+    }
+}
+
+/// Pops the worker's next unit: its own queue first, then a steal of
+/// half the largest other queue. Returns `None` when no queue holds
+/// work (the pool is draining; remaining in-flight units are owned by
+/// other workers).
+fn next_unit(worker: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+    if let Some(index) = queues[worker].lock().pop_front() {
+        return Some(index);
+    }
+    // Pick the victim with the most queued work, then steal the back
+    // half of its queue (the owner keeps draining the front).
+    let victim =
+        (0..queues.len()).filter(|&q| q != worker).max_by_key(|&q| queues[q].lock().len())?;
+    let stolen: VecDeque<usize> = {
+        let mut victim_queue = queues[victim].lock();
+        let keep = victim_queue.len().div_ceil(2);
+        victim_queue.split_off(keep)
+    };
+    if stolen.is_empty() {
+        return None;
+    }
+    let mut own = queues[worker].lock();
+    *own = stolen;
+    own.pop_front()
+}
+
+/// Renders a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unit panicked".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Unit<usize>> {
+        (0..n).map(|i| Unit::new(UnitKey::cell("M1", i as u32, 0), i)).collect()
+    }
+
+    #[test]
+    fn output_order_matches_input_order() {
+        for threads in [1, 2, 8] {
+            let cfg = ExecConfig::new(threads, 1);
+            let report = execute(&cfg, keys(37), |_, &i| i * 2);
+            let values = report.into_results();
+            assert_eq!(values, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn unit_seeds_are_thread_invariant_and_key_derived() {
+        let cfg1 = ExecConfig::serial(9);
+        let cfg8 = ExecConfig::new(8, 9);
+        let seeds = |cfg: &ExecConfig| execute(cfg, keys(20), |ctx, _| ctx.seed).into_results();
+        let serial = seeds(&cfg1);
+        assert_eq!(serial, seeds(&cfg8), "seeds must not depend on thread count");
+        assert_eq!(serial.len(), 20);
+        let distinct: std::collections::HashSet<u64> = serial.iter().copied().collect();
+        assert_eq!(distinct.len(), 20, "every unit key gets its own seed");
+    }
+
+    #[test]
+    fn seed_depends_on_campaign_seed_and_every_key_field() {
+        let base = derive_unit_seed(1, &UnitKey::cell("M1", 5, 2));
+        assert_ne!(base, derive_unit_seed(2, &UnitKey::cell("M1", 5, 2)));
+        assert_ne!(base, derive_unit_seed(1, &UnitKey::cell("M2", 5, 2)));
+        assert_ne!(base, derive_unit_seed(1, &UnitKey::cell("M1", 6, 2)));
+        assert_ne!(base, derive_unit_seed(1, &UnitKey::cell("M1", 5, 3)));
+    }
+
+    #[test]
+    fn panicking_units_are_reported_not_fatal() {
+        let cfg = ExecConfig::new(4, 0);
+        let report = execute(&cfg, keys(10), |_, &i| {
+            assert!(i != 3 && i != 7, "unit {i} exploded");
+            i
+        });
+        assert_eq!(report.progress.units_done, 10);
+        assert_eq!(report.progress.units_panicked, 2);
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(outcome.is_panicked(), i == 3 || i == 7, "unit {i}");
+        }
+    }
+
+    #[test]
+    fn progress_counters_accumulate() {
+        let cfg = ExecConfig::new(2, 0);
+        let report = execute(&cfg, keys(6), |ctx, &i| {
+            ctx.record_flips(10);
+            ctx.record_sim_time_ns(1_000.0);
+            i
+        });
+        assert_eq!(report.progress.units_total, 6);
+        assert_eq!(report.progress.flips_found, 60);
+        assert!((report.progress.sim_time_ns - 6_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_unit_list_is_fine() {
+        let cfg = ExecConfig::new(4, 0);
+        let report = execute(&cfg, Vec::<Unit<u32>>::new(), |_, &v| v);
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.progress.units_total, 0);
+    }
+
+    #[test]
+    fn more_threads_than_units_is_fine() {
+        let cfg = ExecConfig::new(64, 0);
+        let values = execute(&cfg, keys(3), |_, &i| i).into_results();
+        assert_eq!(values, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "campaign unit panicked")]
+    fn into_results_reraises_unit_panics() {
+        let cfg = ExecConfig::serial(0);
+        let report = execute(&cfg, keys(2), |_, &i| {
+            assert!(i != 1, "boom");
+            i
+        });
+        let _ = report.into_results();
+    }
+}

@@ -20,6 +20,9 @@
 //!   and in closed form (for cross-validation).
 //! - [`campaign`] — the foundational (§4) and in-depth (§5) measurement
 //!   campaigns against simulated modules.
+//! - [`exec`] — the deterministic work-stealing executor that shards
+//!   campaign work units across threads with per-unit derived seeds, so
+//!   parallel campaigns are bit-identical to serial ones.
 //! - [`guardband`] — §6.3/6.4: guardbanded hammering, unique-bitflip
 //!   accounting (Fig. 16), and ECC codeword classification.
 //!
@@ -42,6 +45,7 @@
 
 pub mod algorithm;
 pub mod campaign;
+pub mod exec;
 pub mod guardband;
 pub mod metrics;
 pub mod montecarlo;

@@ -103,11 +103,7 @@ pub fn monte_carlo_stats<R: Rng + ?Sized>(
 ) -> MinRdtStats {
     let (expected_min, p_find) = subsample_min_statistics(rng, series.values(), n, iterations);
     let global_min = f64::from(series.min().expect("non-empty series"));
-    MinRdtStats {
-        n,
-        p_find_min: p_find,
-        expected_normalized_min: expected_min / global_min,
-    }
+    MinRdtStats { n, p_find_min: p_find, expected_normalized_min: expected_min / global_min }
 }
 
 /// Exact statistics for one `n` (cross-validation target of the Monte
@@ -242,10 +238,7 @@ mod tests {
             for n in [1usize, 10, 50] {
                 let exact = exact_p_within_margin(&s, n, margin);
                 let mc = monte_carlo_p_within_margin(&mut rng, &s, n, margin, 20_000);
-                assert!(
-                    (exact - mc).abs() < 0.02,
-                    "n={n} margin={margin}: {exact} vs {mc}"
-                );
+                assert!((exact - mc).abs() < 0.02, "n={n} margin={margin}: {exact} vs {mc}");
             }
         }
     }

@@ -86,10 +86,11 @@ impl OnlineProfiler {
             let measured = guess_rdt(platform, 0, row, &self.conditions, 1 << 20);
             self.profiling_time_ns += platform.elapsed_ns() - before;
             let Some(rdt) = measured else { continue };
-            let entry = self
-                .profiles
-                .entry(row)
-                .or_insert(RowProfile { observed_min: u32::MAX, measurements: 0, min_updates: 0 });
+            let entry = self.profiles.entry(row).or_insert(RowProfile {
+                observed_min: u32::MAX,
+                measurements: 0,
+                min_updates: 0,
+            });
             entry.measurements += 1;
             if rdt < entry.observed_min {
                 entry.observed_min = rdt;
@@ -125,10 +126,9 @@ impl OnlineProfiler {
     /// zero once the profile is trustworthy, never exactly zero under
     /// VRD).
     pub fn instability(&self) -> f64 {
-        let (updates, total) = self
-            .profiles
-            .values()
-            .fold((0u64, 0u64), |(u, t), p| (u + u64::from(p.min_updates), t + u64::from(p.measurements)));
+        let (updates, total) = self.profiles.values().fold((0u64, 0u64), |(u, t), p| {
+            (u + u64::from(p.min_updates), t + u64::from(p.measurements))
+        });
         if total == 0 {
             1.0
         } else {

@@ -245,6 +245,19 @@ impl DramDevice {
         self.total_activations
     }
 
+    /// Reseeds the *dynamics* RNG (threshold sampling and trap stepping)
+    /// without touching the device seed, so the weak-cell layout — which
+    /// is derived per row from the device seed — stays identical.
+    ///
+    /// This is the determinism hook of the parallel campaign executor:
+    /// every work unit reseeds its platform with a seed derived from
+    /// `(campaign_seed, unit key)`, making the unit's measurements
+    /// independent of whatever ran on the device before it and therefore
+    /// bit-identical regardless of thread count or scheduling order.
+    pub fn reseed_dynamics(&mut self, seed: u64) {
+        self.rng = ChaCha12Rng::seed_from_u64(seed ^ 0xD12A_0DE1_u64);
+    }
+
     /// The currently open row of `bank`, if any.
     ///
     /// # Panics
@@ -317,8 +330,7 @@ impl DramDevice {
         self.banks[bank].open_row = Some(row);
 
         // Disturb physical neighbors.
-        let (below, above) =
-            self.config.mapping.neighbors_of(row, self.config.rows_per_bank);
+        let (below, above) = self.config.mapping.neighbors_of(row, self.config.rows_per_bank);
         if let Some(b) = below {
             self.add_disturbance(bank, b, /*from_below=*/ false, n, t_on_ns);
         }
@@ -480,8 +492,7 @@ impl DramDevice {
         hammer_count: u32,
         t_on_ns: f64,
     ) {
-        let (below, above) =
-            self.config.mapping.neighbors_of(victim, self.config.rows_per_bank);
+        let (below, above) = self.config.mapping.neighbors_of(victim, self.config.rows_per_bank);
         self.precharge(bank).expect("valid bank");
         // Alternating ACT/PRE pairs are semantically equal to bulk
         // activation of each side because disturbance accumulates
@@ -655,7 +666,14 @@ impl DramDevice {
         cells
     }
 
-    fn add_disturbance(&mut self, bank: usize, victim: u32, from_below: bool, n: u32, t_on_ns: f64) {
+    fn add_disturbance(
+        &mut self,
+        bank: usize,
+        victim: u32,
+        from_below: bool,
+        n: u32,
+        t_on_ns: f64,
+    ) {
         self.ensure_row(bank, victim);
         // Rows without weak cells never flip in the tested range; skip
         // the bookkeeping for them (the dominant case).
@@ -710,11 +728,8 @@ impl DramDevice {
     /// recorded aggressor on-time.
     fn infer_conditions(&self, bank: usize, row: u32) -> TestConditions {
         let state = self.banks[bank].rows.get(&row).expect("caller ensured");
-        let t_on = if state.disturb.t_on_ns > 0.0 {
-            state.disturb.t_on_ns
-        } else {
-            T_AGG_ON_MIN_TRAS_NS
-        };
+        let t_on =
+            if state.disturb.t_on_ns > 0.0 { state.disturb.t_on_ns } else { T_AGG_ON_MIN_TRAS_NS };
         let victim_fill = match state.data {
             RowData::Uniform(b) => Some(b),
             RowData::Bytes(_) => None,

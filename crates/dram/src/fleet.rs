@@ -85,6 +85,22 @@ impl Module {
     }
 }
 
+/// Splits a module roster into round-robin shards for spreading one
+/// campaign across several processes or hosts: shard `index` of `count`
+/// takes every `count`-th spec starting at `index`, preserving roster
+/// order. Because campaign unit seeds derive from module names and row
+/// addresses — never from roster position — a module's results are
+/// bit-identical whether it runs inside a shard or the full fleet.
+///
+/// # Panics
+///
+/// Panics if `count` is zero or `index >= count`.
+pub fn shard_specs(specs: &[ModuleSpec], index: usize, count: usize) -> Vec<ModuleSpec> {
+    assert!(count > 0, "shard count must be positive");
+    assert!(index < count, "shard index {index} out of range for {count} shards");
+    specs.iter().skip(index).step_by(count).cloned().collect()
+}
+
 /// Identifier scoping which part of the fleet an experiment uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FleetScope {
@@ -197,6 +213,37 @@ mod tests {
             (0..200).map(|r| m.device_mut().oracle_weak_cell_count(0, r)).collect()
         };
         assert_ne!(h3_counts, h4_counts);
+    }
+
+    #[test]
+    fn shards_partition_the_roster_in_order() {
+        let all = ModuleSpec::table1();
+        let shards: Vec<Vec<ModuleSpec>> = (0..4).map(|i| shard_specs(&all, i, 4)).collect();
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, all.len(), "shards cover every module exactly once");
+        let mut names: Vec<&str> =
+            shards.iter().flat_map(|s| s.iter().map(|m| m.name.as_str())).collect();
+        names.sort_unstable();
+        let mut expected: Vec<&str> = all.iter().map(|m| m.name.as_str()).collect();
+        expected.sort_unstable();
+        assert_eq!(names, expected, "shards are disjoint");
+        for shard in &shards {
+            let positions: Vec<usize> =
+                shard.iter().map(|m| all.iter().position(|a| a.name == m.name).unwrap()).collect();
+            assert!(positions.windows(2).all(|w| w[0] < w[1]), "order preserved");
+        }
+    }
+
+    #[test]
+    fn single_shard_is_identity() {
+        let all = ModuleSpec::table1();
+        assert_eq!(shard_specs(&all, 0, 1).len(), all.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_out_of_range_panics() {
+        let _ = shard_specs(&ModuleSpec::table1(), 3, 3);
     }
 
     #[test]

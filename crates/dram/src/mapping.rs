@@ -13,8 +13,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// All schemes are bijections on the row address space; the variants model
 /// address swizzles observed in real DDR4 devices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum RowMapping {
     /// Identity: physical = logical.
     #[default]
@@ -82,7 +81,6 @@ impl RowMapping {
         (below, above.filter(|&r| r < rows))
     }
 }
-
 
 /// Reverse-engineers the row mapping of a device under test.
 ///

@@ -15,8 +15,8 @@
 //! tested refresh interval.
 
 use rand::Rng;
-use rand_chacha::ChaCha12Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
 /// A leaky cell with a two-state (VRT) retention time.

@@ -2,7 +2,7 @@
 //!
 //! The paper's row-selection methodology (§5: scan the *first, middle,
 //! and last* 1,024 rows of a bank) exists because RDT varies spatially
-//! across a bank in an unpredictable way (the paper's reference [134],
+//! across a bank in an unpredictable way (the paper's reference \[134\],
 //! "Spatial Variation-Aware Read Disturbance Defenses"). Two spatial
 //! structures dominate: DRAM banks are tiled into *subarrays* of a few
 //! hundred rows, and rows near a subarray boundary sit next to the
@@ -33,17 +33,17 @@ impl SpatialProfile {
     /// A typical DDR4 layout: 512-row subarrays whose two boundary rows
     /// are ~12% weaker, with ±5% subarray-to-subarray variation.
     pub fn ddr4_default() -> Self {
-        SpatialProfile {
-            subarray_rows: 512,
-            edge_factor: 0.88,
-            edge_rows: 2,
-            subarray_sigma: 0.05,
-        }
+        SpatialProfile { subarray_rows: 512, edge_factor: 0.88, edge_rows: 2, subarray_sigma: 0.05 }
     }
 
     /// A flat profile (no spatial structure).
     pub fn flat() -> Self {
-        SpatialProfile { subarray_rows: u32::MAX, edge_factor: 1.0, edge_rows: 0, subarray_sigma: 0.0 }
+        SpatialProfile {
+            subarray_rows: u32::MAX,
+            edge_factor: 1.0,
+            edge_rows: 0,
+            subarray_sigma: 0.0,
+        }
     }
 
     /// The subarray index of a physical row.
@@ -76,8 +76,7 @@ impl SpatialProfile {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^= z >> 31;
             let u1 = ((z >> 11) as f64 / (1u64 << 53) as f64).clamp(1e-12, 1.0);
-            let u2 = ((z.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64
-                / (1u64 << 53) as f64)
+            let u2 = ((z.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64 / (1u64 << 53) as f64)
                 .clamp(0.0, 1.0);
             let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
             f *= (self.subarray_sigma * n).exp();
@@ -133,17 +132,15 @@ mod tests {
         // Rows in the same subarray share the factor.
         assert_eq!(p.factor(100, 3), p.factor(200, 3));
         // Across many subarrays the factors differ.
-        let distinct: std::collections::BTreeSet<u64> = (0..50u32)
-            .map(|s| p.factor(s * 512 + 100, 3).to_bits())
-            .collect();
+        let distinct: std::collections::BTreeSet<u64> =
+            (0..50u32).map(|s| p.factor(s * 512 + 100, 3).to_bits()).collect();
         assert!(distinct.len() > 30, "subarray factors must vary");
     }
 
     #[test]
     fn subarray_factor_centered_near_one() {
         let p = SpatialProfile::ddr4_default();
-        let mean: f64 =
-            (0..400u32).map(|s| p.factor(s * 512 + 100, 11)).sum::<f64>() / 400.0;
+        let mean: f64 = (0..400u32).map(|s| p.factor(s * 512 + 100, 11)).sum::<f64>() / 400.0;
         assert!((mean - 1.0).abs() < 0.05, "mean subarray factor {mean}");
     }
 

@@ -276,10 +276,8 @@ mod tests {
     fn longer_on_time_lowers_threshold() {
         let cell = test_cell();
         let short = cell.effective_threshold(&TestConditions::foundational(), true);
-        let long = cell.effective_threshold(
-            &TestConditions::foundational().with_t_agg_on_ns(7_800.0),
-            true,
-        );
+        let long = cell
+            .effective_threshold(&TestConditions::foundational().with_t_agg_on_ns(7_800.0), true);
         assert!(long < short, "RowPress must lower the threshold: {long} !< {short}");
     }
 

@@ -73,11 +73,9 @@ pub fn sec72_rates(ber: f64) -> ErrorRates {
 pub fn secded72_rates(ber: f64) -> ErrorRates {
     let unc = binomial_sf(72, 2, ber);
     // Undetected ≈ P(3 errors) + higher odd terms (negligible).
-    let undet: f64 = (0..=3u64)
-        .filter(|k| k % 2 == 1 && *k >= 3)
-        .map(|k| binomial_pmf(72, k, ber))
-        .sum::<f64>()
-        + binomial_pmf(72, 5, ber);
+    let undet: f64 =
+        (0..=3u64).filter(|k| k % 2 == 1 && *k >= 3).map(|k| binomial_pmf(72, k, ber)).sum::<f64>()
+            + binomial_pmf(72, 5, ber);
     ErrorRates {
         uncorrectable: unc,
         undetectable: undet,

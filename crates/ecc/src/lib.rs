@@ -109,8 +109,7 @@ mod tests {
         assert_eq!(ok, DecodeOutcome::Clean { data: 5 });
         let bad = DecodeOutcome::Clean { data: 6 }.classify_against(5);
         assert!(bad.is_sdc());
-        let corrected =
-            DecodeOutcome::Corrected { data: 7, bits_corrected: 1 }.classify_against(5);
+        let corrected = DecodeOutcome::Corrected { data: 7, bits_corrected: 1 }.classify_against(5);
         assert!(corrected.is_sdc());
     }
 

@@ -217,11 +217,7 @@ mod tests {
         for bit in 1..=136u32 {
             let mut corrupted = word;
             corrupted.flip_bit(bit);
-            assert_eq!(
-                code.decode(corrupted).data(),
-                DATA,
-                "single flip at {bit} must correct"
-            );
+            assert_eq!(code.decode(corrupted).data(), DATA, "single flip at {bit} must correct");
         }
     }
 

@@ -2,8 +2,8 @@
 //! with the analytic model cross-checked against the real decoders.
 
 use rand::Rng;
-use rand_chacha::ChaCha12Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
 use vrd_ecc::analysis::{self, ErrorRates, PAPER_WORST_BER};
@@ -118,8 +118,7 @@ fn two_distinct<R: Rng + ?Sized>(rng: &mut R, n: u32) -> (u32, u32) {
 /// Renders Table 3 and the decoder cross-check.
 pub fn render(result: &Table3Result) -> String {
     let (sec, secded, ssc) = &result.analytic;
-    let mut table =
-        Table::new(["type of error", "SEC", "SECDED", "Chipkill-like (SSC)"]);
+    let mut table = Table::new(["type of error", "SEC", "SECDED", "Chipkill-like (SSC)"]);
     table.row([
         "uncorrectable".to_owned(),
         sci(sec.uncorrectable),

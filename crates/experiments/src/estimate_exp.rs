@@ -54,11 +54,7 @@ pub struct EstimateSweep {
 fn sweep(label: &str, t_agg_on_ns: f64) -> EstimateSweep {
     let timing = TimingParams::ddr5();
     let energy = EnergyModel::default();
-    let make = |hc: u64, banks: u32| MeasurementSpec {
-        hammer_count: hc,
-        t_agg_on_ns,
-        banks,
-    };
+    let make = |hc: u64, banks: u32| MeasurementSpec { hammer_count: hc, t_agg_on_ns, banks };
     let mut single = Vec::new();
     for &hc in &HAMMER_COUNTS {
         for &banks in &BANK_COUNTS {

@@ -301,9 +301,7 @@ pub fn online(opts: &Options) -> Option<OnlineResult> {
     // Offline reference: a long series on the most vulnerable row.
     let (victim, guess) =
         find_victim(&mut platform, 0, &conditions, FIND_VICTIM_CUTOFF, rows[0]..rows[0] + 1)
-            .or_else(|| {
-                find_victim(&mut platform, 0, &conditions, FIND_VICTIM_CUTOFF, 2..8192)
-            })?;
+            .or_else(|| find_victim(&mut platform, 0, &conditions, FIND_VICTIM_CUTOFF, 2..8192))?;
     let offline = test_loop(
         &mut platform,
         0,

@@ -141,8 +141,7 @@ pub fn check_indepth(study: &InDepthStudy) -> Vec<FindingCheck> {
     // Findings 7–9 need per-series subsampling statistics.
     let mut p1: Vec<f64> = Vec::new();
     let mut worst_e1: f64 = 1.0;
-    let mut p_by_n: Vec<(usize, Vec<f64>)> =
-        vec![(1, vec![]), (5, vec![]), (50, vec![])];
+    let mut p_by_n: Vec<(usize, Vec<f64>)> = vec![(1, vec![]), (5, vec![]), (50, vec![])];
     for module in &study.per_module {
         for row in &module.rows {
             for cs in &row.per_condition {
@@ -242,8 +241,7 @@ pub fn check_indepth(study: &InDepthStudy) -> Vec<FindingCheck> {
     out.push(check(
         13,
         "No single data pattern is worst across all chips",
-        worst_per_class.len() <= 1
-            || worst_per_class.windows(2).any(|w| w[0].1 != w[1].1),
+        worst_per_class.len() <= 1 || worst_per_class.windows(2).any(|w| w[0].1 != w[1].1),
         format!("worst pattern per class: {worst_per_class:?}"),
     ));
 
@@ -281,8 +279,12 @@ pub fn check_indepth(study: &InDepthStudy) -> Vec<FindingCheck> {
 pub fn check_cells(study: &InDepthStudy) -> Vec<FindingCheck> {
     use vrd_dram::cells::CellPolarity;
     let Some(m0) = study.per_module.iter().find(|m| m.module == "M0") else {
-        return vec![check(17, "True-/anti-cell layout does not change VRD", true,
-            "module M0 not in scope; skipped".to_owned())];
+        return vec![check(
+            17,
+            "True-/anti-cell layout does not change VRD",
+            true,
+            "module M0 not in scope; skipped".to_owned(),
+        )];
     };
     let spec = vrd_dram::ModuleSpec::by_name("M0").expect("M0 exists");
     let layout = spec.cell_layout();

@@ -6,14 +6,16 @@
 
 use serde::{Deserialize, Serialize};
 
-use vrd_core::campaign::{run_foundational, FoundationalConfig, FoundationalResult};
+use vrd_core::campaign::{
+    run_foundational_campaign_observed, FoundationalConfig, FoundationalResult,
+};
 use vrd_core::metrics::SeriesMetrics;
 use vrd_core::predictability::{analyze, PredictabilityReport};
 use vrd_stats::{BoxSummary, Histogram};
 
 use crate::opts::Options;
 use crate::render::{f, Table};
-use crate::runner::map_modules;
+use crate::runner::with_heartbeat;
 
 /// The full foundational study output.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -23,16 +25,19 @@ pub struct FoundationalStudy {
     pub per_module: Vec<FoundationalResult>,
 }
 
-/// Runs (or reuses) the foundational campaign across the module scope.
+/// Runs (or reuses) the foundational campaign across the module scope,
+/// on the deterministic executor: output is identical at any
+/// `--threads` value.
 pub fn run(opts: &Options) -> FoundationalStudy {
-    let results = map_modules(opts, |spec| {
-        let cfg = FoundationalConfig {
-            measurements: opts.foundational_measurements,
-            seed: opts.seed,
-            row_bytes: opts.row_bytes,
-            ..FoundationalConfig::default()
-        };
-        run_foundational(spec, &cfg)
+    let cfg = FoundationalConfig {
+        measurements: opts.foundational_measurements,
+        seed: opts.seed,
+        row_bytes: opts.row_bytes,
+        ..FoundationalConfig::default()
+    };
+    let specs = opts.specs();
+    let results = with_heartbeat("foundational campaign", |progress| {
+        run_foundational_campaign_observed(&specs, &cfg, &opts.exec_config(), progress)
     });
     FoundationalStudy { per_module: results.into_iter().flatten().collect() }
 }
@@ -46,12 +51,7 @@ pub fn render_fig1(study: &FoundationalStudy) -> String {
     let chunk = (result.series.len() / 100).max(10);
     let mut table = Table::new(["measurement", "mean RDT", "min", "max"]);
     for (i, (mean, min, max)) in result.series.chunk_summaries(chunk).iter().enumerate() {
-        table.row([
-            format!("{}", i * chunk),
-            f(*mean, 1),
-            format!("{min}"),
-            format!("{max}"),
-        ]);
+        table.row([format!("{}", i * chunk), f(*mean, 1), format!("{min}"), format!("{max}")]);
     }
     let min_idx = result.series.first_min_index().unwrap_or(0);
     format!(
@@ -68,8 +68,7 @@ pub fn render_fig1(study: &FoundationalStudy) -> String {
 
 /// Fig. 3: RDT box-whisker distribution per module.
 pub fn render_fig3(study: &FoundationalStudy) -> String {
-    let mut table =
-        Table::new(["module", "min", "Q1", "median", "Q3", "max", "mean", "max/min"]);
+    let mut table = Table::new(["module", "min", "Q1", "median", "Q3", "max", "mean", "max/min"]);
     for r in &study.per_module {
         let Ok(b) = r.series.box_summary() else { continue };
         table.row([
@@ -101,8 +100,7 @@ pub fn render_fig4(study: &FoundationalStudy) -> String {
     let mut table = Table::new(["module", "unique states", "modes", "bin counts (first 12)"]);
     for r in &study.per_module {
         let Ok(h) = Histogram::with_unique_value_bins(r.series.values()) else { continue };
-        let head: Vec<String> =
-            h.counts().iter().take(12).map(|c| c.to_string()).collect();
+        let head: Vec<String> = h.counts().iter().take(12).map(|c| c.to_string()).collect();
         table.row([
             r.module.clone(),
             h.bins().to_string(),

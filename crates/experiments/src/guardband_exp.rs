@@ -4,7 +4,9 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-use vrd_core::guardband::{run_guardband, worst_bit_error_rate, GuardbandConfig, RowGuardbandResult};
+use vrd_core::guardband::{
+    run_guardband, worst_bit_error_rate, GuardbandConfig, RowGuardbandResult,
+};
 
 use crate::opts::Options;
 use crate::render::{sci, Table};

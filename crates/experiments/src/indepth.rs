@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use vrd_core::campaign::{run_in_depth, InDepthConfig, InDepthResult};
+use vrd_core::campaign::{run_in_depth_campaign_observed, InDepthConfig, InDepthResult};
 use vrd_core::montecarlo::{exact_stats, PAPER_N_VALUES};
 use vrd_dram::cells::CellPolarity;
 use vrd_dram::conditions::T_AGG_ON_TREFI_NS;
@@ -11,7 +11,7 @@ use vrd_stats::{BoxSummary, SCurve};
 
 use crate::opts::Options;
 use crate::render::{f, Table};
-use crate::runner::map_modules;
+use crate::runner::with_heartbeat;
 
 /// A labelled module-name predicate (manufacturer class filter).
 type ClassFilter = (&'static str, Box<dyn Fn(&str) -> bool>);
@@ -23,19 +23,23 @@ pub struct InDepthStudy {
     pub per_module: Vec<InDepthResult>,
 }
 
-/// Runs the in-depth campaign across the module scope.
+/// Runs the in-depth campaign across the module scope on the
+/// deterministic executor. Every (module × row × condition) cell is one
+/// work unit sharing a single work-stealing pool, so thin modules do
+/// not idle threads — and the output is identical at any `--threads`
+/// value.
 pub fn run(opts: &Options) -> InDepthStudy {
-    let grid = opts.condition_grid();
-    let per_module = map_modules(opts, |spec| {
-        let cfg = InDepthConfig {
-            measurements: opts.indepth_measurements,
-            segment_rows: opts.segment_rows,
-            picks_per_segment: opts.picks_per_segment,
-            conditions: grid.clone(),
-            seed: opts.seed,
-            row_bytes: opts.row_bytes,
-        };
-        run_in_depth(spec, &cfg)
+    let cfg = InDepthConfig {
+        measurements: opts.indepth_measurements,
+        segment_rows: opts.segment_rows,
+        picks_per_segment: opts.picks_per_segment,
+        conditions: opts.condition_grid(),
+        seed: opts.seed,
+        row_bytes: opts.row_bytes,
+    };
+    let specs = opts.specs();
+    let per_module = with_heartbeat("in-depth campaign", |progress| {
+        run_in_depth_campaign_observed(&specs, &cfg, &opts.exec_config(), progress)
     });
     InDepthStudy { per_module }
 }
@@ -364,9 +368,10 @@ pub fn table7(study: &InDepthStudy) -> Vec<Table7Row> {
                 }
                 if let (Ok(med), Some(max)) = (
                     vrd_stats::descriptive::median(&values),
-                    values.iter().copied().fold(None, |acc: Option<f64>, v| {
-                        Some(acc.map_or(v, |a| a.max(v)))
-                    }),
+                    values
+                        .iter()
+                        .copied()
+                        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v)))),
                 ) {
                     norm_min.push((n, med, max));
                 }
@@ -394,7 +399,13 @@ pub fn table7(study: &InDepthStudy) -> Vec<Table7Row> {
 pub fn render_table7(study: &InDepthStudy) -> String {
     let rows = table7(study);
     let mut table = Table::new([
-        "module", "N=1 med", "N=1 max", "N=5 med", "N=50 med", "N=500 med", "minRDT tRAS",
+        "module",
+        "N=1 med",
+        "N=1 max",
+        "N=5 med",
+        "N=50 med",
+        "N=500 med",
+        "minRDT tRAS",
         "minRDT tREFI",
     ]);
     for r in rows {
@@ -424,9 +435,10 @@ pub fn all_condition_variation_fraction(study: &InDepthStudy) -> f64 {
                 continue;
             }
             total += 1;
-            let everywhere = row.per_condition.iter().all(|cs| {
-                vrd_stats::histogram::unique_count(cs.series.values()) > 1
-            });
+            let everywhere = row
+                .per_condition
+                .iter()
+                .all(|cs| vrd_stats::histogram::unique_count(cs.series.values()) > 1);
             if everywhere {
                 varying_everywhere += 1;
             }

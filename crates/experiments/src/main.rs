@@ -16,7 +16,11 @@
 //!   --cycles N            Fig.-14 simulated nanoseconds
 //!   --modules A,B,...     restrict the module roster
 //!   --seed N              root RNG seed
-//!   --threads N           worker threads (0 = all cores)
+//!   --threads N           worker threads (0 = all cores); results are
+//!                         identical at any thread count
+//!   --shard I/N           run only the I-th of N round-robin roster
+//!                         shards (for spreading a campaign across
+//!                         processes; per-module results are unchanged)
 //!   --out DIR             JSON output directory (default: results)
 //! ```
 
@@ -89,9 +93,31 @@ fn main() {
 }
 
 const ALL_IDS: &[&str] = &[
-    "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "fig15", "fig16", "fig17-20", "fig21-24", "fig25", "tab3", "tab7",
-    "findings", "ablation", "security", "online", "takeaways",
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17-20",
+    "fig21-24",
+    "fig25",
+    "tab3",
+    "tab7",
+    "findings",
+    "ablation",
+    "security",
+    "online",
+    "takeaways",
 ];
 
 fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
@@ -99,7 +125,7 @@ fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
     let mut ids = Vec::new();
     let mut iter = args.iter().peekable();
     let need = |iter: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                    flag: &str|
+                flag: &str|
      -> Result<String, String> {
         iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
     };
@@ -146,6 +172,17 @@ fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
             }
             "--threads" => {
                 opts.threads = need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--shard" => {
+                let value = need(&mut iter, arg)?;
+                let (index, count) = value
+                    .split_once('/')
+                    .ok_or_else(|| format!("{arg}: expected I/N, got {value:?}"))?;
+                opts.shard_index = index.parse().map_err(|e| format!("{arg}: {e}"))?;
+                opts.shard_count = count.parse().map_err(|e| format!("{arg}: {e}"))?;
+                if opts.shard_count == 0 || opts.shard_index >= opts.shard_count {
+                    return Err(format!("{arg}: index must be < count, got {value}"));
+                }
             }
             "--out" => opts.out_dir = need(&mut iter, arg)?,
             "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),

@@ -72,8 +72,7 @@ pub fn run(opts: &Options) -> Fig14Result {
 
 /// Renders Fig. 14.
 pub fn render(result: &Fig14Result) -> String {
-    let mut table =
-        Table::new(["RDT", "margin", "effective", "Graphene", "PRAC", "PARA", "MINT"]);
+    let mut table = Table::new(["RDT", "margin", "effective", "Graphene", "PRAC", "PARA", "MINT"]);
     for &rdt in &RDT_VALUES {
         for &margin in &MARGINS {
             let get = |kind: MitigationKind| -> String {
@@ -108,7 +107,12 @@ pub fn render(result: &Fig14Result) -> String {
 
 /// The performance delta a mitigation pays going from no margin to
 /// `margin` at `rdt` (the paper's "reduces by X% compared to no margin").
-pub fn margin_cost(result: &Fig14Result, kind: MitigationKind, rdt: u32, margin: f64) -> Option<f64> {
+pub fn margin_cost(
+    result: &Fig14Result,
+    kind: MitigationKind,
+    rdt: u32,
+    margin: f64,
+) -> Option<f64> {
     let at = |m: f64| {
         result
             .points

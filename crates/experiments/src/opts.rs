@@ -38,8 +38,16 @@ pub struct Options {
     pub row_bytes: u32,
     /// Output directory for JSON results.
     pub out_dir: String,
-    /// Worker threads for per-module parallelism (0 = all cores).
+    /// Worker threads for campaign parallelism (0 = all cores).
     pub threads: usize,
+    /// This process's shard of the module roster (with
+    /// [`shard_count`](Self::shard_count); default `0` of `1` = no
+    /// sharding). Sharding is round-robin over the roster and does not
+    /// change any module's results — unit seeds derive from module
+    /// names, not roster positions.
+    pub shard_index: usize,
+    /// Total shards the roster is split across.
+    pub shard_count: usize,
 }
 
 impl Default for Options {
@@ -59,6 +67,8 @@ impl Default for Options {
             row_bytes: 2048,
             out_dir: "results".to_owned(),
             threads: 0,
+            shard_index: 0,
+            shard_count: 1,
         }
     }
 }
@@ -100,14 +110,21 @@ impl Options {
         }
     }
 
-    /// The module specs in scope.
+    /// The module specs in scope: the roster (or `--modules` subset),
+    /// reduced to this process's shard.
     pub fn specs(&self) -> Vec<vrd_dram::ModuleSpec> {
         let all = vrd_dram::ModuleSpec::table1();
-        if self.modules.is_empty() {
+        let scoped: Vec<vrd_dram::ModuleSpec> = if self.modules.is_empty() {
             all
         } else {
             all.into_iter().filter(|s| self.modules.iter().any(|m| m == &s.name)).collect()
-        }
+        };
+        vrd_dram::fleet::shard_specs(&scoped, self.shard_index, self.shard_count)
+    }
+
+    /// The executor configuration for campaign parallelism.
+    pub fn exec_config(&self) -> vrd_core::exec::ExecConfig {
+        vrd_core::exec::ExecConfig::new(self.threads, self.seed)
     }
 
     /// The in-depth condition grid at this scale.
@@ -149,6 +166,18 @@ mod tests {
     fn grids() {
         assert_eq!(Options::default().condition_grid().len(), 16);
         assert_eq!(Options::paper().condition_grid().len(), 36);
+    }
+
+    #[test]
+    fn shard_options_split_the_scope() {
+        let shards: Vec<Vec<String>> = (0..3)
+            .map(|i| {
+                let o = Options { shard_index: i, shard_count: 3, ..Options::default() };
+                o.specs().into_iter().map(|s| s.name).collect()
+            })
+            .collect();
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), 25);
+        assert!(shards.iter().all(|s| !s.is_empty()));
     }
 
     #[test]

@@ -1,46 +1,69 @@
-//! Per-module parallel execution and result persistence.
+//! Campaign execution plumbing (deterministic executor + progress
+//! heartbeat) and result persistence.
 
 use std::fs;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
-use parking_lot::Mutex;
 use serde::Serialize;
 
+use vrd_core::exec::{self, Progress, Unit, UnitKey};
 use vrd_dram::ModuleSpec;
 
 use crate::opts::Options;
 
-/// Maps `f` over the option's module specs in parallel (crossbeam scoped
-/// threads), preserving Table-1 order in the output.
+/// Maps `f` over the option's module specs on the deterministic executor
+/// ([`vrd_core::exec`]), preserving Table-1 order in the output. One
+/// unit per module; a panicking module panics the call, as the old
+/// scoped-thread runner did.
 pub fn map_modules<T, F>(opts: &Options, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&ModuleSpec) -> T + Sync,
 {
-    let specs = opts.specs();
-    let threads = if opts.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    } else {
-        opts.threads
-    }
-    .min(specs.len().max(1));
+    let units: Vec<Unit<ModuleSpec>> =
+        opts.specs().into_iter().map(|s| Unit::new(UnitKey::module(&s.name), s)).collect();
+    exec::execute(&opts.exec_config(), units, |_ctx, spec| f(spec)).into_results()
+}
 
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..specs.len()).map(|_| None).collect());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
+/// Seconds between heartbeat lines.
+const HEARTBEAT_PERIOD_S: u64 = 5;
+
+/// Runs `body` with a monitor thread printing campaign progress (units
+/// done, bitflips found, simulated test time) to stderr every few
+/// seconds. Campaigns shorter than one period print nothing.
+pub fn with_heartbeat<T, F>(label: &str, body: F) -> T
+where
+    F: FnOnce(&Progress) -> T,
+{
+    let progress = Progress::new();
+    let finished = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| loop {
+            // Tick at 100 ms so the monitor exits promptly when the
+            // campaign ends between beats.
+            for _ in 0..HEARTBEAT_PERIOD_S * 10 {
+                if finished.load(Ordering::Relaxed) {
+                    return;
                 }
-                let out = f(&specs[i]);
-                results.lock()[i] = Some(out);
-            });
-        }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            let snap = progress.snapshot();
+            if snap.units_total > 0 {
+                eprintln!(
+                    "[vrd-exp] {label}: {}/{} units, {} flips, {:.2} s simulated",
+                    snap.units_done,
+                    snap.units_total,
+                    snap.flips_found,
+                    snap.sim_time_s(),
+                );
+            }
+        });
+        let out = body(&progress);
+        finished.store(true, Ordering::Relaxed);
+        out
     })
-    .expect("worker thread panicked");
-    results.into_inner().into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 
 /// Writes `value` as pretty JSON to `<out_dir>/<name>.json`.
@@ -80,6 +103,21 @@ mod tests {
     }
 
     #[test]
+    fn with_heartbeat_returns_body_result_and_sees_progress() {
+        let mut opts = Options::smoke();
+        opts.modules = vec!["M1".into(), "S0".into()];
+        let (names, snap) = with_heartbeat("test", |progress| {
+            let units: Vec<Unit<ModuleSpec>> =
+                opts.specs().into_iter().map(|s| Unit::new(UnitKey::module(&s.name), s)).collect();
+            let report =
+                exec::execute_observed(&opts.exec_config(), units, progress, |_, s| s.name.clone());
+            (report.into_results(), progress.snapshot())
+        });
+        assert_eq!(names, vec!["M1", "S0"]);
+        assert_eq!(snap.units_done, 2);
+    }
+
+    #[test]
     fn save_json_round_trips() {
         let mut opts = Options::smoke();
         opts.out_dir = std::env::temp_dir()
@@ -87,8 +125,7 @@ mod tests {
             .to_string_lossy()
             .into_owned();
         save_json(&opts, "probe", &vec![1, 2, 3]).unwrap();
-        let content =
-            std::fs::read_to_string(Path::new(&opts.out_dir).join("probe.json")).unwrap();
+        let content = std::fs::read_to_string(Path::new(&opts.out_dir).join("probe.json")).unwrap();
         let back: Vec<i32> = serde_json::from_str(&content).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
         let _ = std::fs::remove_dir_all(&opts.out_dir);

@@ -307,7 +307,7 @@ mod tests {
     fn same_bank_act_respects_trc() {
         let mut ch = DramChannel::new(1, DramTiming::default());
         ch.service(0, 1, 0); // ACT at 0
-        // PRE at 32, row closed; ACT legal only at tRC = 46.
+                             // PRE at 32, row closed; ACT legal only at tRC = 46.
         ch.service(0, 2, 32);
         assert_eq!(ch.service(0, 2, 40), None);
         assert!(!ch.is_row_hit(0, 2));

@@ -19,8 +19,8 @@
 //!   \[Qureshi et al., 2024\].
 
 use rand::Rng;
-use rand_chacha::ChaCha12Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -263,11 +263,7 @@ pub struct Prac {
 impl Prac {
     /// Creates PRAC for the given effective threshold.
     pub fn new(threshold: u32) -> Self {
-        Prac {
-            alert: (threshold * 3 / 4).max(1),
-            counters: HashMap::new(),
-            backoff_ns: 100,
-        }
+        Prac { alert: (threshold * 3 / 4).max(1), counters: HashMap::new(), backoff_ns: 100 }
     }
 }
 

@@ -15,8 +15,8 @@
 //! the epoch's true RDT before a preventive refresh lands.
 
 use rand::Rng;
-use rand_chacha::ChaCha12Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::mitigation::{MitigationAction, MitigationKind};
@@ -79,8 +79,7 @@ pub fn simulate_attack(
     let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
     let mut mitigation = kind.build(configured_threshold, 1, config.seed);
     let dist = &config.rdt_distribution;
-    let draw_rdt =
-        |rng: &mut ChaCha12Rng| -> u64 { u64::from(dist[rng.gen_range(0..dist.len())]) };
+    let draw_rdt = |rng: &mut ChaCha12Rng| -> u64 { u64::from(dist[rng.gen_range(0..dist.len())]) };
 
     let bank = 0usize;
     let aggressor_row = 7u32;
@@ -167,8 +166,7 @@ pub fn security_sweep(
 
     let mut points = Vec::new();
     for margin in [0.0f64, 0.10, 0.25, 0.50] {
-        let configured =
-            ((f64::from(estimated_min)) * (1.0 - margin)).floor().max(1.0) as u32;
+        let configured = ((f64::from(estimated_min)) * (1.0 - margin)).floor().max(1.0) as u32;
         let result = simulate_attack(kind, configured, config);
         points.push((margin, configured, result.escapes_per_million()));
     }

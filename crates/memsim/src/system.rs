@@ -21,11 +21,7 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig {
-            cycles: 1_000_000,
-            banks: 16,
-            mix: WorkloadParams::paper_mixes()[0],
-        }
+        SimConfig { cycles: 1_000_000, banks: 16, mix: WorkloadParams::paper_mixes()[0] }
     }
 }
 
@@ -235,8 +231,7 @@ impl System {
         let mut best_arrival = queue[0].arrival;
         for (i, req) in queue.iter().enumerate().skip(1) {
             let hit = self.channel.is_row_hit(bank, req.row);
-            let better =
-                (hit && !best_hit) || (hit == best_hit && req.arrival < best_arrival);
+            let better = (hit && !best_hit) || (hit == best_hit && req.arrival < best_arrival);
             if better {
                 best_idx = i;
                 best_hit = hit;

@@ -8,8 +8,8 @@
 //! rows are what trip read-disturbance trackers).
 
 use rand::Rng;
-use rand_chacha::ChaCha12Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of one core's synthetic access stream.

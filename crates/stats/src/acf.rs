@@ -99,18 +99,12 @@ mod tests {
 
     #[test]
     fn constant_series_is_error() {
-        assert!(matches!(
-            autocorrelation(&[2.0; 10], 3),
-            Err(StatsError::InvalidParameter(_))
-        ));
+        assert!(matches!(autocorrelation(&[2.0; 10], 3), Err(StatsError::InvalidParameter(_))));
     }
 
     #[test]
     fn too_short_is_error() {
-        assert!(matches!(
-            autocorrelation(&[1.0, 2.0], 2),
-            Err(StatsError::TooFewSamples { .. })
-        ));
+        assert!(matches!(autocorrelation(&[1.0, 2.0], 2), Err(StatsError::TooFewSamples { .. })));
     }
 
     #[test]

@@ -97,8 +97,7 @@ pub fn chi_square_gof_normal(
     }
 
     let expected = n as f64 / k as f64;
-    let statistic: f64 =
-        observed.iter().map(|&o| (o as f64 - expected).powi(2) / expected).sum();
+    let statistic: f64 = observed.iter().map(|&o| (o as f64 - expected).powi(2) / expected).sum();
     // dof = bins - 1 - 2 estimated parameters.
     let dof = k - 3;
     let p_value = chi_square_sf(statistic, dof);

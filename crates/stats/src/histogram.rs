@@ -53,11 +53,7 @@ impl Histogram {
         let mut counts = vec![0u64; bins];
         let width = (hi - lo) / bins as f64;
         for &v in values {
-            let idx = if width == 0.0 {
-                0
-            } else {
-                (((v - lo) / width) as usize).min(bins - 1)
-            };
+            let idx = if width == 0.0 { 0 } else { (((v - lo) / width) as usize).min(bins - 1) };
             counts[idx] += 1;
         }
         Ok(Histogram { lo, hi, counts, total: values.len() as u64 })

@@ -191,10 +191,7 @@ mod tests {
             if n > 1 {
                 fact *= f64::from(n - 1);
             }
-            assert!(
-                (ln_gamma(f64::from(n)) - fact.ln()).abs() < 1e-10,
-                "mismatch at n={n}"
-            );
+            assert!((ln_gamma(f64::from(n)) - fact.ln()).abs() < 1e-10, "mismatch at n={n}");
         }
     }
 

@@ -15,8 +15,8 @@ use vrd::dram::{ModuleSpec, TestConditions};
 
 fn main() {
     println!(
-        "{:<7} {:<9} {:<8} {:<9} {:<8} {:<9} {:<7} {}",
-        "module", "mfr", "density", "anchor", "guess", "max/min", "states", "imm.chg"
+        "{:<7} {:<9} {:<8} {:<9} {:<8} {:<9} {:<7} imm.chg",
+        "module", "mfr", "density", "anchor", "guess", "max/min", "states"
     );
     println!("{}", "-".repeat(76));
 
@@ -35,7 +35,9 @@ fn main() {
         let conditions = TestConditions::foundational();
         let Some((row, guess)) = find_victim(&mut platform, 0, &conditions, 40_000, 2..20_000)
         else {
-            println!("{name:<7} {mfr:<9} {density:<8} {anchor:<9} (no vulnerable row in scan range)");
+            println!(
+                "{name:<7} {mfr:<9} {density:<8} {anchor:<9} (no vulnerable row in scan range)"
+            );
             continue;
         };
         let series =

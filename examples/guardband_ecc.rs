@@ -16,12 +16,8 @@ use vrd::ecc::DecodeOutcome;
 
 fn main() {
     let spec = ModuleSpec::by_name("M4").expect("M4 is in Table 1");
-    let cfg = GuardbandConfig {
-        trials: 2_000,
-        rows: 6,
-        row_bytes: 4096,
-        ..GuardbandConfig::default()
-    };
+    let cfg =
+        GuardbandConfig { trials: 2_000, rows: 6, row_bytes: 4096, ..GuardbandConfig::default() };
     println!("guardband experiment on {} ({} trials per margin)...", spec.name, cfg.trials);
     let results = run_guardband(&spec, &cfg);
 
@@ -43,10 +39,8 @@ fn main() {
     }
 
     // Feed the worst observed error density through the real decoders.
-    let worst = results
-        .iter()
-        .flat_map(|r| r.per_margin.iter())
-        .max_by_key(|m| m.unique_flip_bits.len());
+    let worst =
+        results.iter().flat_map(|r| r.per_margin.iter()).max_by_key(|m| m.unique_flip_bits.len());
     let Some(worst) = worst else {
         println!("\nno rows flipped — widen the margins or test more rows");
         return;
@@ -80,11 +74,7 @@ fn main() {
     let ssc = Ssc18::new();
     let payload = [0x5Au8; 16];
     let mut cw = ssc.encode(&payload);
-    let mut chips: Vec<u32> = worst
-        .unique_flip_bits
-        .iter()
-        .map(|&b| spec.chip_of_bit(b))
-        .collect();
+    let mut chips: Vec<u32> = worst.unique_flip_bits.iter().map(|&b| spec.chip_of_bit(b)).collect();
     chips.sort_unstable();
     chips.dedup();
     for &chip in chips.iter().take(1) {
@@ -99,7 +89,10 @@ fn main() {
     // The analytic Table-3 rates at the paper's worst observed BER.
     let (sec, secded_rates, ssc_rates) = analysis::table3(analysis::PAPER_WORST_BER);
     println!("\nTable-3 rates at BER 7.6e-5:");
-    println!("  SEC    uncorrectable {:.2e}  undetectable {:.2e}", sec.uncorrectable, sec.undetectable);
+    println!(
+        "  SEC    uncorrectable {:.2e}  undetectable {:.2e}",
+        sec.uncorrectable, sec.undetectable
+    );
     println!(
         "  SECDED uncorrectable {:.2e}  undetectable {:.2e}",
         secded_rates.uncorrectable, secded_rates.undetectable

@@ -33,7 +33,8 @@ fn main() {
     // most vulnerable tracked row.
     let (victim, guess) = find_victim(&mut platform, 0, &conditions, 40_000, 2..20_000)
         .expect("vulnerable row exists");
-    let truth = test_loop(&mut platform, 0, victim, &conditions, 1_500, &SweepSpec::from_guess(guess));
+    let truth =
+        test_loop(&mut platform, 0, victim, &conditions, 1_500, &SweepSpec::from_guess(guess));
     println!(
         "ground-truth distribution: min {} / max {} over {} measurements\n",
         truth.min().unwrap(),

@@ -44,10 +44,7 @@ fn main() {
     println!("\nVRD metrics:");
     println!("  unique RDT states: {}", metrics.unique_states);
     if let Some(frac) = metrics.immediate_change_fraction {
-        println!(
-            "  state changes after a single measurement: {:.1}% (paper: 79.0%)",
-            frac * 100.0
-        );
+        println!("  state changes after a single measurement: {:.1}% (paper: 79.0%)", frac * 100.0);
     }
     if let Some(idx) = metrics.first_min_index {
         println!("  the minimum RDT first appeared at measurement #{idx}");

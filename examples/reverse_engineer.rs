@@ -39,9 +39,7 @@ fn main() {
             device.write_row(0, probe, pattern.aggressor_byte());
             // Heavy single-sided hammering of the probe row.
             device.precharge(0).expect("valid bank");
-            device
-                .activate_n(0, probe, 600_000, conditions.t_agg_on_ns)
-                .expect("valid address");
+            device.activate_n(0, probe, 600_000, conditions.t_agg_on_ns).expect("valid address");
             device.precharge(0).expect("valid bank");
             window
                 .iter()

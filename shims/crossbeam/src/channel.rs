@@ -1,0 +1,102 @@
+//! `crossbeam::channel` subset over `std::sync::mpsc`: multi-producer,
+//! single-consumer `unbounded` channels with the crossbeam method names.
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+/// Sending half of an unbounded channel. Clone freely across threads.
+pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a message; errors only after the receiver was dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] when the receiving half is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value)
+    }
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or all senders are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] when the channel is empty and disconnected.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv()
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryRecvError`] when empty or disconnected.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv()
+    }
+
+    /// Iterates over messages until all senders are dropped.
+    pub fn iter(&self) -> std::sync::mpsc::Iter<'_, T> {
+        self.0.iter()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = std::sync::mpsc::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_round_trips() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || tx.send(1).unwrap());
+            s.spawn(move || tx2.send(2).unwrap());
+        });
+        let mut got: Vec<i32> = rx.iter().take(2).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn iter_ends_when_senders_drop() {
+        let (tx, rx) = unbounded();
+        tx.send(5).unwrap();
+        drop(tx);
+        let all: Vec<i32> = rx.into_iter().collect();
+        assert_eq!(all, vec![5]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Minimal `crossbeam` shim: `scope` over `std::thread::scope` and
+//! `channel` over `std::sync::mpsc`.
+
+use std::any::Any;
+
+pub mod channel;
+
+/// Scoped-thread handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope (unused by
+    /// most callers, matching crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a thread scope; all spawned threads are joined before
+/// this returns. A child panic propagates as a panic (crossbeam returns
+/// `Err` instead; callers `.expect()` it, so behaviour matches).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}

@@ -1,0 +1,18 @@
+//! In-tree subset of the `rand_chacha` crate: re-exports the ChaCha12
+//! generator implemented in the workspace's `rand` shim.
+
+pub use rand::chacha::ChaCha12Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn chacha12_usable_through_rand_traits() {
+        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        let x: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        assert!(rng.gen_range(0u32..10) < 10);
+    }
+}

@@ -1,0 +1,429 @@
+//! Derive macros for the in-tree `serde` shim.
+//!
+//! Parses the item's token stream directly (the build environment has no
+//! `syn`/`quote`) and generates `to_value`/`from_value` impls against the
+//! shim's `serde::Value` tree. Generated code leans on type inference —
+//! field values are produced in constructor position — so field *types*
+//! only need to be skipped, never understood.
+//!
+//! Supported shapes (everything the workspace derives on): non-generic
+//! structs with named fields, tuple structs, unit structs, and enums
+//! whose variants are unit, tuple, or struct-like. `#[serde(...)]`
+//! attributes are not supported and the workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ----- item model ----------------------------------------------------
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ----- parsing -------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive: generic type `{name}` is not supported by the serde shim");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("derive: unexpected struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("derive: unexpected enum body for `{name}`: {other:?}"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Skips `#[...]` attributes (doc comments included) and `pub` /
+/// `pub(...)` visibility at position `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` & friends
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists. Only names are kept; types are
+/// skipped up to the next comma outside any `<...>` nesting (grouped
+/// delimiters are atomic token trees, so only angle brackets need a
+/// depth counter).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive: expected field name, found `{other}`"),
+        };
+        fields.push(field);
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("derive: expected `:` after field name, found `{other}`"),
+        }
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,` or end of input.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ----- code generation -----------------------------------------------
+
+/// `Value::Map(vec![("f", to_value(<accessor>f)), ...])` for named fields.
+fn ser_named_map(fields: &[String], accessor: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&{accessor}{f}))"))
+        .collect();
+    format!("serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+/// Struct-literal expression deserializing named fields out of map `src`.
+fn de_named_ctor(path: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match {src}.get(\"{f}\") {{ \
+                    Some(__v) => serde::Deserialize::from_value(__v)?, \
+                    None => serde::Deserialize::from_missing_field(\"{f}\")?, \
+                }}"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => ser_named_map(fs, "self."),
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> =
+                        (0..*n).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+                    format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "serde::Value::Null".to_string(),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("{name}::{vname} => serde::Value::Str(\"{vname}\".to_string())")
+                        }
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => serde::Value::Map(vec![\
+                             (\"{vname}\".to_string(), serde::Serialize::to_value(__f0))])"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => serde::Value::Map(vec![\
+                                 (\"{vname}\".to_string(), serde::Value::Seq(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let inner = ser_named_map(fs, "");
+                            format!(
+                                "{name}::{vname} {{ {} }} => serde::Value::Map(vec![\
+                                 (\"{vname}\".to_string(), {inner})])",
+                                fs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(", ")))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{ \
+            fn to_value(&self) -> serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let ctor = de_named_ctor(name, fs, "__value");
+                    format!(
+                        "match __value {{ \
+                            serde::Value::Map(_) => Ok({ctor}), \
+                            __other => Err(serde::Error(format!(\
+                                \"expected map for `{name}`, found {{}}\", __other.kind()))), \
+                         }}"
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(__value)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match __value {{ \
+                            serde::Value::Seq(__items) if __items.len() == {n} => \
+                                Ok({name}({})), \
+                            __other => Err(serde::Error(format!(\
+                                \"expected {n}-element sequence for `{name}`, found {{}}\", \
+                                __other.kind()))), \
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Unit => format!(
+                    "match __value {{ \
+                        serde::Value::Null => Ok({name}), \
+                        __other => Err(serde::Error(format!(\
+                            \"expected null for `{name}`, found {{}}\", __other.kind()))), \
+                     }}"
+                ),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0})", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             serde::Deserialize::from_value(__inner)?))"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match __inner {{ \
+                                    serde::Value::Seq(__items) if __items.len() == {n} => \
+                                        Ok({name}::{vname}({})), \
+                                    __other => Err(serde::Error(format!(\
+                                        \"expected {n}-element sequence for \
+                                        `{name}::{vname}`, found {{}}\", __other.kind()))), \
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        Fields::Named(fs) => {
+                            let ctor = de_named_ctor(&format!("{name}::{vname}"), fs, "__inner");
+                            Some(format!(
+                                "\"{vname}\" => match __inner {{ \
+                                    serde::Value::Map(_) => Ok({ctor}), \
+                                    __other => Err(serde::Error(format!(\
+                                        \"expected map for `{name}::{vname}`, \
+                                        found {{}}\", __other.kind()))), \
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let body = format!(
+                "match __value {{ \
+                    serde::Value::Str(__s) => match __s.as_str() {{ \
+                        {unit} \
+                        __other => Err(serde::Error(format!(\
+                            \"unknown unit variant `{{__other}}` for `{name}`\"))), \
+                    }}, \
+                    serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                        let (__tag, __inner) = &__entries[0]; \
+                        match __tag.as_str() {{ \
+                            {data} \
+                            __other => Err(serde::Error(format!(\
+                                \"unknown variant `{{__other}}` for `{name}`\"))), \
+                        }} \
+                    }} \
+                    __other => Err(serde::Error(format!(\
+                        \"expected variant string or single-entry map for `{name}`, \
+                        found {{}}\", __other.kind()))), \
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(", "))
+                },
+                data = if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", data_arms.join(", "))
+                },
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{ \
+            fn from_value(__value: &serde::Value) -> std::result::Result<Self, serde::Error> {{ \
+                {body} \
+            }} \
+         }}"
+    )
+}

@@ -138,10 +138,7 @@ fn chipkill_absorbs_a_whole_chip_of_vrd_flips() {
         let mut cw = ssc.encode(&data);
         let chip_symbol = rng.gen_range(0..18usize);
         cw[chip_symbol] ^= rng.gen_range(1..=255u8);
-        assert!(
-            ssc.decode(&cw).matches(&data),
-            "one corrupted symbol (chip) must always correct"
-        );
+        assert!(ssc.decode(&cw).matches(&data), "one corrupted symbol (chip) must always correct");
     }
 }
 

@@ -32,11 +32,8 @@ fn online_profile_feeds_a_secure_mitigation_configuration() {
     }
     let recommendation = profiler.global_recommendation().expect("row profiled");
 
-    let attack = AttackConfig {
-        activations: 1_000_000,
-        rdt_distribution: truth.values().to_vec(),
-        seed: 3,
-    };
+    let attack =
+        AttackConfig { activations: 1_000_000, rdt_distribution: truth.values().to_vec(), seed: 3 };
     let result = simulate_attack(MitigationKind::Graphene, recommendation, &attack);
     assert!(
         result.secure(),
@@ -87,15 +84,15 @@ fn access_patterns_rank_by_effectiveness_on_the_device() {
     let pattern = DataPattern::Checkered0;
 
     let run = |access: AccessPattern, budget: u32| -> bool {
-        let mut platform = TestPlatform::for_module_with_row_bytes(
-            ModuleSpec::by_name("S2").unwrap(),
-            51,
-            512,
-        );
+        let mut platform =
+            TestPlatform::for_module_with_row_bytes(ModuleSpec::by_name("S2").unwrap(), 51, 512);
         platform.set_temperature_c(50.0);
         let (victim, guess) =
             find_victim(&mut platform, 0, &conditions, 40_000, 2..20_000).expect("row");
-        let budget = budget.max(guess); // scale to the row's vulnerability
+        // Scale to the row's vulnerability, at 2x the guessed threshold:
+        // the guess is a noisy sample of a fluctuating threshold, so
+        // hammering at exactly 1x is a coin flip, not a test.
+        let budget = budget.max(guess.saturating_mul(2));
         let device = platform.device_mut();
         device.write_row(0, victim, pattern.victim_byte());
         let rows = device.config().rows_per_bank;

@@ -52,10 +52,7 @@ fn finding7_minimum_is_rare_at_n1() {
     }
     ps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let median = ps[ps.len() / 2];
-    assert!(
-        median < 0.08,
-        "P(find min | N=1) median {median} too high — the minimum must be rare"
-    );
+    assert!(median < 0.08, "P(find min | N=1) median {median} too high — the minimum must be rare");
 }
 
 #[test]

@@ -247,3 +247,77 @@ mod device_fuzz {
         }
     }
 }
+
+mod executor {
+    use proptest::prelude::*;
+    use vrd::core::exec::{derive_unit_seed, execute, ExecConfig, Unit, UnitKey};
+
+    fn units(count: usize) -> Vec<Unit<usize>> {
+        (0..count).map(|i| Unit::new(UnitKey::cell("P0", i as u32, 1), i)).collect()
+    }
+
+    proptest! {
+        #[test]
+        fn every_unit_reported_exactly_once_in_input_order(
+            count in 0usize..48,
+            threads in 1usize..10,
+            seed in any::<u64>(),
+        ) {
+            let cfg = ExecConfig::new(threads, seed);
+            let report = execute(&cfg, units(count), |ctx, &i| (i, ctx.seed));
+            prop_assert_eq!(report.outcomes.len(), count);
+            prop_assert_eq!(report.progress.units_done, count);
+            prop_assert_eq!(report.progress.units_panicked, 0);
+            for (index, (i, unit_seed)) in report.into_results().into_iter().enumerate() {
+                prop_assert_eq!(i, index);
+                let expected = derive_unit_seed(seed, &UnitKey::cell("P0", index as u32, 1));
+                prop_assert_eq!(unit_seed, expected);
+            }
+        }
+
+        #[test]
+        fn thread_count_never_changes_the_output(
+            count in 1usize..32,
+            seed in any::<u64>(),
+        ) {
+            let serial = execute(&ExecConfig::serial(seed), units(count), |ctx, &i| {
+                (i * 3, ctx.seed)
+            })
+            .into_results();
+            for threads in [2usize, 5, 16] {
+                let parallel = execute(&ExecConfig::new(threads, seed), units(count), |ctx, &i| {
+                    (i * 3, ctx.seed)
+                })
+                .into_results();
+                prop_assert_eq!(&serial, &parallel);
+            }
+        }
+    }
+
+    proptest! {
+        // Few cases: each panicking unit prints a captured-panic trace.
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn panicking_units_never_deadlock_or_go_missing(
+            count in 1usize..24,
+            threads in 1usize..10,
+            panic_mask in any::<u16>(),
+        ) {
+            let cfg = ExecConfig::new(threads, 7);
+            let report = execute(&cfg, units(count), |_, &i| {
+                assert!(panic_mask & (1 << (i % 16)) == 0, "unit {i} told to panic");
+                i
+            });
+            prop_assert_eq!(report.outcomes.len(), count);
+            let mut expected_panics = 0;
+            for (i, outcome) in report.outcomes.iter().enumerate() {
+                let should_panic = panic_mask & (1 << (i % 16)) != 0;
+                prop_assert_eq!(outcome.is_panicked(), should_panic);
+                expected_panics += usize::from(should_panic);
+            }
+            prop_assert_eq!(report.progress.units_done, count);
+            prop_assert_eq!(report.progress.units_panicked, expected_panics);
+        }
+    }
+}

@@ -96,14 +96,8 @@ fn pattern_changes_the_measured_rdt_distribution() {
         find_victim(&mut platform, 0, &base, 40_000, 2..20_000).expect("vulnerable row");
     let sweep = SweepSpec::from_guess(guess);
     let a = test_loop(&mut platform, 0, row, &base, 120, &sweep);
-    let b = test_loop(
-        &mut platform,
-        0,
-        row,
-        &base.with_pattern(DataPattern::Rowstripe1),
-        120,
-        &sweep,
-    );
+    let b =
+        test_loop(&mut platform, 0, row, &base.with_pattern(DataPattern::Rowstripe1), 120, &sweep);
     // Means may differ or censoring may differ; require *some* observable
     // difference between the two distributions.
     let mean_a = a.summary().map(|s| s.mean).unwrap_or(0.0);
@@ -120,8 +114,7 @@ fn rowpress_lowers_the_measured_rdt() {
     let mut platform = TestPlatform::for_module_with_row_bytes(spec, 13, 512);
     platform.set_temperature_c(50.0);
     let base = TestConditions::foundational();
-    let (row, _) =
-        find_victim(&mut platform, 0, &base, 40_000, 2..20_000).expect("vulnerable row");
+    let (row, _) = find_victim(&mut platform, 0, &base, 40_000, 2..20_000).expect("vulnerable row");
     let press = base.with_t_agg_on_ns(vrd::dram::conditions::T_AGG_ON_TREFI_NS);
     let guess_hammer = vrd::bender::routines::guess_rdt(&mut platform, 0, row, &base, 1 << 20)
         .expect("row flips under RowHammer");
