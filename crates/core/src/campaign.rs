@@ -23,6 +23,7 @@ use vrd_dram::spec::ModuleSpec;
 use vrd_dram::TestConditions;
 
 use crate::algorithm::{find_victim, test_loop, SweepSpec, FIND_VICTIM_CUTOFF};
+use crate::checkpoint::{self, Checkpoint, CheckpointError, UnitHooks};
 use crate::exec::{self, ExecConfig, Progress, Unit, UnitCtx, UnitKey};
 use crate::series::RdtSeries;
 
@@ -110,12 +111,42 @@ pub fn run_foundational_campaign_observed(
     exec_cfg: &ExecConfig,
     progress: &Progress,
 ) -> Vec<Option<FoundationalResult>> {
-    let units: Vec<Unit<ModuleSpec>> =
-        specs.iter().map(|s| Unit::new(UnitKey::module(&s.name), s.clone())).collect();
+    let units = foundational_units(specs);
     exec::execute_observed(exec_cfg, units, progress, |ctx, spec| {
         foundational_unit(spec, cfg, &ctx)
     })
     .into_results()
+}
+
+/// [`run_foundational_campaign_observed`] with crash-safe persistence:
+/// modules already in `checkpoint`'s journal are restored without
+/// rerunning, each freshly finished module is journaled before the run
+/// moves on, and the final output is byte-identical to an uninterrupted
+/// run (unit seeds depend only on `(campaign_seed, unit_key)`).
+///
+/// # Errors
+///
+/// See [`checkpoint::execute_checkpointed`]; notably
+/// [`CheckpointError::Interrupted`] when a hook's cancel flag stopped
+/// the run early.
+pub fn run_foundational_campaign_checkpointed(
+    specs: &[ModuleSpec],
+    cfg: &FoundationalConfig,
+    exec_cfg: &ExecConfig,
+    progress: &Progress,
+    ckpt: &Checkpoint,
+    hooks: Option<&dyn UnitHooks>,
+) -> Result<Vec<Option<FoundationalResult>>, CheckpointError> {
+    let units = foundational_units(specs);
+    checkpoint::execute_checkpointed(exec_cfg, units, progress, ckpt, hooks, |ctx, spec| {
+        foundational_unit(spec, cfg, &ctx)
+    })
+    .map(exec::ExecReport::into_results)
+}
+
+/// One unit per module, keyed by module name.
+fn foundational_units(specs: &[ModuleSpec]) -> Vec<Unit<ModuleSpec>> {
+    specs.iter().map(|s| Unit::new(UnitKey::module(&s.name), s.clone())).collect()
 }
 
 /// One foundational work unit: Alg. 1 against one module on a fresh,
@@ -310,30 +341,100 @@ pub fn run_in_depth_campaign_observed(
     progress: &Progress,
 ) -> Vec<InDepthResult> {
     // Phase 1: per-module row selection.
-    let selection_units: Vec<Unit<ModuleSpec>> =
-        specs.iter().map(|s| Unit::new(UnitKey::module(&s.name), s.clone())).collect();
     let selections: Vec<Vec<(u32, u32)>> =
-        exec::execute_observed(exec_cfg, selection_units, progress, |ctx, spec| {
-            let mut platform =
-                TestPlatform::for_module_with_row_bytes(spec.clone(), cfg.seed, cfg.row_bytes);
-            let selection_conditions = TestConditions::foundational();
-            platform.set_temperature_c(selection_conditions.temperature_c);
-            let rows = select_rows(
-                &mut platform,
-                0,
-                &selection_conditions,
-                cfg.segment_rows,
-                cfg.picks_per_segment,
-                3,
-            );
-            ctx.record_sim_time_ns(platform.elapsed_ns());
-            rows
+        exec::execute_observed(exec_cfg, selection_units(specs), progress, |ctx, spec| {
+            select_unit(spec, cfg, &ctx)
         })
         .into_results();
 
     // Phase 2: one unit per (module × row × condition) cell, all modules
     // in one pool.
-    let mut units: Vec<Unit<(usize, u32, TestConditions)>> = Vec::new();
+    let units = cell_units(specs, cfg, &selections);
+    let cells: Vec<Option<ConditionSeries>> =
+        exec::execute_observed(exec_cfg, units, progress, |ctx, &(module_idx, row, conditions)| {
+            measure_cell(&specs[module_idx], cfg, row, &conditions, &ctx)
+        })
+        .into_results();
+
+    merge_in_depth(specs, selections, cells, cfg.conditions.len())
+}
+
+/// [`run_in_depth_campaign_observed`] with crash-safe persistence. Both
+/// phases share one journal: selection units are keyed
+/// `(module, WHOLE_MODULE, WHOLE_MODULE)` and measurement cells
+/// `(module, row, condition)`, so the keys never collide. A resumed
+/// campaign restores whatever subset of either phase is journaled and
+/// produces output byte-identical to an uninterrupted run.
+///
+/// # Errors
+///
+/// See [`checkpoint::execute_checkpointed`]; notably
+/// [`CheckpointError::Interrupted`] when a hook's cancel flag stopped
+/// the run early (the journal then holds every committed unit).
+pub fn run_in_depth_campaign_checkpointed(
+    specs: &[ModuleSpec],
+    cfg: &InDepthConfig,
+    exec_cfg: &ExecConfig,
+    progress: &Progress,
+    ckpt: &Checkpoint,
+    hooks: Option<&dyn UnitHooks>,
+) -> Result<Vec<InDepthResult>, CheckpointError> {
+    let selections: Vec<Vec<(u32, u32)>> = checkpoint::execute_checkpointed(
+        exec_cfg,
+        selection_units(specs),
+        progress,
+        ckpt,
+        hooks,
+        |ctx, spec| select_unit(spec, cfg, &ctx),
+    )?
+    .into_results();
+
+    let units = cell_units(specs, cfg, &selections);
+    let cells: Vec<Option<ConditionSeries>> = checkpoint::execute_checkpointed(
+        exec_cfg,
+        units,
+        progress,
+        ckpt,
+        hooks,
+        |ctx, &(module_idx, row, conditions)| {
+            measure_cell(&specs[module_idx], cfg, row, &conditions, &ctx)
+        },
+    )?
+    .into_results();
+
+    Ok(merge_in_depth(specs, selections, cells, cfg.conditions.len()))
+}
+
+/// Phase-1 units: one per module, keyed by module name.
+fn selection_units(specs: &[ModuleSpec]) -> Vec<Unit<ModuleSpec>> {
+    specs.iter().map(|s| Unit::new(UnitKey::module(&s.name), s.clone())).collect()
+}
+
+/// One phase-1 unit: segment scan + row selection for one module.
+fn select_unit(spec: &ModuleSpec, cfg: &InDepthConfig, ctx: &UnitCtx<'_>) -> Vec<(u32, u32)> {
+    let mut platform =
+        TestPlatform::for_module_with_row_bytes(spec.clone(), cfg.seed, cfg.row_bytes);
+    let selection_conditions = TestConditions::foundational();
+    platform.set_temperature_c(selection_conditions.temperature_c);
+    let rows = select_rows(
+        &mut platform,
+        0,
+        &selection_conditions,
+        cfg.segment_rows,
+        cfg.picks_per_segment,
+        3,
+    );
+    ctx.record_sim_time_ns(platform.elapsed_ns());
+    rows
+}
+
+/// Phase-2 units: one per (module × selected row × condition) cell.
+fn cell_units(
+    specs: &[ModuleSpec],
+    cfg: &InDepthConfig,
+    selections: &[Vec<(u32, u32)>],
+) -> Vec<Unit<(usize, u32, TestConditions)>> {
+    let mut units = Vec::new();
     for (module_idx, spec) in specs.iter().enumerate() {
         for &(row, _) in &selections[module_idx] {
             for (condition_idx, conditions) in cfg.conditions.iter().enumerate() {
@@ -344,13 +445,17 @@ pub fn run_in_depth_campaign_observed(
             }
         }
     }
-    let cells: Vec<Option<ConditionSeries>> =
-        exec::execute_observed(exec_cfg, units, progress, |ctx, &(module_idx, row, conditions)| {
-            measure_cell(&specs[module_idx], cfg, row, &conditions, &ctx)
-        })
-        .into_results();
+    units
+}
 
-    // Merge back in stable (module, selection, condition) order.
+/// Merges phase-2 cells back into per-module results in stable
+/// (module, selection, condition) order.
+fn merge_in_depth(
+    specs: &[ModuleSpec],
+    selections: Vec<Vec<(u32, u32)>>,
+    cells: Vec<Option<ConditionSeries>>,
+    conditions_per_row: usize,
+) -> Vec<InDepthResult> {
     let mut cells = cells.into_iter();
     specs
         .iter()
@@ -362,7 +467,7 @@ pub fn run_in_depth_campaign_observed(
                 .map(|(row, selection_guess)| RowResult {
                     row,
                     selection_guess,
-                    per_condition: cells.by_ref().take(cfg.conditions.len()).flatten().collect(),
+                    per_condition: cells.by_ref().take(conditions_per_row).flatten().collect(),
                 })
                 .collect(),
         })

@@ -1,0 +1,490 @@
+//! Crash-safe campaign checkpointing.
+//!
+//! The paper's characterization campaigns represent months of simulated
+//! hammer time; losing a campaign to a crash, OOM kill, or preempted
+//! shard is not acceptable at that scale. This module persists every
+//! finished work unit to an append-only, checksummed journal so a killed
+//! campaign can be resumed — and, because unit seeds derive from
+//! `(campaign_seed, unit_key)` rather than scheduling order (see
+//! [`crate::exec`]), a resumed campaign is **byte-identical** to one
+//! that never crashed. The fault-injection suite in
+//! `tests/checkpoint_resume.rs` proves exactly that.
+//!
+//! # On-disk layout
+//!
+//! A checkpoint directory holds two files:
+//!
+//! - `manifest.json` — a pretty-printed [`CheckpointManifest`] binding
+//!   the journal to one campaign: format version, campaign label,
+//!   config hash, campaign seed, roster shard (`index`/`count`), and a
+//!   roster fingerprint. [`Checkpoint::open`] rejects a directory whose
+//!   manifest disagrees with the caller's on *any* field — a stale or
+//!   foreign checkpoint is an error, never silently merged.
+//! - `journal.jsonl` — one record per finished unit:
+//!
+//!   ```text
+//!   vrd1 <16-hex fnv1a64> {"key":<UnitKey>,"value":<result>}
+//!   ```
+//!
+//!   The checksum covers the JSON payload bytes. Records are appended
+//!   and flushed as each unit commits, so a crash can lose at most the
+//!   record being written.
+//!
+//! # Recovery semantics
+//!
+//! On open, the journal is scanned front to back. A record that fails
+//! to parse or checksum in the **tail position** (the last line, or
+//! trailing bytes with no newline) is a torn write: it is dropped, the
+//! file is truncated back to the last valid record, and the unit simply
+//! reruns. A bad record anywhere *before* the tail means the file was
+//! tampered with or the disk is lying — that is
+//! [`CheckpointError::Corrupted`], a hard error.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize, Value};
+
+use crate::exec::{self, ExecConfig, ExecReport, Progress, Unit, UnitCtx, UnitKey, UnitOutcome};
+
+/// Version tag of the journal/manifest format; bump on incompatible
+/// layout changes so old checkpoints are rejected instead of misread.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic prefix of every journal record.
+const RECORD_MAGIC: &str = "vrd1";
+
+/// File names inside a checkpoint directory.
+const MANIFEST_FILE: &str = "manifest.json";
+const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// FNV-1a over a byte string; the journal's record checksum and the
+/// config hash both use it (no cryptographic strength needed — this
+/// guards against torn writes and stale configs, not adversaries).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Hashes a campaign configuration for the manifest: FNV-1a over its
+/// canonical (compact) JSON serialization. Any config field change —
+/// measurement count, condition grid, row bytes — changes the hash and
+/// invalidates old checkpoints.
+pub fn config_hash<T: Serialize>(config: &T) -> u64 {
+    let json = serde_json::to_string(config).expect("config serializes");
+    fnv1a64(json.as_bytes())
+}
+
+/// Identity of the campaign a checkpoint belongs to. Every field must
+/// match for a resume to be accepted.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointManifest {
+    /// Journal format version ([`FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Campaign label (e.g. `"foundational"`, `"in_depth"`), so two
+    /// campaigns never share a journal even under one directory root.
+    pub campaign: String,
+    /// [`config_hash`] of the campaign configuration.
+    pub config_hash: u64,
+    /// The campaign seed every unit seed derives from.
+    pub campaign_seed: u64,
+    /// Roster shard index (0 when unsharded).
+    pub shard_index: u64,
+    /// Roster shard count (1 when unsharded).
+    pub shard_count: u64,
+    /// Fingerprint of the (sharded) module roster, from
+    /// `vrd_dram::fleet::roster_fingerprint`.
+    pub roster_fingerprint: u64,
+}
+
+impl CheckpointManifest {
+    /// Compares against a manifest found on disk, naming the first
+    /// mismatching field.
+    fn verify_against(&self, found: &CheckpointManifest) -> Result<(), CheckpointError> {
+        let fields: [(&'static str, String, String); 7] = [
+            ("format_version", self.format_version.to_string(), found.format_version.to_string()),
+            ("campaign", self.campaign.clone(), found.campaign.clone()),
+            ("config_hash", self.config_hash.to_string(), found.config_hash.to_string()),
+            ("campaign_seed", self.campaign_seed.to_string(), found.campaign_seed.to_string()),
+            ("shard_index", self.shard_index.to_string(), found.shard_index.to_string()),
+            ("shard_count", self.shard_count.to_string(), found.shard_count.to_string()),
+            (
+                "roster_fingerprint",
+                self.roster_fingerprint.to_string(),
+                found.roster_fingerprint.to_string(),
+            ),
+        ];
+        for (field, expected, actual) in fields {
+            if expected != actual {
+                return Err(CheckpointError::ManifestMismatch { field, expected, found: actual });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a checkpoint could not be opened, read, or completed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The directory belongs to a different campaign/config/shard.
+    ManifestMismatch {
+        /// First manifest field that disagreed.
+        field: &'static str,
+        /// The value the running campaign expected.
+        expected: String,
+        /// The value found on disk.
+        found: String,
+    },
+    /// The manifest or a non-tail journal record is unreadable.
+    Corrupted {
+        /// 1-based journal line (0 for the manifest).
+        line: usize,
+        /// What failed to parse or verify.
+        reason: String,
+    },
+    /// A journaled value no longer decodes as the campaign's result
+    /// type (format drift without a version bump).
+    Decode {
+        /// The unit whose record failed to decode.
+        key: UnitKey,
+        /// The decode failure.
+        reason: String,
+    },
+    /// The run was cancelled (e.g. by an injected fault) before every
+    /// unit finished; completed units are journaled and resumable.
+    Interrupted {
+        /// Units whose results are safely in the journal.
+        completed: usize,
+        /// Units the campaign needed in total.
+        total: usize,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::ManifestMismatch { field, expected, found } => write!(
+                f,
+                "checkpoint belongs to a different campaign: manifest field `{field}` is \
+                 {found}, expected {expected}; refusing to merge (use a fresh directory)"
+            ),
+            CheckpointError::Corrupted { line, reason } => {
+                write!(f, "checkpoint corrupted at journal line {line}: {reason}")
+            }
+            CheckpointError::Decode { key, reason } => write!(
+                f,
+                "journaled result for unit {}/{}/{} does not decode: {reason}",
+                key.module, key.row, key.condition
+            ),
+            CheckpointError::Interrupted { completed, total } => write!(
+                f,
+                "campaign interrupted after {completed}/{total} units; rerun with --resume"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Hooks around unit execution. The checkpointed executor calls these
+/// at well-defined points; the cfg-gated `exec::faults::FaultPlan` uses
+/// them to inject deterministic failures, and they default to no-ops so
+/// production campaigns pay nothing.
+pub trait UnitHooks: Sync {
+    /// Called before a unit's work closure runs (on the worker thread).
+    fn before_unit(&self, _key: &UnitKey) {}
+
+    /// Called after a unit's record has been appended **and flushed** to
+    /// the journal — the unit is durable once this fires.
+    fn after_commit(&self, _key: &UnitKey) {}
+
+    /// A cooperative cancellation flag checked by the executor before
+    /// popping each unit.
+    fn cancel_flag(&self) -> Option<&std::sync::atomic::AtomicBool> {
+        None
+    }
+}
+
+/// An open checkpoint: the verified manifest, the set of units already
+/// completed by previous runs, and an append handle to the journal.
+pub struct Checkpoint {
+    dir: PathBuf,
+    manifest: CheckpointManifest,
+    /// Journaled results by unit key, as compact JSON of the value.
+    completed: HashMap<UnitKey, String>,
+    /// Whether opening dropped a torn tail record.
+    recovered_torn_tail: bool,
+    writer: Mutex<File>,
+}
+
+impl fmt::Debug for Checkpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Checkpoint")
+            .field("dir", &self.dir)
+            .field("manifest", &self.manifest)
+            .field("completed", &self.completed.len())
+            .field("recovered_torn_tail", &self.recovered_torn_tail)
+            .finish()
+    }
+}
+
+impl Checkpoint {
+    /// Opens (creating if absent) the checkpoint directory `dir` for the
+    /// campaign described by `manifest`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CheckpointError::ManifestMismatch`] when `dir` already holds a
+    ///   checkpoint for a different campaign, config, seed, or shard.
+    /// - [`CheckpointError::Corrupted`] when the manifest or a non-tail
+    ///   journal record is unreadable (a torn *tail* record is recovered
+    ///   silently instead; see [`Checkpoint::recovered_torn_tail`]).
+    /// - [`CheckpointError::Io`] on filesystem failure.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        manifest: CheckpointManifest,
+    ) -> Result<Self, CheckpointError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+
+        let manifest_path = dir.join(MANIFEST_FILE);
+        if manifest_path.exists() {
+            let text = fs::read_to_string(&manifest_path)?;
+            let found: CheckpointManifest = serde_json::from_str(text.trim()).map_err(|e| {
+                CheckpointError::Corrupted { line: 0, reason: format!("manifest unreadable: {e}") }
+            })?;
+            manifest.verify_against(&found)?;
+        } else {
+            // Write-then-rename so a crash mid-write never leaves a
+            // half-written manifest behind.
+            let tmp = dir.join("manifest.json.tmp");
+            let text = serde_json::to_string_pretty(&manifest).expect("manifest serializes");
+            fs::write(&tmp, format!("{text}\n"))?;
+            fs::rename(&tmp, &manifest_path)?;
+        }
+
+        let journal_path = dir.join(JOURNAL_FILE);
+        let (completed, valid_len, recovered_torn_tail) = load_journal(&journal_path)?;
+        // truncate(false): the valid journal prefix must survive the open; any
+        // torn tail is cut explicitly by the set_len below.
+        let mut file =
+            OpenOptions::new().create(true).write(true).truncate(false).open(&journal_path)?;
+        // Drop any torn tail and position at the end of the valid prefix;
+        // subsequent appends extend the intact journal.
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::Start(valid_len))?;
+
+        Ok(Checkpoint { dir, manifest, completed, recovered_torn_tail, writer: Mutex::new(file) })
+    }
+
+    /// The manifest this checkpoint was opened with.
+    pub fn manifest(&self) -> &CheckpointManifest {
+        &self.manifest
+    }
+
+    /// Number of units already completed by previous runs.
+    pub fn completed_units(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Whether opening dropped a torn (truncated or corrupt) tail
+    /// record; the affected unit reruns.
+    pub fn recovered_torn_tail(&self) -> bool {
+        self.recovered_torn_tail
+    }
+
+    /// Path of the journal file (tests and tooling).
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join(JOURNAL_FILE)
+    }
+
+    /// The journaled result for `key`, decoded as `T`, if present.
+    fn cached<T: Deserialize>(&self, key: &UnitKey) -> Result<Option<T>, CheckpointError> {
+        let Some(json) = self.completed.get(key) else { return Ok(None) };
+        match serde_json::from_str::<T>(json) {
+            Ok(v) => Ok(Some(v)),
+            Err(e) => Err(CheckpointError::Decode { key: key.clone(), reason: e.to_string() }),
+        }
+    }
+
+    /// Appends one finished unit and flushes, making it durable.
+    fn append<T: Serialize>(&self, key: &UnitKey, value: &T) -> std::io::Result<()> {
+        let body = format!(
+            "{{\"key\":{},\"value\":{}}}",
+            serde_json::to_string(key).expect("key serializes"),
+            serde_json::to_string(value).expect("value serializes"),
+        );
+        let line = format!("{RECORD_MAGIC} {:016x} {body}\n", fnv1a64(body.as_bytes()));
+        let mut file = self.writer.lock();
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+}
+
+/// Scans the journal, returning the completed-unit map, the byte length
+/// of the valid prefix, and whether a torn tail record was dropped.
+fn load_journal(path: &Path) -> Result<(HashMap<UnitKey, String>, u64, bool), CheckpointError> {
+    if !path.exists() {
+        return Ok((HashMap::new(), 0, false));
+    }
+    let bytes = fs::read(path)?;
+
+    // Split into newline-terminated lines, remembering each line's end
+    // offset; trailing bytes without a newline are a torn write.
+    let mut lines: Vec<(usize, &[u8])> = Vec::new(); // (end offset incl. \n, line)
+    let mut start = 0;
+    while let Some(nl) = bytes[start..].iter().position(|&b| b == b'\n') {
+        lines.push((start + nl + 1, &bytes[start..start + nl]));
+        start += nl + 1;
+    }
+    let mut torn = start < bytes.len();
+
+    let mut completed = HashMap::new();
+    let mut valid_len = 0u64;
+    for (i, &(end, line)) in lines.iter().enumerate() {
+        match parse_record(line) {
+            Ok((key, value_json)) => {
+                completed.insert(key, value_json);
+                valid_len = end as u64;
+            }
+            Err(reason) => {
+                // Only the final record may be bad (torn write at the
+                // crash point); anything earlier is real corruption.
+                if i + 1 == lines.len() && !torn {
+                    torn = true;
+                    break;
+                }
+                return Err(CheckpointError::Corrupted { line: i + 1, reason });
+            }
+        }
+    }
+    Ok((completed, valid_len, torn))
+}
+
+/// Parses and verifies one journal record line.
+fn parse_record(line: &[u8]) -> Result<(UnitKey, String), String> {
+    let line = std::str::from_utf8(line).map_err(|e| format!("not UTF-8: {e}"))?;
+    let rest = line
+        .strip_prefix(RECORD_MAGIC)
+        .and_then(|r| r.strip_prefix(' '))
+        .ok_or_else(|| format!("missing `{RECORD_MAGIC}` magic"))?;
+    let (checksum_hex, body) =
+        rest.split_once(' ').ok_or_else(|| "missing checksum field".to_owned())?;
+    let checksum =
+        u64::from_str_radix(checksum_hex, 16).map_err(|e| format!("bad checksum field: {e}"))?;
+    if checksum_hex.len() != 16 {
+        return Err("bad checksum field: wrong width".to_owned());
+    }
+    let actual = fnv1a64(body.as_bytes());
+    if actual != checksum {
+        return Err(format!("checksum mismatch: recorded {checksum:016x}, actual {actual:016x}"));
+    }
+    let record: Value =
+        serde_json::from_str(body).map_err(|e| format!("record is not JSON: {e}"))?;
+    let key = record
+        .get("key")
+        .ok_or_else(|| "record has no `key`".to_owned())
+        .and_then(|v| UnitKey::from_value(v).map_err(|e| format!("bad unit key: {e}")))?;
+    let value = record.get("value").ok_or_else(|| "record has no `value`".to_owned())?;
+    let value_json = serde_json::to_string(value).expect("value re-serializes");
+    Ok((key, value_json))
+}
+
+/// Runs `units` through `f` like [`exec::execute_observed`], but backed
+/// by a checkpoint: units already in the journal are restored without
+/// running (counted as done in `progress`), and every freshly finished
+/// unit is appended and flushed before the run moves on.
+///
+/// The optional `hooks` observe unit boundaries; a hook's
+/// [`UnitHooks::cancel_flag`] makes the run cooperatively cancellable,
+/// in which case [`CheckpointError::Interrupted`] reports how much of
+/// the campaign is safely journaled.
+///
+/// # Errors
+///
+/// - [`CheckpointError::Decode`] when a journaled record does not decode
+///   as `T` (checkpoint written by an incompatible build).
+/// - [`CheckpointError::Interrupted`] when cancellation skipped units.
+///
+/// # Panics
+///
+/// Panics when the journal append itself fails (disk full / I/O error):
+/// continuing would silently lose crash safety.
+pub fn execute_checkpointed<I, T, F>(
+    cfg: &ExecConfig,
+    units: Vec<Unit<I>>,
+    progress: &Progress,
+    checkpoint: &Checkpoint,
+    hooks: Option<&dyn UnitHooks>,
+    f: F,
+) -> Result<ExecReport<T>, CheckpointError>
+where
+    I: Send + Sync,
+    T: Serialize + Deserialize + Send,
+    F: Fn(UnitCtx<'_>, &I) -> T + Sync,
+{
+    let total = units.len();
+    let mut slots: Vec<Option<UnitOutcome<T>>> = Vec::new();
+    slots.resize_with(total, || None);
+
+    // Partition into journaled (restored) and pending (run live) units.
+    let mut pending: Vec<Unit<I>> = Vec::new();
+    let mut pending_slots: Vec<usize> = Vec::new();
+    for (i, unit) in units.into_iter().enumerate() {
+        match checkpoint.cached::<T>(&unit.key)? {
+            Some(value) => slots[i] = Some(UnitOutcome::Completed(value)),
+            None => {
+                pending_slots.push(i);
+                pending.push(unit);
+            }
+        }
+    }
+    progress.restore(total - pending.len());
+
+    let cancel = hooks.and_then(UnitHooks::cancel_flag);
+    let report = exec::execute_cancellable(cfg, pending, progress, cancel, |ctx, payload| {
+        let key = ctx.key;
+        if let Some(h) = hooks {
+            h.before_unit(key);
+        }
+        let value = f(ctx, payload);
+        if let Err(e) = checkpoint.append(key, &value) {
+            panic!("checkpoint journal append failed: {e}");
+        }
+        if let Some(h) = hooks {
+            h.after_commit(key);
+        }
+        value
+    });
+
+    let mut skipped = 0usize;
+    for (slot, outcome) in pending_slots.into_iter().zip(report.outcomes) {
+        if outcome.is_skipped() {
+            skipped += 1;
+        }
+        slots[slot] = Some(outcome);
+    }
+    if skipped > 0 {
+        return Err(CheckpointError::Interrupted { completed: total - skipped, total });
+    }
+    Ok(ExecReport {
+        outcomes: slots.into_iter().map(|s| s.expect("every slot filled")).collect(),
+        progress: progress.snapshot(),
+    })
+}

@@ -29,13 +29,23 @@
 //! `parking_lot`-style locks only where needed): units done, bitflips
 //! found, and simulated test time consumed, for CLI throughput
 //! rendering while a campaign runs.
+//!
+//! Runs can be **cancelled** cooperatively: [`execute_cancellable`]
+//! takes an `AtomicBool` flag checked before each unit is popped. Units
+//! never started report [`UnitOutcome::Skipped`]; in-flight units finish
+//! normally. [`crate::checkpoint`] builds crash-safe resume on top of
+//! this, and the cfg-gated [`faults`] module turns the flag into a
+//! deterministic kill switch for testing.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 
 /// Executor configuration: worker-thread count and the campaign seed all
 /// unit seeds derive from.
@@ -179,6 +189,14 @@ impl Progress {
         // Whole nanoseconds are plenty for throughput display.
         self.sim_time_ns.fetch_add(ns.max(0.0) as u64, Ordering::Relaxed);
     }
+
+    /// Enrolls `n` units restored from a checkpoint journal as already
+    /// done, so a resumed campaign's progress bar starts where the
+    /// previous run left off.
+    pub(crate) fn restore(&self, n: usize) {
+        self.total.fetch_add(n, Ordering::Relaxed);
+        self.done.fetch_add(n, Ordering::Relaxed);
+    }
 }
 
 /// A point-in-time view of [`Progress`].
@@ -231,6 +249,8 @@ pub enum UnitOutcome<T> {
     Completed(T),
     /// The unit panicked; the message is the panic payload.
     Panicked(String),
+    /// The run was cancelled before the unit was started.
+    Skipped,
 }
 
 impl<T> UnitOutcome<T> {
@@ -238,13 +258,18 @@ impl<T> UnitOutcome<T> {
     pub fn completed(self) -> Option<T> {
         match self {
             UnitOutcome::Completed(v) => Some(v),
-            UnitOutcome::Panicked(_) => None,
+            UnitOutcome::Panicked(_) | UnitOutcome::Skipped => None,
         }
     }
 
     /// Whether the unit panicked.
     pub fn is_panicked(&self) -> bool {
         matches!(self, UnitOutcome::Panicked(_))
+    }
+
+    /// Whether the unit was skipped by cancellation.
+    pub fn is_skipped(&self) -> bool {
+        matches!(self, UnitOutcome::Skipped)
     }
 }
 
@@ -271,6 +296,7 @@ impl<T> ExecReport<T> {
             .map(|o| match o {
                 UnitOutcome::Completed(v) => v,
                 UnitOutcome::Panicked(msg) => panic!("campaign unit panicked: {msg}"),
+                UnitOutcome::Skipped => panic!("campaign unit skipped: run was cancelled"),
             })
             .collect()
     }
@@ -295,6 +321,26 @@ pub fn execute_observed<I, T, F>(
     cfg: &ExecConfig,
     units: Vec<Unit<I>>,
     progress: &Progress,
+    f: F,
+) -> ExecReport<T>
+where
+    I: Send + Sync,
+    T: Send,
+    F: Fn(UnitCtx<'_>, &I) -> T + Sync,
+{
+    execute_cancellable(cfg, units, progress, None, f)
+}
+
+/// Like [`execute_observed`], but cooperatively cancellable: when
+/// `cancel` flips to `true`, workers stop popping new units (in-flight
+/// units finish and report normally) and every never-started unit comes
+/// back as [`UnitOutcome::Skipped`]. Passing `None` is exactly
+/// [`execute_observed`].
+pub fn execute_cancellable<I, T, F>(
+    cfg: &ExecConfig,
+    units: Vec<Unit<I>>,
+    progress: &Progress,
+    cancel: Option<&AtomicBool>,
     f: F,
 ) -> ExecReport<T>
 where
@@ -327,7 +373,8 @@ where
         for worker in 0..threads {
             let tx = tx.clone();
             scope.spawn(move |_| {
-                while let Some(index) = next_unit(worker, queues) {
+                while !cancel.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
+                    let Some(index) = next_unit(worker, queues) else { break };
                     let unit = &units[index];
                     let ctx = UnitCtx {
                         seed: derive_unit_seed(cfg.campaign_seed, &unit.key),
@@ -358,7 +405,9 @@ where
     .expect("executor scope");
 
     ExecReport {
-        outcomes: slots.into_iter().map(|s| s.expect("every unit reports exactly once")).collect(),
+        // A slot left empty means its unit was never popped before
+        // cancellation; without a cancel flag every slot is filled.
+        outcomes: slots.into_iter().map(|s| s.unwrap_or(UnitOutcome::Skipped)).collect(),
         progress: progress.snapshot(),
     }
 }
@@ -478,6 +527,43 @@ mod tests {
         let cfg = ExecConfig::new(64, 0);
         let values = execute(&cfg, keys(3), |_, &i| i).into_results();
         assert_eq!(values, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cancelled_run_skips_unstarted_units() {
+        let cfg = ExecConfig::serial(0);
+        let cancel = AtomicBool::new(false);
+        let progress = Progress::new();
+        let report = execute_cancellable(&cfg, keys(10), &progress, Some(&cancel), |_, &i| {
+            if i == 2 {
+                cancel.store(true, Ordering::SeqCst);
+            }
+            i
+        });
+        let done = report.outcomes.iter().filter(|o| !o.is_skipped()).count();
+        assert_eq!(done, 3, "serial run stops right after the flag flips");
+        assert!(report.outcomes[3..].iter().all(UnitOutcome::is_skipped));
+        assert_eq!(report.progress.units_done, 3);
+        assert_eq!(report.progress.units_total, 10);
+    }
+
+    #[test]
+    fn unset_cancel_flag_changes_nothing() {
+        let cfg = ExecConfig::new(4, 1);
+        let cancel = AtomicBool::new(false);
+        let progress = Progress::new();
+        let report = execute_cancellable(&cfg, keys(12), &progress, Some(&cancel), |_, &i| i * 3);
+        assert_eq!(report.into_results(), (0..12).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "campaign unit skipped")]
+    fn into_results_reraises_skips() {
+        let cfg = ExecConfig::serial(0);
+        let cancel = AtomicBool::new(true);
+        let progress = Progress::new();
+        let report = execute_cancellable(&cfg, keys(2), &progress, Some(&cancel), |_, &i| i);
+        let _ = report.into_results();
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! - [`exec`] — the deterministic work-stealing executor that shards
 //!   campaign work units across threads with per-unit derived seeds, so
 //!   parallel campaigns are bit-identical to serial ones.
+//! - [`checkpoint`] — crash-safe campaign persistence: an append-only,
+//!   checksummed journal of finished units plus a manifest binding it to
+//!   one campaign config/seed/shard, so a killed campaign resumes to
+//!   byte-identical output.
 //! - [`guardband`] — §6.3/6.4: guardbanded hammering, unique-bitflip
 //!   accounting (Fig. 16), and ECC codeword classification.
 //!
@@ -45,6 +49,7 @@
 
 pub mod algorithm;
 pub mod campaign;
+pub mod checkpoint;
 pub mod exec;
 pub mod guardband;
 pub mod metrics;

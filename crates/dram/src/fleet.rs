@@ -101,6 +101,24 @@ pub fn shard_specs(specs: &[ModuleSpec], index: usize, count: usize) -> Vec<Modu
     specs.iter().skip(index).step_by(count).cloned().collect()
 }
 
+/// Stable fingerprint of a module roster: FNV-1a over the ordered
+/// module names with a separator fold between names. Campaign
+/// checkpoints store this (alongside the shard index/count) in their
+/// manifest, so a journal written for one roster — or one shard of it —
+/// is rejected when opened against another instead of silently merging
+/// results across fleets.
+pub fn roster_fingerprint(specs: &[ModuleSpec]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for spec in specs {
+        for b in spec.name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+        // Separator fold so ["AB"] and ["A", "B"] differ.
+        h = (h ^ 0xFF).wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
 /// Identifier scoping which part of the fleet an experiment uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FleetScope {
@@ -244,6 +262,28 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn shard_index_out_of_range_panics() {
         let _ = shard_specs(&ModuleSpec::table1(), 3, 3);
+    }
+
+    #[test]
+    fn roster_fingerprint_distinguishes_rosters_and_shards() {
+        let all = ModuleSpec::table1();
+        let full = roster_fingerprint(&all);
+        assert_eq!(full, roster_fingerprint(&all), "fingerprint is stable");
+        for i in 0..3 {
+            assert_ne!(
+                full,
+                roster_fingerprint(&shard_specs(&all, i, 3)),
+                "shard {i} must not fingerprint like the full roster"
+            );
+        }
+        assert_ne!(
+            roster_fingerprint(&shard_specs(&all, 0, 3)),
+            roster_fingerprint(&shard_specs(&all, 1, 3)),
+            "distinct shards get distinct fingerprints"
+        );
+        let mut reordered = all.clone();
+        reordered.reverse();
+        assert_ne!(full, roster_fingerprint(&reordered), "fingerprint is order-sensitive");
     }
 
     #[test]

@@ -7,15 +7,17 @@
 use serde::{Deserialize, Serialize};
 
 use vrd_core::campaign::{
-    run_foundational_campaign_observed, FoundationalConfig, FoundationalResult,
+    run_foundational_campaign_checkpointed, run_foundational_campaign_observed, FoundationalConfig,
+    FoundationalResult,
 };
+use vrd_core::checkpoint::UnitHooks;
 use vrd_core::metrics::SeriesMetrics;
 use vrd_core::predictability::{analyze, PredictabilityReport};
 use vrd_stats::{BoxSummary, Histogram};
 
 use crate::opts::Options;
 use crate::render::{f, Table};
-use crate::runner::with_heartbeat;
+use crate::runner::{self, with_heartbeat};
 
 /// The full foundational study output.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -27,7 +29,9 @@ pub struct FoundationalStudy {
 
 /// Runs (or reuses) the foundational campaign across the module scope,
 /// on the deterministic executor: output is identical at any
-/// `--threads` value.
+/// `--threads` value. With `--checkpoint-dir`, every finished module is
+/// journaled and a `--resume` run restores completed modules instead of
+/// remeasuring them — to byte-identical output.
 pub fn run(opts: &Options) -> FoundationalStudy {
     let cfg = FoundationalConfig {
         measurements: opts.foundational_measurements,
@@ -36,8 +40,25 @@ pub fn run(opts: &Options) -> FoundationalStudy {
         ..FoundationalConfig::default()
     };
     let specs = opts.specs();
-    let results = with_heartbeat("foundational campaign", |progress| {
-        run_foundational_campaign_observed(&specs, &cfg, &opts.exec_config(), progress)
+    let ckpt = runner::campaign_checkpoint(opts, "foundational", &cfg);
+    let results = with_heartbeat("foundational campaign", |progress| match &ckpt {
+        Some(ckpt) => {
+            let plan = runner::fault_plan(opts);
+            let hooks = plan.as_ref().map(|p| p as &dyn UnitHooks);
+            run_foundational_campaign_checkpointed(
+                &specs,
+                &cfg,
+                &opts.exec_config(),
+                progress,
+                ckpt,
+                hooks,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("[vrd-exp] foundational campaign failed: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => run_foundational_campaign_observed(&specs, &cfg, &opts.exec_config(), progress),
     });
     FoundationalStudy { per_module: results.into_iter().flatten().collect() }
 }

@@ -2,7 +2,11 @@
 
 use serde::{Deserialize, Serialize};
 
-use vrd_core::campaign::{run_in_depth_campaign_observed, InDepthConfig, InDepthResult};
+use vrd_core::campaign::{
+    run_in_depth_campaign_checkpointed, run_in_depth_campaign_observed, InDepthConfig,
+    InDepthResult,
+};
+use vrd_core::checkpoint::UnitHooks;
 use vrd_core::montecarlo::{exact_stats, PAPER_N_VALUES};
 use vrd_dram::cells::CellPolarity;
 use vrd_dram::conditions::T_AGG_ON_TREFI_NS;
@@ -11,7 +15,7 @@ use vrd_stats::{BoxSummary, SCurve};
 
 use crate::opts::Options;
 use crate::render::{f, Table};
-use crate::runner::with_heartbeat;
+use crate::runner::{self, with_heartbeat};
 
 /// A labelled module-name predicate (manufacturer class filter).
 type ClassFilter = (&'static str, Box<dyn Fn(&str) -> bool>);
@@ -38,8 +42,25 @@ pub fn run(opts: &Options) -> InDepthStudy {
         row_bytes: opts.row_bytes,
     };
     let specs = opts.specs();
-    let per_module = with_heartbeat("in-depth campaign", |progress| {
-        run_in_depth_campaign_observed(&specs, &cfg, &opts.exec_config(), progress)
+    let ckpt = runner::campaign_checkpoint(opts, "in_depth", &cfg);
+    let per_module = with_heartbeat("in-depth campaign", |progress| match &ckpt {
+        Some(ckpt) => {
+            let plan = runner::fault_plan(opts);
+            let hooks = plan.as_ref().map(|p| p as &dyn UnitHooks);
+            run_in_depth_campaign_checkpointed(
+                &specs,
+                &cfg,
+                &opts.exec_config(),
+                progress,
+                ckpt,
+                hooks,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("[vrd-exp] in-depth campaign failed: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => run_in_depth_campaign_observed(&specs, &cfg, &opts.exec_config(), progress),
     });
     InDepthStudy { per_module }
 }

@@ -22,6 +22,14 @@
 //!                         shards (for spreading a campaign across
 //!                         processes; per-module results are unchanged)
 //!   --out DIR             JSON output directory (default: results)
+//!   --checkpoint-dir DIR  journal finished campaign units under DIR so
+//!                         a killed run can be resumed; each campaign
+//!                         uses its own subdirectory
+//!   --resume              continue from an existing checkpoint (same
+//!                         config/seed/shard required; resumed output is
+//!                         byte-identical to an uninterrupted run)
+//!   --fail-after-units N  fault injection: simulate a crash (exit 3)
+//!                         after N units commit (needs --checkpoint-dir)
 //! ```
 
 use std::sync::OnceLock;
@@ -185,12 +193,24 @@ fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
                 }
             }
             "--out" => opts.out_dir = need(&mut iter, arg)?,
+            "--checkpoint-dir" => opts.checkpoint_dir = Some(need(&mut iter, arg)?),
+            "--resume" => opts.resume = true,
+            "--fail-after-units" => {
+                opts.fail_after_units =
+                    Some(need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?)
+            }
             "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
             id if ALL_IDS.contains(&id) => ids.push(id.to_owned()),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     ids.dedup();
+    if opts.fail_after_units.is_some() && opts.checkpoint_dir.is_none() {
+        return Err("--fail-after-units needs --checkpoint-dir (nothing survives otherwise)".into());
+    }
+    if opts.resume && opts.checkpoint_dir.is_none() {
+        return Err("--resume needs --checkpoint-dir".into());
+    }
     Ok((ids, opts))
 }
 

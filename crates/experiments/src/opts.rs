@@ -48,6 +48,17 @@ pub struct Options {
     pub shard_index: usize,
     /// Total shards the roster is split across.
     pub shard_count: usize,
+    /// Root directory for crash-safe campaign checkpoints (`None` = no
+    /// checkpointing). Each campaign keeps its journal in its own
+    /// subdirectory (`<dir>/foundational`, `<dir>/in_depth`).
+    pub checkpoint_dir: Option<String>,
+    /// Continue from an existing checkpoint instead of refusing to
+    /// touch it.
+    pub resume: bool,
+    /// Fault injection: simulate a crash (process exit) after this many
+    /// units have been committed to the journal. Requires
+    /// [`checkpoint_dir`](Self::checkpoint_dir).
+    pub fail_after_units: Option<u64>,
 }
 
 impl Default for Options {
@@ -69,6 +80,9 @@ impl Default for Options {
             threads: 0,
             shard_index: 0,
             shard_count: 1,
+            checkpoint_dir: None,
+            resume: false,
+            fail_after_units: None,
         }
     }
 }

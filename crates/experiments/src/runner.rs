@@ -8,6 +8,8 @@ use std::time::Duration;
 
 use serde::Serialize;
 
+use vrd_core::checkpoint::{self, Checkpoint, CheckpointManifest};
+use vrd_core::exec::faults::FaultPlan;
 use vrd_core::exec::{self, Progress, Unit, UnitKey};
 use vrd_dram::ModuleSpec;
 
@@ -64,6 +66,62 @@ where
         finished.store(true, Ordering::Relaxed);
         out
     })
+}
+
+/// Opens the `campaign` checkpoint under `--checkpoint-dir`, bound to
+/// the campaign's config hash, seed, and roster shard. Returns `None`
+/// when checkpointing is off.
+///
+/// Exits the process with an explanatory message when the directory
+/// already holds a checkpoint but `--resume` was not passed, or when
+/// the existing checkpoint belongs to a different campaign/config/shard
+/// (stale checkpoints are rejected, never merged).
+pub fn campaign_checkpoint<C: Serialize>(
+    opts: &Options,
+    campaign: &str,
+    cfg: &C,
+) -> Option<Checkpoint> {
+    let root = opts.checkpoint_dir.as_deref()?;
+    let manifest = CheckpointManifest {
+        format_version: checkpoint::FORMAT_VERSION,
+        campaign: campaign.to_owned(),
+        config_hash: checkpoint::config_hash(cfg),
+        campaign_seed: opts.seed,
+        shard_index: opts.shard_index as u64,
+        shard_count: opts.shard_count as u64,
+        roster_fingerprint: vrd_dram::fleet::roster_fingerprint(&opts.specs()),
+    };
+    let dir = Path::new(root).join(campaign);
+    if dir.join("manifest.json").exists() && !opts.resume {
+        eprintln!(
+            "[vrd-exp] checkpoint {} already exists; pass --resume to continue it \
+             or remove the directory to start over",
+            dir.display()
+        );
+        std::process::exit(2);
+    }
+    match Checkpoint::open(&dir, manifest) {
+        Ok(ckpt) => {
+            if ckpt.completed_units() > 0 || ckpt.recovered_torn_tail() {
+                eprintln!(
+                    "[vrd-exp] resuming {campaign}: {} completed units restored{}",
+                    ckpt.completed_units(),
+                    if ckpt.recovered_torn_tail() { " (dropped a torn tail record)" } else { "" },
+                );
+            }
+            Some(ckpt)
+        }
+        Err(e) => {
+            eprintln!("[vrd-exp] cannot open checkpoint {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `--fail-after-units` fault plan: a simulated crash (exit code 3)
+/// after the Nth journal commit.
+pub fn fault_plan(opts: &Options) -> Option<FaultPlan> {
+    opts.fail_after_units.map(|n| FaultPlan::exit_after(n, 3))
 }
 
 /// Writes `value` as pretty JSON to `<out_dir>/<name>.json`.

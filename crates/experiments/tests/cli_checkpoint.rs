@@ -1,0 +1,94 @@
+//! End-to-end crash/resume test of the `vrd-exp` binary itself: a run
+//! killed by `--fail-after-units` (a real `process::exit`, not an
+//! in-process cancel) must, after `--resume`, produce byte-identical
+//! JSON output to a run that never crashed. Also pins the CLI's refusal
+//! modes: stale checkpoints need an explicit `--resume`, and the
+//! checkpoint flags validate their prerequisites.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("vrd-cli-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn vrd_exp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vrd-exp")).args(args).output().expect("spawn vrd-exp")
+}
+
+fn read_json(dir: &Path, name: &str) -> String {
+    let path = dir.join(format!("{name}.json"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Small fixed-seed fig3 run over two modules: `--fail-after-units 1`
+/// kills the campaign after the first module commits, before any output
+/// is written.
+const RUN: &[&str] =
+    &["fig3", "--modules", "M1,S2", "--measurements", "200", "--seed", "9", "--threads", "1"];
+
+#[test]
+fn crashed_then_resumed_cli_run_matches_uninterrupted_output() {
+    let golden_out = scratch_dir("golden");
+    let crash_out = scratch_dir("crash");
+    let ckpt = scratch_dir("ckpt");
+    let golden_dir = golden_out.to_str().unwrap();
+    let crash_dir = crash_out.to_str().unwrap();
+    let ckpt_dir = ckpt.to_str().unwrap();
+
+    let golden = vrd_exp(&[RUN, &["--out", golden_dir]].concat());
+    assert!(golden.status.success(), "golden run failed: {golden:?}");
+    let golden_json = read_json(&golden_out, "fig3");
+
+    // Crash after the first module commits: exit code 3, no fig3.json.
+    let crashed = vrd_exp(
+        &[RUN, &["--out", crash_dir, "--checkpoint-dir", ckpt_dir, "--fail-after-units", "1"]]
+            .concat(),
+    );
+    assert_eq!(crashed.status.code(), Some(3), "simulated crash must exit 3: {crashed:?}");
+    assert!(
+        String::from_utf8_lossy(&crashed.stderr).contains("simulated crash"),
+        "crash should be announced on stderr"
+    );
+    assert!(!crash_out.join("fig3.json").exists(), "crashed run must not publish results");
+    assert!(ckpt.join("foundational").join("journal.jsonl").exists(), "journal must survive");
+
+    // Without --resume the stale checkpoint is refused, not merged.
+    let refused = vrd_exp(&[RUN, &["--out", crash_dir, "--checkpoint-dir", ckpt_dir]].concat());
+    assert_eq!(refused.status.code(), Some(2), "existing checkpoint needs --resume: {refused:?}");
+
+    // Resume completes the campaign and reproduces the golden bytes.
+    let resumed =
+        vrd_exp(&[RUN, &["--out", crash_dir, "--checkpoint-dir", ckpt_dir, "--resume"]].concat());
+    assert!(resumed.status.success(), "resume failed: {resumed:?}");
+    assert!(
+        String::from_utf8_lossy(&resumed.stderr).contains("resuming foundational"),
+        "resume should report restored units"
+    );
+    assert_eq!(
+        read_json(&crash_out, "fig3"),
+        golden_json,
+        "resumed CLI output must be byte-identical to the uninterrupted run"
+    );
+
+    for dir in [&golden_out, &crash_out, &ckpt] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn checkpoint_flags_validate_their_prerequisites() {
+    let no_dir = vrd_exp(&["fig3", "--fail-after-units", "1"]);
+    assert_eq!(no_dir.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&no_dir.stderr).contains("--checkpoint-dir"));
+
+    let resume_no_dir = vrd_exp(&["fig3", "--resume"]);
+    assert_eq!(resume_no_dir.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&resume_no_dir.stderr).contains("--checkpoint-dir"));
+}

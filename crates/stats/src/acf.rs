@@ -37,6 +37,12 @@ pub fn autocorrelation(values: &[f64], max_lag: usize) -> Result<Vec<f64>, Stats
     if values.is_empty() {
         return Err(StatsError::EmptyInput);
     }
+    // An exactly-constant series must error even when rounding in the mean
+    // makes the variance a nonzero denormal (the denom check alone would
+    // then "measure" correlation of pure floating-point noise).
+    if values.windows(2).all(|w| w[0] == w[1]) {
+        return Err(StatsError::InvalidParameter("series has zero variance"));
+    }
     let n = values.len();
     let mean = values.iter().sum::<f64>() / n as f64;
     let denom: f64 = values.iter().map(|x| (x - mean).powi(2)).sum();

@@ -1,0 +1,94 @@
+//! Fixed-seed golden snapshots for the extension experiments (ablation,
+//! security sweep, online profiling) and the ECC Table-3 path.
+//!
+//! The parallel-determinism suite pins the two core campaigns; these
+//! goldens extend the same byte-level regression net over the
+//! evaluation's remaining entry points, so a model or RNG change that
+//! shifts any downstream number is caught at review time, not after.
+//!
+//! To bless after an intentional model change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_extensions
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use vrd_experiments::{ecc_exp, extensions, foundational, Options};
+
+/// Compares `actual` against `tests/golden/<name>`, or rewrites the file
+/// when `UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name].iter().collect();
+    let actual = format!("{actual}\n");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless it with UPDATE_GOLDEN=1 \
+             cargo test --test golden_extensions",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden snapshot; if the model change is \
+         intentional, re-bless with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Fixed-scale options shared by the extension goldens. Smoke scale
+/// but with an explicit roster and enough measurements for the security
+/// sweep's `len() >= 100` candidate filter.
+fn golden_opts() -> Options {
+    Options {
+        foundational_measurements: 300,
+        modules: vec!["M1".into(), "S2".into()],
+        seed: 2025,
+        threads: 1,
+        ..Options::smoke()
+    }
+}
+
+fn pretty<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("serializable result")
+}
+
+#[test]
+fn golden_ablation_seed_2025() {
+    assert_golden("ablation_seed_2025.json", &pretty(&extensions::ablation(&golden_opts())));
+}
+
+#[test]
+fn golden_security_seed_2025() {
+    let opts = golden_opts();
+    let study = foundational::run(&opts);
+    assert_golden("security_seed_2025.json", &pretty(&extensions::security(&study, &opts)));
+}
+
+#[test]
+fn golden_online_seed_2025() {
+    let result = extensions::online(&golden_opts()).expect("online profiling finds a victim");
+    assert_golden("online_seed_2025.json", &pretty(&result));
+}
+
+#[test]
+fn golden_ecc_table3_seed_2025() {
+    assert_golden("ecc_table3_seed_2025.json", &pretty(&ecc_exp::run_paper(5_000, 2025)));
+}
+
+#[test]
+fn extension_goldens_are_thread_invariant() {
+    // The goldens above run serial; the same entry points at 4 threads
+    // must not drift (they share the deterministic executor contract).
+    let mut opts = golden_opts();
+    opts.threads = 4;
+    assert_golden(
+        "security_seed_2025.json",
+        &pretty(&extensions::security(&foundational::run(&opts), &opts)),
+    );
+}

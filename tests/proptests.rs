@@ -321,3 +321,154 @@ mod executor {
         }
     }
 }
+
+/// Degenerate-input behavior of the statistics kernels: empty, tiny, and
+/// constant series must produce a `StatsError` or a well-defined value —
+/// never a panic, and never NaN/∞ leaking out of an `Ok`.
+mod stats_edge_cases {
+    use super::*;
+
+    use vrd::stats::runlength::{immediate_change_fraction, longest_run, run_lengths};
+    use vrd::stats::{
+        autocorrelation, chi_square_gof_normal, ks_test_normal, ks_test_two_sample,
+        run_length_histogram, white_noise_bound, StatsError,
+    };
+
+    proptest! {
+        #[test]
+        fn ks_normal_rejects_small_samples_and_bad_sd(
+            len in 0usize..8,
+            sd in prop_oneof![Just(0.0f64), Just(-1.0), Just(1.0)],
+        ) {
+            // Under 8 samples the sample-size check fires first; at valid
+            // sizes a non-positive sd must still be an error, not a NaN.
+            let values = vec![1.0f64; len];
+            prop_assert!(matches!(
+                ks_test_normal(&values, 0.0, sd),
+                Err(StatsError::TooFewSamples { required: 8, .. })
+            ));
+            let enough = vec![1.0f64; 8];
+            match ks_test_normal(&enough, 0.0, sd) {
+                Ok(r) => {
+                    prop_assert!(sd > 0.0);
+                    prop_assert!(r.statistic.is_finite() && r.p_value.is_finite());
+                }
+                Err(StatsError::InvalidParameter(_)) => prop_assert!(sd <= 0.0),
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+            }
+        }
+
+        #[test]
+        fn ks_two_sample_handles_tiny_and_constant_series(
+            la in 0usize..12,
+            lb in 0usize..12,
+            value in -5.0f64..5.0,
+        ) {
+            let a = vec![value; la];
+            let b = vec![value; lb];
+            match ks_test_two_sample(&a, &b) {
+                Ok(r) => {
+                    // Identical constant samples: D = 0, p = 1 (both finite).
+                    prop_assert!(la >= 8 && lb >= 8);
+                    prop_assert!(r.statistic.abs() < 1e-12);
+                    prop_assert!((r.p_value - 1.0).abs() < 1e-9);
+                }
+                Err(StatsError::TooFewSamples { required: 8, .. }) => {
+                    prop_assert!(la < 8 || lb < 8);
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+            }
+        }
+
+        #[test]
+        fn chi_square_errors_on_tiny_or_constant_series(
+            len in 0usize..120,
+            value in -10.0f64..10.0,
+        ) {
+            // A constant series always errors: too few samples below 30,
+            // zero variance at and above it. Either way, no panic, no NaN.
+            let constant = vec![value; len];
+            match chi_square_gof_normal(&constant, None) {
+                Err(StatsError::TooFewSamples { required: 30, .. }) => prop_assert!(len < 30),
+                Err(StatsError::InvalidParameter(_)) => prop_assert!(len >= 30),
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "constant series must not fit a normal: {other:?}"
+                    )))
+                }
+            }
+        }
+
+        #[test]
+        fn acf_errors_on_short_or_constant_series(
+            len in 0usize..40,
+            max_lag in 0usize..50,
+            value in -10.0f64..10.0,
+        ) {
+            let constant = vec![value; len];
+            match autocorrelation(&constant, max_lag) {
+                Err(StatsError::TooFewSamples { .. }) => prop_assert!(len <= max_lag),
+                Err(StatsError::InvalidParameter(_)) | Err(StatsError::EmptyInput) => {
+                    prop_assert!(len > max_lag)
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "constant series has undefined ACF and must error: {other:?}"
+                    )))
+                }
+            }
+        }
+
+        #[test]
+        fn acf_values_stay_finite_and_bounded(
+            seeds in prop::collection::vec(0u32..100, 9..60),
+            max_lag in 1usize..8,
+        ) {
+            // A varying series (strictly increasing tail breaks constancy)
+            // must yield finite ACF with lag 0 pinned at 1.
+            let values: Vec<f64> =
+                seeds.iter().enumerate().map(|(i, &s)| f64::from(s) + i as f64 * 0.01).collect();
+            let acf = autocorrelation(&values, max_lag).unwrap();
+            prop_assert_eq!(acf.len(), max_lag + 1);
+            prop_assert!((acf[0] - 1.0).abs() < 1e-12);
+            for r in &acf {
+                prop_assert!(r.is_finite() && r.abs() <= 1.0 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn white_noise_bound_is_finite_for_positive_n(n in 1usize..1_000_000) {
+            // n == 0 panics by documented contract; every valid n gives a
+            // finite positive bound.
+            let bound = white_noise_bound(n);
+            prop_assert!(bound.is_finite() && bound > 0.0);
+        }
+
+        #[test]
+        fn run_length_stats_are_total_on_any_series(
+            values in prop::collection::vec(0u8..4, 0..64),
+        ) {
+            let runs = run_lengths(&values);
+            prop_assert_eq!(runs.iter().sum::<usize>(), values.len());
+            prop_assert_eq!(
+                run_length_histogram(&values).values().sum::<u64>(),
+                runs.len() as u64
+            );
+            prop_assert_eq!(longest_run(&values), runs.iter().copied().max().unwrap_or(0));
+            match immediate_change_fraction(&values) {
+                // Defined only when a state change exists; always in [0, 1].
+                Some(frac) => {
+                    prop_assert!(runs.len() >= 2);
+                    prop_assert!((0.0..=1.0).contains(&frac));
+                }
+                None => prop_assert!(runs.len() < 2),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "white_noise_bound requires n > 0")]
+    fn white_noise_bound_panics_on_zero() {
+        let _ = white_noise_bound(0);
+    }
+}
