@@ -8,11 +8,11 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use vrd_core::campaign::{
-    run_in_depth_campaign, run_in_depth_campaign_checkpointed, InDepthConfig,
-};
+use vrd_core::campaign::{in_depth_campaign, InDepthConfig};
 use vrd_core::checkpoint::{self, Checkpoint, CheckpointManifest};
 use vrd_core::exec::{execute, ExecConfig, Progress, Unit, UnitKey};
+use vrd_core::obs::metrics::MetricsSink;
+use vrd_core::run::RunOptions;
 use vrd_dram::fleet::roster_fingerprint;
 use vrd_dram::ModuleSpec;
 
@@ -20,12 +20,12 @@ use vrd_dram::ModuleSpec;
 /// the parallel speedup dominates the pool setup, small enough to
 /// benchmark.
 fn bench_cfg() -> InDepthConfig {
-    InDepthConfig {
-        measurements: 30,
-        segment_rows: 48,
-        picks_per_segment: 3,
-        ..InDepthConfig::quick()
-    }
+    InDepthConfig::quick()
+        .to_builder()
+        .measurements(30)
+        .segment_rows(48)
+        .picks_per_segment(3)
+        .build()
 }
 
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -60,29 +60,37 @@ fn bench(c: &mut Criterion) {
     for threads in [1usize, 2, 4] {
         group.bench_function(&format!("in_depth_threads_{threads}"), |b| {
             b.iter(|| {
-                run_in_depth_campaign(
+                in_depth_campaign(
                     black_box(&specs),
                     black_box(&cfg),
-                    &ExecConfig::new(threads, cfg.seed),
+                    &RunOptions::new(ExecConfig::new(threads, cfg.seed)),
                 )
+                .unwrap()
             })
         });
     }
+    // The same campaign with a metrics observer attached to every
+    // event: the delta against in_depth_threads_4 is the observability
+    // overhead (the acceptance bar is ≤ 5%).
+    group.bench_function("in_depth_threads_4_observed", |b| {
+        b.iter(|| {
+            let metrics = MetricsSink::new();
+            let opts = RunOptions::new(ExecConfig::new(4, cfg.seed)).observer(&metrics);
+            let results = in_depth_campaign(black_box(&specs), black_box(&cfg), &opts).unwrap();
+            black_box(metrics.reports());
+            results
+        })
+    });
     // The same campaign with every unit journaled: the delta against
     // in_depth_threads_4 is the end-to-end checkpointing overhead.
     group.bench_function("in_depth_threads_4_checkpointed", |b| {
         b.iter(|| {
             let dir = scratch_dir();
             let ckpt = Checkpoint::open(&dir, manifest("in_depth", cfg.seed, fingerprint)).unwrap();
-            let results = run_in_depth_campaign_checkpointed(
-                black_box(&specs),
-                black_box(&cfg),
-                &ExecConfig::new(4, cfg.seed),
-                &Progress::new(),
-                &ckpt,
-                None,
-            )
-            .unwrap();
+            let progress = Progress::new();
+            let opts =
+                RunOptions::new(ExecConfig::new(4, cfg.seed)).progress(&progress).checkpoint(&ckpt);
+            let results = in_depth_campaign(black_box(&specs), black_box(&cfg), &opts).unwrap();
             drop(ckpt);
             let _ = std::fs::remove_dir_all(&dir);
             results

@@ -9,11 +9,17 @@
 //!
 //! - [`run_foundational`] is the legacy single-module serial entry point,
 //!   kept byte-for-byte stable (regression suites pin its output).
-//! - [`run_foundational_campaign`] / [`run_in_depth_campaign`] shard the
-//!   work across the deterministic executor ([`crate::exec`]): every
-//!   unit (module, or module × row × condition cell) runs on a fresh
-//!   platform whose dynamics RNG is reseeded from the unit's derived
-//!   seed, so the campaign output is bit-identical at any thread count.
+//! - [`foundational_campaign`] / [`in_depth_campaign`] shard the work
+//!   across the deterministic executor ([`crate::exec`]): every unit
+//!   (module, or module × row × condition cell) runs on a fresh platform
+//!   whose dynamics RNG is reseeded from the unit's derived seed, so the
+//!   campaign output is bit-identical at any thread count. A
+//!   [`RunOptions`] value selects the capabilities — progress counters,
+//!   event observers, checkpointing, cancellation — that used to be the
+//!   `run_X_campaign{,_observed,_checkpointed}` triad (still present as
+//!   deprecated wrappers).
+
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
@@ -23,12 +29,26 @@ use vrd_dram::spec::ModuleSpec;
 use vrd_dram::TestConditions;
 
 use crate::algorithm::{find_victim, test_loop, SweepSpec, FIND_VICTIM_CUTOFF};
-use crate::checkpoint::{self, Checkpoint, CheckpointError, UnitHooks};
-use crate::exec::{self, ExecConfig, Progress, Unit, UnitCtx, UnitKey};
+use crate::checkpoint::{Checkpoint, CheckpointError, UnitHooks};
+use crate::exec::{ExecConfig, ExecReport, Progress, Unit, UnitCtx, UnitKey};
+use crate::obs::{CampaignSummary, Event};
+use crate::run::{run_units, RunOptions};
 use crate::series::RdtSeries;
 
+/// Campaign label of the foundational (§4) campaign, used in events and
+/// checkpoint manifests.
+pub const FOUNDATIONAL: &str = "foundational";
+
+/// Campaign label of the in-depth (§5) campaign.
+pub const IN_DEPTH: &str = "in_depth";
+
 /// Configuration of the §4 foundational campaign.
+///
+/// `#[non_exhaustive]`: construct via [`FoundationalConfig::default`] or
+/// [`FoundationalConfig::builder`], so future fields are not breaking
+/// changes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct FoundationalConfig {
     /// RDT measurements per victim row (paper: 100,000).
     pub measurements: u32,
@@ -52,6 +72,62 @@ impl Default for FoundationalConfig {
             row_bytes: 2048,
             scan_rows: 8192,
         }
+    }
+}
+
+impl FoundationalConfig {
+    /// A builder seeded with the paper defaults.
+    pub fn builder() -> FoundationalConfigBuilder {
+        FoundationalConfigBuilder { cfg: FoundationalConfig::default() }
+    }
+
+    /// A builder seeded with this configuration's values.
+    pub fn to_builder(&self) -> FoundationalConfigBuilder {
+        FoundationalConfigBuilder { cfg: self.clone() }
+    }
+}
+
+/// Builder for [`FoundationalConfig`]; obtained from
+/// [`FoundationalConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct FoundationalConfigBuilder {
+    cfg: FoundationalConfig,
+}
+
+impl FoundationalConfigBuilder {
+    /// Sets the RDT measurements per victim row.
+    pub fn measurements(mut self, measurements: u32) -> Self {
+        self.cfg.measurements = measurements;
+        self
+    }
+
+    /// Sets the test conditions.
+    pub fn conditions(mut self, conditions: TestConditions) -> Self {
+        self.cfg.conditions = conditions;
+        self
+    }
+
+    /// Sets the device seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the device-model row size in bytes.
+    pub fn row_bytes(mut self, row_bytes: u32) -> Self {
+        self.cfg.row_bytes = row_bytes;
+        self
+    }
+
+    /// Sets how many rows `find_victim` may scan.
+    pub fn scan_rows(mut self, scan_rows: u32) -> Self {
+        self.cfg.scan_rows = scan_rows;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> FoundationalConfig {
+        self.cfg
     }
 }
 
@@ -90,45 +166,104 @@ pub fn run_foundational(spec: &ModuleSpec, cfg: &FoundationalConfig) -> Option<F
 }
 
 /// Runs the foundational campaign across a fleet of modules on the
-/// deterministic executor. Each module is one work unit: a fresh
-/// platform built from `cfg.seed` (so the weak-cell layout matches the
-/// legacy path) with its dynamics RNG reseeded from the unit's derived
-/// seed. Output order follows `specs`; entries are `None` for modules
-/// with no vulnerable row in the scanned range.
+/// deterministic executor, under [`RunOptions`]: plain, observed,
+/// checkpointed, and cancellable are all configurations of this one
+/// entry point.
+///
+/// Each module is one work unit: a fresh platform built from `cfg.seed`
+/// (so the weak-cell layout matches the legacy path) with its dynamics
+/// RNG reseeded from the unit's derived seed. Output order follows
+/// `specs`; entries are `None` for modules with no vulnerable row in
+/// the scanned range.
+///
+/// Emits [`Event::CampaignStarted`] / [`Event::CampaignFinished`]
+/// around the run's phase and unit events.
+///
+/// # Errors
+///
+/// [`CheckpointError::Interrupted`] when cancellation stopped the run
+/// early, plus the checkpoint open/decode errors when `opts` carries a
+/// checkpoint. A run without checkpoint or cancellation cannot fail.
+pub fn foundational_campaign(
+    specs: &[ModuleSpec],
+    cfg: &FoundationalConfig,
+    opts: &RunOptions<'_>,
+) -> Result<Vec<Option<FoundationalResult>>, CheckpointError> {
+    run_campaign_phases(opts, FOUNDATIONAL, |opts| {
+        run_units(opts, FOUNDATIONAL, "measure", foundational_units(specs), |ctx, spec| {
+            foundational_unit(spec, cfg, &ctx)
+        })
+        .map(ExecReport::into_results)
+    })
+}
+
+/// Wraps a campaign body with the campaign-level concerns shared by
+/// every entry point: a guaranteed [`Progress`] (so the summary has
+/// counters even when the caller supplied none), the
+/// [`Event::CampaignStarted`] / [`Event::CampaignFinished`] bracket,
+/// and the campaign wall-clock measurement.
+fn run_campaign_phases<T>(
+    opts: &RunOptions<'_>,
+    campaign: &str,
+    body: impl FnOnce(&RunOptions<'_>) -> Result<T, CheckpointError>,
+) -> Result<T, CheckpointError> {
+    let own_progress = Progress::new();
+    let opts = match opts.has_progress() {
+        true => *opts,
+        false => opts.progress(&own_progress),
+    };
+    let observer = opts.observer_ref();
+    observer.on_event(&Event::CampaignStarted { campaign: campaign.to_owned() });
+    let started = Instant::now();
+    let result = body(&opts)?;
+    let snap = opts.progress_ref().expect("progress installed above").snapshot();
+    observer.on_event(&Event::CampaignFinished {
+        campaign: campaign.to_owned(),
+        summary: CampaignSummary {
+            units_total: snap.units_total,
+            units_done: snap.units_done,
+            units_panicked: snap.units_panicked,
+            bitflips: snap.flips_found,
+            sim_time_ns: snap.sim_time_ns,
+            sim_energy_j: snap.sim_energy_j,
+            wall_ns: started.elapsed().as_nanos() as u64,
+        },
+    });
+    Ok(result)
+}
+
+/// Deprecated triad wrapper: a plain run of [`foundational_campaign`].
+#[deprecated(note = "use `foundational_campaign` with `RunOptions::new(exec_cfg)`")]
 pub fn run_foundational_campaign(
     specs: &[ModuleSpec],
     cfg: &FoundationalConfig,
     exec_cfg: &ExecConfig,
 ) -> Vec<Option<FoundationalResult>> {
-    run_foundational_campaign_observed(specs, cfg, exec_cfg, &Progress::new())
+    foundational_campaign(specs, cfg, &RunOptions::new(*exec_cfg))
+        .expect("plain campaign run cannot fail")
 }
 
-/// [`run_foundational_campaign`] reporting live progress into
-/// caller-owned counters (for the experiments CLI heartbeat).
+/// Deprecated triad wrapper: [`foundational_campaign`] with shared
+/// progress counters.
+#[deprecated(note = "use `foundational_campaign` with `RunOptions::new(exec_cfg).progress(p)`")]
 pub fn run_foundational_campaign_observed(
     specs: &[ModuleSpec],
     cfg: &FoundationalConfig,
     exec_cfg: &ExecConfig,
     progress: &Progress,
 ) -> Vec<Option<FoundationalResult>> {
-    let units = foundational_units(specs);
-    exec::execute_observed(exec_cfg, units, progress, |ctx, spec| {
-        foundational_unit(spec, cfg, &ctx)
-    })
-    .into_results()
+    foundational_campaign(specs, cfg, &RunOptions::new(*exec_cfg).progress(progress))
+        .expect("observed campaign run cannot fail")
 }
 
-/// [`run_foundational_campaign_observed`] with crash-safe persistence:
-/// modules already in `checkpoint`'s journal are restored without
-/// rerunning, each freshly finished module is journaled before the run
-/// moves on, and the final output is byte-identical to an uninterrupted
-/// run (unit seeds depend only on `(campaign_seed, unit_key)`).
+/// Deprecated triad wrapper: [`foundational_campaign`] with progress,
+/// checkpoint, and hooks.
 ///
 /// # Errors
 ///
-/// See [`checkpoint::execute_checkpointed`]; notably
-/// [`CheckpointError::Interrupted`] when a hook's cancel flag stopped
-/// the run early.
+/// See [`foundational_campaign`].
+#[deprecated(note = "use `foundational_campaign` with \
+                     `RunOptions::new(exec_cfg).progress(p).checkpoint(c).hooks(h)`")]
 pub fn run_foundational_campaign_checkpointed(
     specs: &[ModuleSpec],
     cfg: &FoundationalConfig,
@@ -137,11 +272,11 @@ pub fn run_foundational_campaign_checkpointed(
     ckpt: &Checkpoint,
     hooks: Option<&dyn UnitHooks>,
 ) -> Result<Vec<Option<FoundationalResult>>, CheckpointError> {
-    let units = foundational_units(specs);
-    checkpoint::execute_checkpointed(exec_cfg, units, progress, ckpt, hooks, |ctx, spec| {
-        foundational_unit(spec, cfg, &ctx)
-    })
-    .map(exec::ExecReport::into_results)
+    let mut opts = RunOptions::new(*exec_cfg).progress(progress).checkpoint(ckpt);
+    if let Some(h) = hooks {
+        opts = opts.hooks(h);
+    }
+    foundational_campaign(specs, cfg, &opts)
 }
 
 /// One unit per module, keyed by module name.
@@ -166,6 +301,7 @@ fn foundational_unit(
     let series = test_loop(&mut platform, 0, row, &cfg.conditions, cfg.measurements, &sweep);
     ctx.record_flips(series.len() as u64);
     ctx.record_sim_time_ns(platform.elapsed_ns());
+    ctx.record_sim_energy_j(platform.energy_j());
     Some(FoundationalResult {
         module: spec.name.clone(),
         row,
@@ -176,7 +312,12 @@ fn foundational_unit(
 }
 
 /// Configuration of the §5 in-depth campaign.
+///
+/// `#[non_exhaustive]`: construct via [`InDepthConfig::default`],
+/// [`InDepthConfig::quick`], or [`InDepthConfig::builder`], so future
+/// fields are not breaking changes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct InDepthConfig {
     /// RDT measurements per row per condition (paper: 1,000).
     pub measurements: u32,
@@ -217,6 +358,66 @@ impl InDepthConfig {
             seed: 5025,
             row_bytes: 512,
         }
+    }
+
+    /// A builder seeded with the paper defaults.
+    pub fn builder() -> InDepthConfigBuilder {
+        InDepthConfigBuilder { cfg: InDepthConfig::default() }
+    }
+
+    /// A builder seeded with this configuration's values.
+    pub fn to_builder(&self) -> InDepthConfigBuilder {
+        InDepthConfigBuilder { cfg: self.clone() }
+    }
+}
+
+/// Builder for [`InDepthConfig`]; obtained from
+/// [`InDepthConfig::builder`] or [`InDepthConfig::to_builder`].
+#[derive(Debug, Clone)]
+pub struct InDepthConfigBuilder {
+    cfg: InDepthConfig,
+}
+
+impl InDepthConfigBuilder {
+    /// Sets the RDT measurements per row per condition.
+    pub fn measurements(mut self, measurements: u32) -> Self {
+        self.cfg.measurements = measurements;
+        self
+    }
+
+    /// Sets the rows scanned per segment.
+    pub fn segment_rows(mut self, segment_rows: u32) -> Self {
+        self.cfg.segment_rows = segment_rows;
+        self
+    }
+
+    /// Sets the rows selected per segment.
+    pub fn picks_per_segment(mut self, picks_per_segment: usize) -> Self {
+        self.cfg.picks_per_segment = picks_per_segment;
+        self
+    }
+
+    /// Sets the test-condition grid.
+    pub fn conditions(mut self, conditions: Vec<TestConditions>) -> Self {
+        self.cfg.conditions = conditions;
+        self
+    }
+
+    /// Sets the device seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the device-model row size in bytes.
+    pub fn row_bytes(mut self, row_bytes: u32) -> Self {
+        self.cfg.row_bytes = row_bytes;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> InDepthConfig {
+        self.cfg
     }
 }
 
@@ -298,17 +499,23 @@ pub fn select_rows(
 }
 
 /// Runs the §5 in-depth campaign against one module, serially. This is
-/// the single-threaded instance of [`run_in_depth_campaign`], so its
-/// output is exactly what any parallel run of the same campaign
-/// produces.
+/// the single-threaded instance of [`in_depth_campaign`], so its output
+/// is exactly what any parallel run of the same campaign produces.
 pub fn run_in_depth(spec: &ModuleSpec, cfg: &InDepthConfig) -> InDepthResult {
-    run_in_depth_campaign(std::slice::from_ref(spec), cfg, &ExecConfig::serial(cfg.seed))
-        .pop()
-        .expect("one module in, one result out")
+    in_depth_campaign(
+        std::slice::from_ref(spec),
+        cfg,
+        &RunOptions::new(ExecConfig::serial(cfg.seed)),
+    )
+    .expect("plain campaign run cannot fail")
+    .pop()
+    .expect("one module in, one result out")
 }
 
 /// Runs the §5 in-depth campaign across a fleet of modules on the
-/// deterministic executor, in two phases:
+/// deterministic executor, under [`RunOptions`] (plain, observed,
+/// checkpointed, and cancellable are configurations, as in
+/// [`foundational_campaign`]), in two phases:
 ///
 /// 1. **Selection** — one unit per module scans the three bank segments
 ///    and picks the most vulnerable rows (fresh platform per module, so
@@ -323,54 +530,80 @@ pub fn run_in_depth(spec: &ModuleSpec, cfg: &InDepthConfig) -> InDepthResult {
 /// Output order follows `specs`; within a module, rows follow selection
 /// order and conditions follow `cfg.conditions` order, independent of
 /// the thread count.
+///
+/// When `opts` carries a checkpoint, both phases share one journal:
+/// selection units are keyed `(module, WHOLE_MODULE, WHOLE_MODULE)` and
+/// measurement cells `(module, row, condition)`, so the keys never
+/// collide. A resumed campaign restores whatever subset of either phase
+/// is journaled and produces output byte-identical to an uninterrupted
+/// run. When `opts` carries progress counters or an observer, both
+/// phases feed them: selection units first, then every measurement
+/// cell, under the phase labels `"select"` and `"measure"`.
+///
+/// # Errors
+///
+/// [`CheckpointError::Interrupted`] when cancellation stopped the run
+/// early (with a checkpoint, the journal then holds every committed
+/// unit), plus checkpoint open/decode errors. A run without checkpoint
+/// or cancellation cannot fail.
+pub fn in_depth_campaign(
+    specs: &[ModuleSpec],
+    cfg: &InDepthConfig,
+    opts: &RunOptions<'_>,
+) -> Result<Vec<InDepthResult>, CheckpointError> {
+    run_campaign_phases(opts, IN_DEPTH, |opts| {
+        // Phase 1: per-module row selection.
+        let selections: Vec<Vec<(u32, u32)>> =
+            run_units(opts, IN_DEPTH, "select", selection_units(specs), |ctx, spec| {
+                select_unit(spec, cfg, &ctx)
+            })?
+            .into_results();
+
+        // Phase 2: one unit per (module × row × condition) cell, all
+        // modules in one pool.
+        let units = cell_units(specs, cfg, &selections);
+        let cells: Vec<Option<ConditionSeries>> =
+            run_units(opts, IN_DEPTH, "measure", units, |ctx, &(module_idx, row, conditions)| {
+                measure_cell(&specs[module_idx], cfg, row, &conditions, &ctx)
+            })?
+            .into_results();
+
+        Ok(merge_in_depth(specs, selections, cells, cfg.conditions.len()))
+    })
+}
+
+/// Deprecated triad wrapper: a plain run of [`in_depth_campaign`].
+#[deprecated(note = "use `in_depth_campaign` with `RunOptions::new(exec_cfg)`")]
 pub fn run_in_depth_campaign(
     specs: &[ModuleSpec],
     cfg: &InDepthConfig,
     exec_cfg: &ExecConfig,
 ) -> Vec<InDepthResult> {
-    run_in_depth_campaign_observed(specs, cfg, exec_cfg, &Progress::new())
+    in_depth_campaign(specs, cfg, &RunOptions::new(*exec_cfg))
+        .expect("plain campaign run cannot fail")
 }
 
-/// [`run_in_depth_campaign`] reporting live progress into caller-owned
-/// counters (for the experiments CLI heartbeat). The counters span both
-/// phases: selection units first, then every measurement cell.
+/// Deprecated triad wrapper: [`in_depth_campaign`] with shared progress
+/// counters.
+#[deprecated(note = "use `in_depth_campaign` with `RunOptions::new(exec_cfg).progress(p)`")]
 pub fn run_in_depth_campaign_observed(
     specs: &[ModuleSpec],
     cfg: &InDepthConfig,
     exec_cfg: &ExecConfig,
     progress: &Progress,
 ) -> Vec<InDepthResult> {
-    // Phase 1: per-module row selection.
-    let selections: Vec<Vec<(u32, u32)>> =
-        exec::execute_observed(exec_cfg, selection_units(specs), progress, |ctx, spec| {
-            select_unit(spec, cfg, &ctx)
-        })
-        .into_results();
-
-    // Phase 2: one unit per (module × row × condition) cell, all modules
-    // in one pool.
-    let units = cell_units(specs, cfg, &selections);
-    let cells: Vec<Option<ConditionSeries>> =
-        exec::execute_observed(exec_cfg, units, progress, |ctx, &(module_idx, row, conditions)| {
-            measure_cell(&specs[module_idx], cfg, row, &conditions, &ctx)
-        })
-        .into_results();
-
-    merge_in_depth(specs, selections, cells, cfg.conditions.len())
+    in_depth_campaign(specs, cfg, &RunOptions::new(*exec_cfg).progress(progress))
+        .expect("observed campaign run cannot fail")
 }
 
-/// [`run_in_depth_campaign_observed`] with crash-safe persistence. Both
-/// phases share one journal: selection units are keyed
-/// `(module, WHOLE_MODULE, WHOLE_MODULE)` and measurement cells
-/// `(module, row, condition)`, so the keys never collide. A resumed
-/// campaign restores whatever subset of either phase is journaled and
-/// produces output byte-identical to an uninterrupted run.
+/// Deprecated triad wrapper: [`in_depth_campaign`] with progress,
+/// checkpoint, and hooks.
 ///
 /// # Errors
 ///
-/// See [`checkpoint::execute_checkpointed`]; notably
-/// [`CheckpointError::Interrupted`] when a hook's cancel flag stopped
-/// the run early (the journal then holds every committed unit).
+/// See [`in_depth_campaign`].
+#[deprecated(note = "use `in_depth_campaign` with \
+                     `RunOptions::new(exec_cfg).progress(p).checkpoint(c).hooks(h)`")]
 pub fn run_in_depth_campaign_checkpointed(
     specs: &[ModuleSpec],
     cfg: &InDepthConfig,
@@ -379,30 +612,11 @@ pub fn run_in_depth_campaign_checkpointed(
     ckpt: &Checkpoint,
     hooks: Option<&dyn UnitHooks>,
 ) -> Result<Vec<InDepthResult>, CheckpointError> {
-    let selections: Vec<Vec<(u32, u32)>> = checkpoint::execute_checkpointed(
-        exec_cfg,
-        selection_units(specs),
-        progress,
-        ckpt,
-        hooks,
-        |ctx, spec| select_unit(spec, cfg, &ctx),
-    )?
-    .into_results();
-
-    let units = cell_units(specs, cfg, &selections);
-    let cells: Vec<Option<ConditionSeries>> = checkpoint::execute_checkpointed(
-        exec_cfg,
-        units,
-        progress,
-        ckpt,
-        hooks,
-        |ctx, &(module_idx, row, conditions)| {
-            measure_cell(&specs[module_idx], cfg, row, &conditions, &ctx)
-        },
-    )?
-    .into_results();
-
-    Ok(merge_in_depth(specs, selections, cells, cfg.conditions.len()))
+    let mut opts = RunOptions::new(*exec_cfg).progress(progress).checkpoint(ckpt);
+    if let Some(h) = hooks {
+        opts = opts.hooks(h);
+    }
+    in_depth_campaign(specs, cfg, &opts)
 }
 
 /// Phase-1 units: one per module, keyed by module name.
@@ -425,6 +639,7 @@ fn select_unit(spec: &ModuleSpec, cfg: &InDepthConfig, ctx: &UnitCtx<'_>) -> Vec
         3,
     );
     ctx.record_sim_time_ns(platform.elapsed_ns());
+    ctx.record_sim_energy_j(platform.energy_j());
     rows
 }
 
@@ -496,6 +711,7 @@ fn measure_cell(
     let series = test_loop(&mut platform, 0, row, conditions, cfg.measurements, &sweep);
     ctx.record_flips(series.len() as u64);
     ctx.record_sim_time_ns(platform.elapsed_ns());
+    ctx.record_sim_energy_j(platform.energy_j());
     if series.is_empty() {
         return None;
     }
@@ -573,8 +789,12 @@ mod tests {
         let spec = ModuleSpec::by_name("H3").unwrap();
         let cfg = InDepthConfig::quick();
         let serial = run_in_depth(&spec, &cfg);
-        let parallel =
-            run_in_depth_campaign(std::slice::from_ref(&spec), &cfg, &ExecConfig::new(4, cfg.seed));
+        let parallel = in_depth_campaign(
+            std::slice::from_ref(&spec),
+            &cfg,
+            &RunOptions::new(ExecConfig::new(4, cfg.seed)),
+        )
+        .unwrap();
         assert_eq!(parallel.len(), 1);
         assert_eq!(serial, parallel[0], "thread count must not change the results");
     }
@@ -584,8 +804,12 @@ mod tests {
         let specs: Vec<ModuleSpec> =
             ["M1", "S2", "H3"].iter().map(|n| ModuleSpec::by_name(n).unwrap()).collect();
         let cfg = quick_foundational();
-        let serial = run_foundational_campaign(&specs, &cfg, &ExecConfig::serial(cfg.seed));
-        let parallel = run_foundational_campaign(&specs, &cfg, &ExecConfig::new(8, cfg.seed));
+        let serial =
+            foundational_campaign(&specs, &cfg, &RunOptions::new(ExecConfig::serial(cfg.seed)))
+                .unwrap();
+        let parallel =
+            foundational_campaign(&specs, &cfg, &RunOptions::new(ExecConfig::new(8, cfg.seed)))
+                .unwrap();
         assert_eq!(serial, parallel);
         let names: Vec<&str> = serial.iter().flatten().map(|r| r.module.as_str()).collect();
         assert_eq!(names, vec!["M1", "S2", "H3"], "output follows input order");
@@ -596,17 +820,65 @@ mod tests {
         let spec = ModuleSpec::by_name("H3").unwrap();
         let cfg = InDepthConfig::quick();
         let progress = Progress::new();
-        let results = run_in_depth_campaign_observed(
+        let results = in_depth_campaign(
             std::slice::from_ref(&spec),
             &cfg,
-            &ExecConfig::new(2, cfg.seed),
-            &progress,
-        );
+            &RunOptions::new(ExecConfig::new(2, cfg.seed)).progress(&progress),
+        )
+        .unwrap();
         let snap = progress.snapshot();
         let cells: usize = results[0].rows.len() * cfg.conditions.len();
         assert_eq!(snap.units_total, 1 + cells, "selection unit + every measurement cell");
         assert_eq!(snap.units_done, snap.units_total);
         assert!(snap.flips_found > 0);
         assert!(snap.sim_time_ns > 0.0);
+        assert!(snap.sim_energy_j > 0.0, "units must report Appendix-A test energy");
+    }
+
+    #[test]
+    fn campaign_events_bracket_phases_and_count_units() {
+        use crate::obs::{Event, MemorySink};
+        let spec = ModuleSpec::by_name("H3").unwrap();
+        let cfg = InDepthConfig::quick();
+        let sink = MemorySink::new();
+        let results = in_depth_campaign(
+            std::slice::from_ref(&spec),
+            &cfg,
+            &RunOptions::new(ExecConfig::new(2, cfg.seed)).observer(&sink),
+        )
+        .unwrap();
+        let events = sink.events();
+        assert!(matches!(&events[0], Event::CampaignStarted { campaign } if campaign == IN_DEPTH));
+        let phases: Vec<(String, usize)> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::PhaseStarted { phase, units, .. } => Some((phase.clone(), *units)),
+                _ => None,
+            })
+            .collect();
+        let cells = results[0].rows.len() * cfg.conditions.len();
+        assert_eq!(phases, vec![("select".to_owned(), 1), ("measure".to_owned(), cells)]);
+        let finished = events.iter().filter(|e| matches!(e, Event::UnitFinished { .. })).count();
+        assert_eq!(finished, 1 + cells, "one UnitFinished per unit");
+        let Some(Event::CampaignFinished { summary, .. }) = events.last() else {
+            panic!("stream must end with CampaignFinished");
+        };
+        assert_eq!(summary.units_done, 1 + cells);
+        assert!(summary.sim_time_ns > 0.0);
+        assert!(summary.sim_energy_j > 0.0);
+    }
+
+    /// The deprecated triad must stay behaviorally identical to the
+    /// unified entry points for one release.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_triad_wrappers_match_unified_entry_points() {
+        let specs = vec![ModuleSpec::by_name("M1").unwrap()];
+        let cfg = quick_foundational();
+        let exec_cfg = ExecConfig::serial(cfg.seed);
+        let unified = foundational_campaign(&specs, &cfg, &RunOptions::new(exec_cfg)).unwrap();
+        assert_eq!(run_foundational_campaign(&specs, &cfg, &exec_cfg), unified);
+        let progress = Progress::new();
+        assert_eq!(run_foundational_campaign_observed(&specs, &cfg, &exec_cfg, &progress), unified);
     }
 }

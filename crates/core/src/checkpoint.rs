@@ -45,11 +45,14 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize, Value};
 
 use crate::exec::{self, ExecConfig, ExecReport, Progress, Unit, UnitCtx, UnitKey, UnitOutcome};
+use crate::obs::{Event, NullObserver, Observer};
 
 /// Version tag of the journal/manifest format; bump on incompatible
 /// layout changes so old checkpoints are rejected instead of misread.
@@ -439,6 +442,31 @@ where
     T: Serialize + Deserialize + Send,
     F: Fn(UnitCtx<'_>, &I) -> T + Sync,
 {
+    execute_checkpointed_run(cfg, units, progress, checkpoint, hooks, None, &NullObserver, f)
+}
+
+/// Like [`execute_checkpointed`], but cancellable through an explicit
+/// flag (merged with the hooks' [`UnitHooks::cancel_flag`]) and
+/// observed: every unit restored from the journal emits
+/// [`Event::UnitRestored`], and every fresh append+flush emits
+/// [`Event::CheckpointCommitted`] with the measured commit latency, on
+/// top of the executor's own unit lifecycle events.
+#[allow(clippy::too_many_arguments)] // the RunOptions facade in `crate::run` is the public surface
+pub fn execute_checkpointed_run<I, T, F>(
+    cfg: &ExecConfig,
+    units: Vec<Unit<I>>,
+    progress: &Progress,
+    checkpoint: &Checkpoint,
+    hooks: Option<&dyn UnitHooks>,
+    cancel: Option<&AtomicBool>,
+    observer: &dyn Observer,
+    f: F,
+) -> Result<ExecReport<T>, CheckpointError>
+where
+    I: Send + Sync,
+    T: Serialize + Deserialize + Send,
+    F: Fn(UnitCtx<'_>, &I) -> T + Sync,
+{
     let total = units.len();
     let mut slots: Vec<Option<UnitOutcome<T>>> = Vec::new();
     slots.resize_with(total, || None);
@@ -448,7 +476,10 @@ where
     let mut pending_slots: Vec<usize> = Vec::new();
     for (i, unit) in units.into_iter().enumerate() {
         match checkpoint.cached::<T>(&unit.key)? {
-            Some(value) => slots[i] = Some(UnitOutcome::Completed(value)),
+            Some(value) => {
+                observer.on_event(&Event::UnitRestored { key: unit.key.clone() });
+                slots[i] = Some(UnitOutcome::Completed(value));
+            }
             None => {
                 pending_slots.push(i);
                 pending.push(unit);
@@ -457,16 +488,21 @@ where
     }
     progress.restore(total - pending.len());
 
-    let cancel = hooks.and_then(UnitHooks::cancel_flag);
-    let report = exec::execute_cancellable(cfg, pending, progress, cancel, |ctx, payload| {
+    let cancel = cancel.or_else(|| hooks.and_then(UnitHooks::cancel_flag));
+    let report = exec::execute_run(cfg, pending, progress, cancel, observer, |ctx, payload| {
         let key = ctx.key;
         if let Some(h) = hooks {
             h.before_unit(key);
         }
         let value = f(ctx, payload);
+        let commit_started = Instant::now();
         if let Err(e) = checkpoint.append(key, &value) {
             panic!("checkpoint journal append failed: {e}");
         }
+        observer.on_event(&Event::CheckpointCommitted {
+            key: key.clone(),
+            latency_ns: commit_started.elapsed().as_nanos() as u64,
+        });
         if let Some(h) = hooks {
             h.after_commit(key);
         }

@@ -36,20 +36,35 @@
 //! normally. [`crate::checkpoint`] builds crash-safe resume on top of
 //! this, and the cfg-gated [`faults`] module turns the flag into a
 //! deterministic kill switch for testing.
+//!
+//! Runs can be **observed**: [`execute_run`] additionally emits
+//! [`crate::obs::Event::UnitStarted`] / `UnitFinished` (with per-unit
+//! wall time, simulated test time/energy, and bitflips) into an
+//! [`Observer`], feeding JSONL traces and `metrics.json`. Observation is
+//! purely additive — it never touches seeds, scheduling, or outputs.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+
+use crate::obs::{Event, NullObserver, Observer, OutcomeKind};
 
 #[cfg(feature = "fault-injection")]
 pub mod faults;
 
 /// Executor configuration: worker-thread count and the campaign seed all
 /// unit seeds derive from.
+///
+/// `#[non_exhaustive]`: construct through [`ExecConfig::new`],
+/// [`ExecConfig::serial`], or [`ExecConfig::builder`], so future fields
+/// are not breaking changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct ExecConfig {
     /// Worker threads (0 = all available cores).
     pub threads: usize,
@@ -70,6 +85,16 @@ impl ExecConfig {
         ExecConfig { threads: 1, campaign_seed }
     }
 
+    /// A builder seeded with the defaults (all cores, campaign seed 0).
+    pub fn builder() -> ExecConfigBuilder {
+        ExecConfigBuilder { cfg: ExecConfig { threads: 0, campaign_seed: 0 } }
+    }
+
+    /// A builder seeded with this configuration's values.
+    pub fn to_builder(self) -> ExecConfigBuilder {
+        ExecConfigBuilder { cfg: self }
+    }
+
     /// The effective worker count for `unit_count` units.
     pub fn effective_threads(&self, unit_count: usize) -> usize {
         let configured = if self.threads == 0 {
@@ -78,6 +103,31 @@ impl ExecConfig {
             self.threads
         };
         configured.clamp(1, unit_count.max(1))
+    }
+}
+
+/// Builder for [`ExecConfig`]; obtained from [`ExecConfig::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfigBuilder {
+    cfg: ExecConfig,
+}
+
+impl ExecConfigBuilder {
+    /// Sets the worker-thread count (0 = all available cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Sets the campaign seed.
+    pub fn campaign_seed(mut self, campaign_seed: u64) -> Self {
+        self.cfg.campaign_seed = campaign_seed;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> ExecConfig {
+        self.cfg
     }
 }
 
@@ -155,6 +205,7 @@ pub struct Progress {
     panicked: AtomicUsize,
     flips: AtomicU64,
     sim_time_ns: AtomicU64,
+    sim_energy_pj: AtomicU64,
 }
 
 impl Progress {
@@ -171,6 +222,7 @@ impl Progress {
             units_panicked: self.panicked.load(Ordering::Relaxed),
             flips_found: self.flips.load(Ordering::Relaxed),
             sim_time_ns: self.sim_time_ns.load(Ordering::Relaxed) as f64,
+            sim_energy_j: self.sim_energy_pj.load(Ordering::Relaxed) as f64 * 1e-12,
         }
     }
 
@@ -188,6 +240,12 @@ impl Progress {
     fn record_sim_time_ns(&self, ns: f64) {
         // Whole nanoseconds are plenty for throughput display.
         self.sim_time_ns.fetch_add(ns.max(0.0) as u64, Ordering::Relaxed);
+    }
+
+    fn record_sim_energy_j(&self, joules: f64) {
+        // Stored in whole picojoules: plenty of resolution for display
+        // and aggregation, and an atomic u64 holds up to ~18 MJ.
+        self.sim_energy_pj.fetch_add((joules.max(0.0) * 1e12) as u64, Ordering::Relaxed);
     }
 
     /// Enrolls `n` units restored from a checkpoint journal as already
@@ -212,6 +270,9 @@ pub struct ProgressSnapshot {
     pub flips_found: u64,
     /// Simulated DRAM test time consumed so far (ns).
     pub sim_time_ns: f64,
+    /// Estimated DRAM test energy consumed so far (J), per the bender
+    /// platform's Appendix-A energy model.
+    pub sim_energy_j: f64,
 }
 
 impl ProgressSnapshot {
@@ -221,6 +282,16 @@ impl ProgressSnapshot {
     }
 }
 
+/// Per-unit tallies of what the work closure reported, kept on the
+/// worker's stack so the `UnitFinished` event can carry the unit's own
+/// deltas (the shared [`Progress`] only holds campaign-wide sums).
+#[derive(Debug, Default)]
+struct UnitTally {
+    flips: Cell<u64>,
+    sim_time_ns: Cell<f64>,
+    sim_energy_j: Cell<f64>,
+}
+
 /// Per-unit context handed to the work closure.
 pub struct UnitCtx<'a> {
     /// The unit's derived dynamics seed; reseed the platform with this.
@@ -228,17 +299,26 @@ pub struct UnitCtx<'a> {
     /// The unit's stable key.
     pub key: &'a UnitKey,
     progress: &'a Progress,
+    tally: &'a UnitTally,
 }
 
 impl UnitCtx<'_> {
     /// Reports successful RDT measurements (bitflips found).
     pub fn record_flips(&self, n: u64) {
         self.progress.record_flips(n);
+        self.tally.flips.set(self.tally.flips.get() + n);
     }
 
     /// Reports simulated test time consumed (ns).
     pub fn record_sim_time_ns(&self, ns: f64) {
         self.progress.record_sim_time_ns(ns);
+        self.tally.sim_time_ns.set(self.tally.sim_time_ns.get() + ns);
+    }
+
+    /// Reports estimated test energy consumed (J).
+    pub fn record_sim_energy_j(&self, joules: f64) {
+        self.progress.record_sim_energy_j(joules);
+        self.tally.sim_energy_j.set(self.tally.sim_energy_j.get() + joules);
     }
 }
 
@@ -348,6 +428,29 @@ where
     T: Send,
     F: Fn(UnitCtx<'_>, &I) -> T + Sync,
 {
+    execute_run(cfg, units, progress, cancel, &NullObserver, f)
+}
+
+/// The fully-general executor entry point: cancellable like
+/// [`execute_cancellable`], and additionally emits
+/// [`Event::UnitStarted`] and [`Event::UnitFinished`] (with the unit's
+/// wall time and its own bitflip / simulated-time / simulated-energy
+/// deltas) into `observer`. Events are emitted from worker threads, so
+/// their interleaving is scheduling-dependent; their contents are not
+/// (see [`crate::obs::canonical`]).
+pub fn execute_run<I, T, F>(
+    cfg: &ExecConfig,
+    units: Vec<Unit<I>>,
+    progress: &Progress,
+    cancel: Option<&AtomicBool>,
+    observer: &dyn Observer,
+    f: F,
+) -> ExecReport<T>
+where
+    I: Send + Sync,
+    T: Send,
+    F: Fn(UnitCtx<'_>, &I) -> T + Sync,
+{
     progress.enroll(units.len());
     if units.is_empty() {
         return ExecReport { outcomes: Vec::new(), progress: progress.snapshot() };
@@ -376,10 +479,14 @@ where
                 while !cancel.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
                     let Some(index) = next_unit(worker, queues) else { break };
                     let unit = &units[index];
+                    observer.on_event(&Event::UnitStarted { key: unit.key.clone() });
+                    let tally = UnitTally::default();
+                    let started = Instant::now();
                     let ctx = UnitCtx {
                         seed: derive_unit_seed(cfg.campaign_seed, &unit.key),
                         key: &unit.key,
                         progress,
+                        tally: &tally,
                     };
                     let outcome = match catch_unwind(AssertUnwindSafe(|| f(ctx, &unit.payload))) {
                         Ok(value) => UnitOutcome::Completed(value),
@@ -389,6 +496,17 @@ where
                         }
                     };
                     progress.done.fetch_add(1, Ordering::Relaxed);
+                    observer.on_event(&Event::UnitFinished {
+                        key: unit.key.clone(),
+                        outcome: match &outcome {
+                            UnitOutcome::Panicked(msg) => OutcomeKind::Panicked(msg.clone()),
+                            _ => OutcomeKind::Completed,
+                        },
+                        wall_ns: started.elapsed().as_nanos() as u64,
+                        sim_time_ns: tally.sim_time_ns.get(),
+                        sim_energy_j: tally.sim_energy_j.get(),
+                        bitflips: tally.flips.get(),
+                    });
                     // The receiver outlives the scope; send cannot fail.
                     tx.send((index, outcome)).expect("receiver alive");
                 }
@@ -507,11 +625,47 @@ mod tests {
         let report = execute(&cfg, keys(6), |ctx, &i| {
             ctx.record_flips(10);
             ctx.record_sim_time_ns(1_000.0);
+            ctx.record_sim_energy_j(2e-9);
             i
         });
         assert_eq!(report.progress.units_total, 6);
         assert_eq!(report.progress.flips_found, 60);
         assert!((report.progress.sim_time_ns - 6_000.0).abs() < 1.0);
+        assert!((report.progress.sim_energy_j - 12e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observer_sees_each_unit_start_and_finish_with_its_own_deltas() {
+        use crate::obs::{Event, MemorySink, OutcomeKind};
+        let cfg = ExecConfig::new(2, 7);
+        let sink = MemorySink::new();
+        let progress = Progress::new();
+        execute_run(&cfg, keys(5), &progress, None, &sink, |ctx, &i| {
+            ctx.record_flips(i as u64);
+            ctx.record_sim_time_ns(100.0 * i as f64);
+            ctx.record_sim_energy_j(1e-9 * i as f64);
+            assert!(i != 3, "unit 3 exploded");
+            i
+        });
+        let events = sink.events();
+        let started = events.iter().filter(|e| matches!(e, Event::UnitStarted { .. })).count();
+        assert_eq!(started, 5);
+        let mut finished = 0;
+        for event in &events {
+            let Event::UnitFinished { key, outcome, sim_time_ns, sim_energy_j, bitflips, .. } =
+                event
+            else {
+                continue;
+            };
+            finished += 1;
+            let i = u64::from(key.row);
+            // Per-unit deltas, not campaign-wide sums.
+            assert_eq!(*bitflips, i, "unit {i}");
+            assert!((sim_time_ns - 100.0 * i as f64).abs() < 1e-9);
+            assert!((sim_energy_j - 1e-9 * i as f64).abs() < 1e-18);
+            assert_eq!(matches!(outcome, OutcomeKind::Panicked(_)), i == 3);
+        }
+        assert_eq!(finished, 5);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::checkpoint::UnitHooks;
 use crate::exec::UnitKey;
 
 /// A deterministic fault schedule, applied through [`UnitHooks`].
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct FaultPlan {
     /// Stop the run after this many units have committed.
     kill_after_units: Option<u64>,
@@ -35,8 +35,25 @@ pub struct FaultPlan {
     exit_code: Option<i32>,
     /// Units whose work closure panics instead of running.
     panic_keys: HashSet<UnitKey>,
+    /// Called with the committed-unit count right before a simulated
+    /// crash exits, so the embedding binary can announce it (library
+    /// code prints nothing).
+    announce: Option<Box<dyn Fn(u64) + Send + Sync>>,
     committed: AtomicU64,
     cancel: AtomicBool,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("kill_after_units", &self.kill_after_units)
+            .field("exit_code", &self.exit_code)
+            .field("panic_keys", &self.panic_keys)
+            .field("announce", &self.announce.is_some())
+            .field("committed", &self.committed)
+            .field("cancel", &self.cancel)
+            .finish()
+    }
 }
 
 impl FaultPlan {
@@ -68,6 +85,15 @@ impl FaultPlan {
         self
     }
 
+    /// Installs a callback invoked with the committed-unit count right
+    /// before a simulated crash ([`FaultPlan::exit_after`]) exits the
+    /// process. The library itself prints nothing; the experiments CLI
+    /// uses this to announce the crash on stderr.
+    pub fn announce_with(mut self, announce: impl Fn(u64) + Send + Sync + 'static) -> Self {
+        self.announce = Some(Box::new(announce));
+        self
+    }
+
     /// How many units have committed so far.
     pub fn committed(&self) -> u64 {
         self.committed.load(Ordering::SeqCst)
@@ -96,7 +122,9 @@ impl UnitHooks for FaultPlan {
                 if let Some(code) = self.exit_code {
                     // The record is already flushed; this is the "power
                     // cord at the unit boundary" crash.
-                    eprintln!("[vrd-faults] simulated crash after {done} committed units");
+                    if let Some(announce) = &self.announce {
+                        announce(done);
+                    }
                     std::process::exit(code);
                 }
                 self.cancel.store(true, Ordering::SeqCst);

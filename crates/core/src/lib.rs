@@ -27,6 +27,14 @@
 //!   checksummed journal of finished units plus a manifest binding it to
 //!   one campaign config/seed/shard, so a killed campaign resumes to
 //!   byte-identical output.
+//! - [`obs`] — structured observability: typed campaign events
+//!   (unit/phase/checkpoint lifecycle with wall time, simulated test
+//!   time/energy, and bitflips) flowing to pluggable sinks — JSONL
+//!   traces, metrics aggregation, in-memory capture.
+//! - [`run`] — the unified campaign-run surface: [`run::RunOptions`]
+//!   bundles executor config, observer, checkpoint, and cancellation,
+//!   so observed/checkpointed are configurations of one entry point
+//!   instead of separate functions.
 //! - [`guardband`] — §6.3/6.4: guardbanded hammering, unique-bitflip
 //!   accounting (Fig. 16), and ECC codeword classification.
 //!
@@ -54,9 +62,11 @@ pub mod exec;
 pub mod guardband;
 pub mod metrics;
 pub mod montecarlo;
+pub mod obs;
 pub mod online;
 pub mod predictability;
 pub mod profile;
+pub mod run;
 pub mod series;
 
 pub use algorithm::{find_victim, test_loop, SweepSpec};

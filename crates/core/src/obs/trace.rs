@@ -1,0 +1,113 @@
+//! JSONL trace sink: one JSON object per event, written as events
+//! arrive. The format is line-delimited and externally tagged
+//! (`{"UnitFinished":{...}}`), so a trace is trivially parseable
+//! line-by-line and convertible to chrome://tracing's event format
+//! (`UnitStarted`/`UnitFinished` pairs carry the wall-clock durations).
+
+use std::io::Write;
+
+use parking_lot::Mutex;
+
+use super::{Event, Observer};
+
+/// Writes every event as one JSON line to the wrapped writer, flushing
+/// per line so a crash loses at most the event in flight (the same
+/// contract as the checkpoint journal).
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer: Mutex::new(writer) }
+    }
+
+    /// Unwraps the inner writer (flushing is per-line, so nothing is
+    /// buffered here).
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner()
+    }
+}
+
+impl<W: Write + Send> Observer for JsonlSink<W> {
+    fn on_event(&self, event: &Event) {
+        let line = serde_json::to_string(event).expect("event serializes");
+        let mut w = self.writer.lock();
+        // Trace output is best-effort telemetry: a full disk must not
+        // abort a week-long campaign, so IO errors are swallowed.
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+}
+
+/// Parses a JSONL trace back into events, failing on the first
+/// malformed line. The inverse of [`JsonlSink`]; tests use it to prove
+/// `--trace-out` streams are parseable.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+        .map(|(i, line)| {
+            serde_json::from_str::<Event>(line).map_err(|e| format!("trace line {}: {e:?}", i + 1))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{CampaignSummary, Level, OutcomeKind};
+    use super::*;
+    use crate::exec::UnitKey;
+
+    #[test]
+    fn jsonl_round_trips_every_event_kind() {
+        let events = vec![
+            Event::CampaignStarted { campaign: "foundational".into() },
+            Event::PhaseStarted {
+                campaign: "foundational".into(),
+                phase: "measure".into(),
+                units: 1,
+            },
+            Event::UnitRestored { key: UnitKey::module("M1") },
+            Event::UnitStarted { key: UnitKey::cell("M1", 4, 1) },
+            Event::UnitFinished {
+                key: UnitKey::cell("M1", 4, 1),
+                outcome: OutcomeKind::Panicked("boom".into()),
+                wall_ns: 12,
+                sim_time_ns: 3.5,
+                sim_energy_j: 2e-9,
+                bitflips: 0,
+            },
+            Event::CheckpointCommitted { key: UnitKey::module("M1"), latency_ns: 9 },
+            Event::Message { level: Level::Info, body: "status".into() },
+            Event::Artifact { id: "fig3".into(), text: "rendered".into() },
+            Event::CampaignFinished {
+                campaign: "foundational".into(),
+                summary: CampaignSummary {
+                    units_total: 1,
+                    units_done: 1,
+                    units_panicked: 1,
+                    bitflips: 0,
+                    sim_time_ns: 3.5,
+                    sim_energy_j: 2e-9,
+                    wall_ns: 40,
+                },
+            },
+        ];
+        let sink = JsonlSink::new(Vec::new());
+        for e in &events {
+            sink.on_event(e);
+        }
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), events.len());
+        assert_eq!(parse_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines_with_position() {
+        let err =
+            parse_jsonl("{\"CampaignStarted\":{\"campaign\":\"x\"}}\nnot json\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+}

@@ -6,18 +6,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use vrd_core::campaign::{
-    run_foundational_campaign_checkpointed, run_foundational_campaign_observed, FoundationalConfig,
-    FoundationalResult,
-};
-use vrd_core::checkpoint::UnitHooks;
+use vrd_core::campaign::{foundational_campaign, FoundationalConfig, FoundationalResult};
 use vrd_core::metrics::SeriesMetrics;
 use vrd_core::predictability::{analyze, PredictabilityReport};
 use vrd_stats::{BoxSummary, Histogram};
 
 use crate::opts::Options;
 use crate::render::{f, Table};
-use crate::runner::{self, with_heartbeat};
+use crate::runner;
 
 /// The full foundational study output.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,32 +29,14 @@ pub struct FoundationalStudy {
 /// journaled and a `--resume` run restores completed modules instead of
 /// remeasuring them — to byte-identical output.
 pub fn run(opts: &Options) -> FoundationalStudy {
-    let cfg = FoundationalConfig {
-        measurements: opts.foundational_measurements,
-        seed: opts.seed,
-        row_bytes: opts.row_bytes,
-        ..FoundationalConfig::default()
-    };
+    let cfg = FoundationalConfig::builder()
+        .measurements(opts.foundational_measurements)
+        .seed(opts.seed)
+        .row_bytes(opts.row_bytes)
+        .build();
     let specs = opts.specs();
-    let ckpt = runner::campaign_checkpoint(opts, "foundational", &cfg);
-    let results = with_heartbeat("foundational campaign", |progress| match &ckpt {
-        Some(ckpt) => {
-            let plan = runner::fault_plan(opts);
-            let hooks = plan.as_ref().map(|p| p as &dyn UnitHooks);
-            run_foundational_campaign_checkpointed(
-                &specs,
-                &cfg,
-                &opts.exec_config(),
-                progress,
-                ckpt,
-                hooks,
-            )
-            .unwrap_or_else(|e| {
-                eprintln!("[vrd-exp] foundational campaign failed: {e}");
-                std::process::exit(2);
-            })
-        }
-        None => run_foundational_campaign_observed(&specs, &cfg, &opts.exec_config(), progress),
+    let results = runner::run_campaign(opts, vrd_core::campaign::FOUNDATIONAL, &cfg, |run_opts| {
+        foundational_campaign(&specs, &cfg, run_opts)
     });
     FoundationalStudy { per_module: results.into_iter().flatten().collect() }
 }

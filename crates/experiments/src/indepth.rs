@@ -2,11 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use vrd_core::campaign::{
-    run_in_depth_campaign_checkpointed, run_in_depth_campaign_observed, InDepthConfig,
-    InDepthResult,
-};
-use vrd_core::checkpoint::UnitHooks;
+use vrd_core::campaign::{in_depth_campaign, InDepthConfig, InDepthResult};
 use vrd_core::montecarlo::{exact_stats, PAPER_N_VALUES};
 use vrd_dram::cells::CellPolarity;
 use vrd_dram::conditions::T_AGG_ON_TREFI_NS;
@@ -15,7 +11,7 @@ use vrd_stats::{BoxSummary, SCurve};
 
 use crate::opts::Options;
 use crate::render::{f, Table};
-use crate::runner::{self, with_heartbeat};
+use crate::runner;
 
 /// A labelled module-name predicate (manufacturer class filter).
 type ClassFilter = (&'static str, Box<dyn Fn(&str) -> bool>);
@@ -33,34 +29,17 @@ pub struct InDepthStudy {
 /// not idle threads — and the output is identical at any `--threads`
 /// value.
 pub fn run(opts: &Options) -> InDepthStudy {
-    let cfg = InDepthConfig {
-        measurements: opts.indepth_measurements,
-        segment_rows: opts.segment_rows,
-        picks_per_segment: opts.picks_per_segment,
-        conditions: opts.condition_grid(),
-        seed: opts.seed,
-        row_bytes: opts.row_bytes,
-    };
+    let cfg = InDepthConfig::builder()
+        .measurements(opts.indepth_measurements)
+        .segment_rows(opts.segment_rows)
+        .picks_per_segment(opts.picks_per_segment)
+        .conditions(opts.condition_grid())
+        .seed(opts.seed)
+        .row_bytes(opts.row_bytes)
+        .build();
     let specs = opts.specs();
-    let ckpt = runner::campaign_checkpoint(opts, "in_depth", &cfg);
-    let per_module = with_heartbeat("in-depth campaign", |progress| match &ckpt {
-        Some(ckpt) => {
-            let plan = runner::fault_plan(opts);
-            let hooks = plan.as_ref().map(|p| p as &dyn UnitHooks);
-            run_in_depth_campaign_checkpointed(
-                &specs,
-                &cfg,
-                &opts.exec_config(),
-                progress,
-                ckpt,
-                hooks,
-            )
-            .unwrap_or_else(|e| {
-                eprintln!("[vrd-exp] in-depth campaign failed: {e}");
-                std::process::exit(2);
-            })
-        }
-        None => run_in_depth_campaign_observed(&specs, &cfg, &opts.exec_config(), progress),
+    let per_module = runner::run_campaign(opts, vrd_core::campaign::IN_DEPTH, &cfg, |run_opts| {
+        in_depth_campaign(&specs, &cfg, run_opts)
     });
     InDepthStudy { per_module }
 }

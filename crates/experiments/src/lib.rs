@@ -30,5 +30,6 @@ pub mod memsim_exp;
 pub mod opts;
 pub mod render;
 pub mod runner;
+pub mod sinks;
 
 pub use opts::Options;

@@ -30,13 +30,19 @@
 //!                         byte-identical to an uninterrupted run)
 //!   --fail-after-units N  fault injection: simulate a crash (exit 3)
 //!                         after N units commit (needs --checkpoint-dir)
+//!   --trace-out FILE      write every campaign observability event
+//!                         (unit lifecycle, checkpoint commits, phase
+//!                         boundaries) as JSONL to FILE
+//!   --log-format FMT      terminal output encoding: human (default;
+//!                         [vrd-exp] status lines + plain tables) or
+//!                         json (one serialized event per line)
 //! ```
 
 use std::sync::OnceLock;
 
 use vrd_experiments::{
     ecc_exp, estimate_exp, extensions, findings, foundational, guardband_exp, indepth, mc,
-    memsim_exp, runner::save_json, Options,
+    memsim_exp, runner::save_json, sinks, Options,
 };
 
 /// Lazily computed shared studies so `all` runs each campaign once.
@@ -50,31 +56,31 @@ struct Ctx {
 impl Ctx {
     fn foundational(&self, opts: &Options) -> &foundational::FoundationalStudy {
         self.foundational.get_or_init(|| {
-            eprintln!(
-                "[vrd-exp] running foundational campaign ({} measurements/row)...",
+            sinks::status(format!(
+                "running foundational campaign ({} measurements/row)...",
                 opts.foundational_measurements
-            );
+            ));
             foundational::run(opts)
         })
     }
 
     fn indepth(&self, opts: &Options) -> &indepth::InDepthStudy {
         self.indepth.get_or_init(|| {
-            eprintln!(
-                "[vrd-exp] running in-depth campaign ({} meas/row/cond, {} conds)...",
+            sinks::status(format!(
+                "running in-depth campaign ({} meas/row/cond, {} conds)...",
                 opts.indepth_measurements,
                 opts.condition_grid().len()
-            );
+            ));
             indepth::run(opts)
         })
     }
 
     fn guardband(&self, opts: &Options) -> &guardband_exp::GuardbandStudy {
         self.guardband.get_or_init(|| {
-            eprintln!(
-                "[vrd-exp] running guardband experiment ({} trials/margin)...",
+            sinks::status(format!(
+                "running guardband experiment ({} trials/margin)...",
                 opts.guardband_trials
-            );
+            ));
             guardband_exp::run(opts)
         })
     }
@@ -84,8 +90,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse(&args) {
         Ok((ids, opts)) => {
+            sinks::set_log_format(opts.log_format);
             if ids.is_empty() {
-                eprintln!("usage: vrd-exp <id>... [flags]; see --help");
+                sinks::error("usage: vrd-exp <id>... [flags]; see --help");
                 std::process::exit(2);
             }
             let ctx = Ctx::default();
@@ -94,7 +101,7 @@ fn main() {
             }
         }
         Err(message) => {
-            eprintln!("{message}");
+            sinks::error(message);
             std::process::exit(2);
         }
     }
@@ -140,7 +147,10 @@ fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--help" | "-h" => {
-                println!("vrd-exp <id>... [flags]\nids: {} all", ALL_IDS.join(" "));
+                sinks::artifact(
+                    "help",
+                    format!("vrd-exp <id>... [flags]\nids: {} all", ALL_IDS.join(" ")),
+                );
                 std::process::exit(0);
             }
             "--paper" => {
@@ -195,6 +205,11 @@ fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
             "--out" => opts.out_dir = need(&mut iter, arg)?,
             "--checkpoint-dir" => opts.checkpoint_dir = Some(need(&mut iter, arg)?),
             "--resume" => opts.resume = true,
+            "--trace-out" => opts.trace_out = Some(need(&mut iter, arg)?),
+            "--log-format" => {
+                opts.log_format =
+                    need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
             "--fail-after-units" => {
                 opts.fail_after_units =
                     Some(need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?)
@@ -218,90 +233,90 @@ fn run_experiment(id: &str, opts: &Options, ctx: &Ctx) {
     match id {
         "fig1" => {
             let study = ctx.foundational(opts);
-            println!("{}", foundational::render_fig1(study));
+            sinks::artifact(id, foundational::render_fig1(study));
             let _ = save_json(opts, "fig1", &study.per_module);
         }
         "fig3" => {
             let study = ctx.foundational(opts);
-            println!("{}", foundational::render_fig3(study));
+            sinks::artifact(id, foundational::render_fig3(study));
             let _ = save_json(opts, "fig3", &foundational::fig3_summaries(study));
         }
         "fig4" => {
             let study = ctx.foundational(opts);
-            println!("{}", foundational::render_fig4(study));
+            sinks::artifact(id, foundational::render_fig4(study));
         }
         "fig5" => {
             let study = ctx.foundational(opts);
-            println!("{}", foundational::render_fig5(study));
+            sinks::artifact(id, foundational::render_fig5(study));
         }
         "fig6" => {
             let study = ctx.foundational(opts);
-            println!("{}", foundational::render_fig6(study));
+            sinks::artifact(id, foundational::render_fig6(study));
             let _ = save_json(opts, "fig6", &foundational::fig6_reports(study));
         }
         "fig7" => {
             let study = ctx.indepth(opts);
-            println!("{}", indepth::render_fig7(study));
+            sinks::artifact(id, indepth::render_fig7(study));
             let _ = save_json(opts, "fig7", &indepth::max_cv_per_row(study));
         }
         "fig8" => {
             let study = ctx.indepth(opts);
-            println!("{}", mc::render_fig8(study));
+            sinks::artifact(id, mc::render_fig8(study));
             let _ = save_json(opts, "fig8", &mc::fig8_stats(study));
         }
         "fig9" => {
             let study = ctx.indepth(opts);
-            println!("{}", indepth::render_fig9(study));
+            sinks::artifact(id, indepth::render_fig9(study));
             let _ = save_json(opts, "fig9", &indepth::fig9_groups(study));
         }
         "fig10" => {
             let study = ctx.indepth(opts);
-            println!("{}", indepth::render_fig10(study));
+            sinks::artifact(id, indepth::render_fig10(study));
             let _ = save_json(opts, "fig10", &indepth::fig10_groups(study));
         }
         "fig11" => {
             let study = ctx.indepth(opts);
-            println!("{}", indepth::render_fig11(study));
+            sinks::artifact(id, indepth::render_fig11(study));
             let _ = save_json(opts, "fig11", &indepth::fig11_groups(study));
         }
         "fig12" => {
             let study = ctx.indepth(opts);
-            println!("{}", indepth::render_fig12(study));
+            sinks::artifact(id, indepth::render_fig12(study));
             let _ = save_json(opts, "fig12", &indepth::fig12_groups(study));
         }
         "fig13" => {
             let study = ctx.indepth(opts);
-            println!("{}", indepth::render_fig13(study));
+            sinks::artifact(id, indepth::render_fig13(study));
         }
         "fig14" => {
-            eprintln!("[vrd-exp] running Fig.-14 mitigation sweep...");
+            sinks::status("running Fig.-14 mitigation sweep...");
             let result = memsim_exp::run(opts);
-            println!("{}", memsim_exp::render(&result));
+            sinks::artifact(id, memsim_exp::render(&result));
             let _ = save_json(opts, "fig14", &result);
         }
         "fig15" => {
             let study = ctx.indepth(opts);
-            println!("{}", mc::render_fig15(study));
+            sinks::artifact(id, mc::render_fig15(study));
             let _ = save_json(opts, "fig15", &mc::fig15_stats(study));
         }
         "fig16" => {
             let study = ctx.guardband(opts);
-            println!("{}", guardband_exp::render_fig16(study));
+            sinks::artifact(id, guardband_exp::render_fig16(study));
             let _ = save_json(opts, "fig16", study);
         }
         "fig17-20" => {
             let sweep = estimate_exp::rowhammer_sweep();
-            println!("{}", estimate_exp::render(&sweep));
+            sinks::artifact(id, estimate_exp::render(&sweep));
             let _ = save_json(opts, "fig17-20", &sweep);
         }
         "fig21-24" => {
             let sweep = estimate_exp::rowpress_sweep();
-            println!("{}", estimate_exp::render(&sweep));
+            sinks::artifact(id, estimate_exp::render(&sweep));
             let _ = save_json(opts, "fig21-24", &sweep);
         }
         "fig25" => {
             let study = ctx.indepth(opts);
-            println!("{}", mc::render_fig25(study));
+            sinks::artifact(id, mc::render_fig25(study));
         }
         "tab3" => {
             let ber = {
@@ -314,52 +329,55 @@ fn run_experiment(id: &str, opts: &Options, ctx: &Ctx) {
                 }
             };
             let result = ecc_exp::run(ber, 20_000, opts.seed);
-            println!("{}", ecc_exp::render(&result));
-            // Also print the paper's exact operating point for reference.
+            sinks::artifact(id, ecc_exp::render(&result));
+            // Also emit the paper's exact operating point for reference.
             let paper = ecc_exp::run_paper(20_000, opts.seed);
-            println!("{}", ecc_exp::render(&paper));
+            sinks::artifact("tab3-paper", ecc_exp::render(&paper));
             let _ = save_json(opts, "tab3", &paper);
         }
         "tab7" => {
             let study = ctx.indepth(opts);
-            println!("{}", indepth::render_table7(study));
+            sinks::artifact(id, indepth::render_table7(study));
             let _ = save_json(opts, "tab7", &indepth::table7(study));
         }
         "takeaways" => {
             let foundational = ctx.foundational(opts);
             let indepth = ctx.indepth(opts);
-            println!("{}", extensions::render_takeaways(foundational, indepth));
+            sinks::artifact(id, extensions::render_takeaways(foundational, indepth));
         }
         "ablation" => {
-            eprintln!("[vrd-exp] running model ablation...");
+            sinks::status("running model ablation...");
             let rows = extensions::ablation(opts);
-            println!("{}", extensions::render_ablation(&rows));
+            sinks::artifact(id, extensions::render_ablation(&rows));
             let _ = save_json(opts, "ablation", &rows);
         }
         "security" => {
             let study = ctx.foundational(opts);
-            eprintln!("[vrd-exp] running guardband security sweep...");
+            sinks::status("running guardband security sweep...");
             let rows = extensions::security(study, opts);
-            println!("{}", extensions::render_security(&rows));
+            sinks::artifact(id, extensions::render_security(&rows));
             let _ = save_json(opts, "security", &rows);
         }
         "online" => {
-            eprintln!("[vrd-exp] running online-profiling experiment...");
+            sinks::status("running online-profiling experiment...");
             match extensions::online(opts) {
                 Some(result) => {
-                    println!("{}", extensions::render_online(&result));
+                    sinks::artifact(id, extensions::render_online(&result));
                     let _ = save_json(opts, "online", &result);
                 }
-                None => eprintln!("no module in scope produced profilable rows"),
+                None => sinks::message(
+                    vrd_core::obs::Level::Warn,
+                    "no module in scope produced profilable rows",
+                ),
             }
         }
         "findings" => {
             let mut checks = findings::check_foundational(ctx.foundational(opts));
             checks.extend(findings::check_indepth(ctx.indepth(opts)));
             checks.extend(findings::check_cells(ctx.indepth(opts)));
-            println!("{}", findings::render(&checks));
+            sinks::artifact(id, findings::render(&checks));
             let _ = save_json(opts, "findings", &checks);
         }
-        other => eprintln!("unknown experiment {other:?}"),
+        other => sinks::error(format!("unknown experiment {other:?}")),
     }
 }

@@ -6,6 +6,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::sinks::LogFormat;
+
 /// Scale and scope configuration shared by all experiments.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Options {
@@ -59,6 +61,11 @@ pub struct Options {
     /// units have been committed to the journal. Requires
     /// [`checkpoint_dir`](Self::checkpoint_dir).
     pub fail_after_units: Option<u64>,
+    /// Write every campaign observability event as JSONL to this path
+    /// (`--trace-out`; `None` = no trace).
+    pub trace_out: Option<String>,
+    /// Terminal output encoding (`--log-format human|json`).
+    pub log_format: LogFormat,
 }
 
 impl Default for Options {
@@ -83,6 +90,8 @@ impl Default for Options {
             checkpoint_dir: None,
             resume: false,
             fail_after_units: None,
+            trace_out: None,
+            log_format: LogFormat::Human,
         }
     }
 }

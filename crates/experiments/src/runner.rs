@@ -1,19 +1,24 @@
-//! Campaign execution plumbing (deterministic executor + progress
-//! heartbeat) and result persistence.
+//! Campaign execution plumbing: the unified run harness (progress
+//! heartbeat, `--trace-out` stream, metrics aggregation, checkpoint
+//! journal, fault injection) and result persistence.
 
-use std::fs;
+use std::fs::{self, File};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::sync::OnceLock;
 
 use serde::Serialize;
 
-use vrd_core::checkpoint::{self, Checkpoint, CheckpointManifest};
+use vrd_core::checkpoint::{self, Checkpoint, CheckpointError, CheckpointManifest};
 use vrd_core::exec::faults::FaultPlan;
 use vrd_core::exec::{self, Progress, Unit, UnitKey};
+use vrd_core::obs::metrics::MetricsSink;
+use vrd_core::obs::trace::JsonlSink;
+use vrd_core::obs::{MultiObserver, Observer};
+use vrd_core::run::RunOptions;
 use vrd_dram::ModuleSpec;
 
 use crate::opts::Options;
+use crate::sinks::{self, CliProgressSink};
 
 /// Maps `f` over the option's module specs on the deterministic executor
 /// ([`vrd_core::exec`]), preserving Table-1 order in the output. One
@@ -29,43 +34,80 @@ where
     exec::execute(&opts.exec_config(), units, |_ctx, spec| f(spec)).into_results()
 }
 
-/// Seconds between heartbeat lines.
-const HEARTBEAT_PERIOD_S: u64 = 5;
-
-/// Runs `body` with a monitor thread printing campaign progress (units
-/// done, bitflips found, simulated test time) to stderr every few
-/// seconds. Campaigns shorter than one period print nothing.
-pub fn with_heartbeat<T, F>(label: &str, body: F) -> T
+/// Runs one campaign `body` under the full CLI harness: a shared
+/// [`Progress`] with an event-driven heartbeat, the optional
+/// `--trace-out` JSONL stream, the process-wide metrics aggregator
+/// (rewritten to `<out_dir>/metrics.json` after every campaign), the
+/// optional `--checkpoint-dir` journal, and the `--fail-after-units`
+/// fault plan. Campaign errors (interruption, checkpoint I/O) exit the
+/// process with status 2.
+///
+/// `body` receives the assembled [`RunOptions`] and calls one of the
+/// unified campaign entry points in [`vrd_core::campaign`].
+pub fn run_campaign<C, T, F>(opts: &Options, campaign: &str, cfg: &C, body: F) -> T
 where
-    F: FnOnce(&Progress) -> T,
+    C: Serialize,
+    F: FnOnce(&RunOptions<'_>) -> Result<T, CheckpointError>,
 {
+    let ckpt = campaign_checkpoint(opts, campaign, cfg);
+    let plan = fault_plan(opts);
     let progress = Progress::new();
-    let finished = AtomicBool::new(false);
-    std::thread::scope(|scope| {
-        scope.spawn(|| loop {
-            // Tick at 100 ms so the monitor exits promptly when the
-            // campaign ends between beats.
-            for _ in 0..HEARTBEAT_PERIOD_S * 10 {
-                if finished.load(Ordering::Relaxed) {
-                    return;
-                }
-                std::thread::sleep(Duration::from_millis(100));
+    let heartbeat = CliProgressSink::new(format!("{campaign} campaign"), &progress);
+    let trace = trace_file(opts).map(JsonlSink::new);
+    let mut observers: Vec<&dyn Observer> = vec![&heartbeat, metrics_sink()];
+    if let Some(trace) = &trace {
+        observers.push(trace);
+    }
+    let fanout = MultiObserver::new(observers);
+    let mut run_opts = RunOptions::new(opts.exec_config()).observer(&fanout).progress(&progress);
+    if let Some(ckpt) = &ckpt {
+        run_opts = run_opts.checkpoint(ckpt);
+    }
+    if let Some(plan) = &plan {
+        run_opts = run_opts.hooks(plan);
+    }
+    let out = body(&run_opts).unwrap_or_else(|e| {
+        sinks::error(format!("{campaign} campaign failed: {e}"));
+        std::process::exit(2);
+    });
+    if let Err(e) = write_metrics(opts) {
+        sinks::error(format!("cannot write metrics.json: {e}"));
+    }
+    out
+}
+
+/// The process-wide metrics aggregator: one sink observes every
+/// campaign the process runs (the `all` mode runs several), so
+/// `metrics.json` always holds the full set of reports.
+fn metrics_sink() -> &'static MetricsSink {
+    static SINK: OnceLock<MetricsSink> = OnceLock::new();
+    SINK.get_or_init(MetricsSink::new)
+}
+
+/// Rewrites `<out_dir>/metrics.json` with every campaign report
+/// aggregated so far.
+fn write_metrics(opts: &Options) -> std::io::Result<()> {
+    save_json(opts, "metrics", &metrics_sink().reports())
+}
+
+/// The process-wide `--trace-out` file, created (truncated) once; all
+/// campaigns of a multi-campaign run append to the same stream.
+fn trace_file(opts: &Options) -> Option<&'static File> {
+    static FILE: OnceLock<Option<File>> = OnceLock::new();
+    FILE.get_or_init(|| {
+        let path = opts.trace_out.as_deref()?;
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match File::create(path) {
+            Ok(file) => Some(file),
+            Err(e) => {
+                sinks::error(format!("cannot open trace file {path}: {e}"));
+                std::process::exit(2);
             }
-            let snap = progress.snapshot();
-            if snap.units_total > 0 {
-                eprintln!(
-                    "[vrd-exp] {label}: {}/{} units, {} flips, {:.2} s simulated",
-                    snap.units_done,
-                    snap.units_total,
-                    snap.flips_found,
-                    snap.sim_time_s(),
-                );
-            }
-        });
-        let out = body(&progress);
-        finished.store(true, Ordering::Relaxed);
-        out
+        }
     })
+    .as_ref()
 }
 
 /// Opens the `campaign` checkpoint under `--checkpoint-dir`, bound to
@@ -93,35 +135,39 @@ pub fn campaign_checkpoint<C: Serialize>(
     };
     let dir = Path::new(root).join(campaign);
     if dir.join("manifest.json").exists() && !opts.resume {
-        eprintln!(
-            "[vrd-exp] checkpoint {} already exists; pass --resume to continue it \
+        sinks::error(format!(
+            "checkpoint {} already exists; pass --resume to continue it \
              or remove the directory to start over",
             dir.display()
-        );
+        ));
         std::process::exit(2);
     }
     match Checkpoint::open(&dir, manifest) {
         Ok(ckpt) => {
             if ckpt.completed_units() > 0 || ckpt.recovered_torn_tail() {
-                eprintln!(
-                    "[vrd-exp] resuming {campaign}: {} completed units restored{}",
+                sinks::status(format!(
+                    "resuming {campaign}: {} completed units restored{}",
                     ckpt.completed_units(),
                     if ckpt.recovered_torn_tail() { " (dropped a torn tail record)" } else { "" },
-                );
+                ));
             }
             Some(ckpt)
         }
         Err(e) => {
-            eprintln!("[vrd-exp] cannot open checkpoint {}: {e}", dir.display());
+            sinks::error(format!("cannot open checkpoint {}: {e}", dir.display()));
             std::process::exit(2);
         }
     }
 }
 
 /// The `--fail-after-units` fault plan: a simulated crash (exit code 3)
-/// after the Nth journal commit.
+/// after the Nth journal commit, announced on the status stream.
 pub fn fault_plan(opts: &Options) -> Option<FaultPlan> {
-    opts.fail_after_units.map(|n| FaultPlan::exit_after(n, 3))
+    opts.fail_after_units.map(|n| {
+        FaultPlan::exit_after(n, 3).announce_with(|done| {
+            sinks::error(format!("simulated crash after {done} committed units"));
+        })
+    })
 }
 
 /// Writes `value` as pretty JSON to `<out_dir>/<name>.json`.
@@ -139,6 +185,8 @@ pub fn save_json<T: Serialize>(opts: &Options, name: &str, value: &T) -> std::io
 
 #[cfg(test)]
 mod tests {
+    use vrd_core::campaign::{foundational_campaign, FoundationalConfig};
+
     use super::*;
 
     #[test]
@@ -161,18 +209,29 @@ mod tests {
     }
 
     #[test]
-    fn with_heartbeat_returns_body_result_and_sees_progress() {
+    fn run_campaign_returns_body_result_and_writes_metrics() {
         let mut opts = Options::smoke();
         opts.modules = vec!["M1".into(), "S0".into()];
-        let (names, snap) = with_heartbeat("test", |progress| {
-            let units: Vec<Unit<ModuleSpec>> =
-                opts.specs().into_iter().map(|s| Unit::new(UnitKey::module(&s.name), s)).collect();
-            let report =
-                exec::execute_observed(&opts.exec_config(), units, progress, |_, s| s.name.clone());
-            (report.into_results(), progress.snapshot())
+        opts.out_dir = std::env::temp_dir()
+            .join(format!("vrd-runner-test-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let cfg = FoundationalConfig::builder()
+            .measurements(50)
+            .seed(opts.seed)
+            .row_bytes(512)
+            .scan_rows(3_000)
+            .build();
+        let specs = opts.specs();
+        let results = run_campaign(&opts, "foundational", &cfg, |run_opts| {
+            foundational_campaign(&specs, &cfg, run_opts)
         });
-        assert_eq!(names, vec!["M1", "S0"]);
-        assert_eq!(snap.units_done, 2);
+        assert_eq!(results.len(), 2);
+        let metrics =
+            std::fs::read_to_string(Path::new(&opts.out_dir).join("metrics.json")).unwrap();
+        assert!(metrics.contains("\"foundational\""), "metrics must name the campaign");
+        assert!(metrics.contains("unit_wall_time"), "metrics must carry the histogram");
+        let _ = std::fs::remove_dir_all(&opts.out_dir);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! End-to-end test of the CLI observability surface: `--trace-out`
+//! must produce a parseable JSONL event stream whose unit accounting
+//! matches the campaign, `metrics.json` must land next to the figure
+//! data with the pinned histogram/throughput structure, and
+//! `--log-format json` must turn every stdout/stderr line into a
+//! machine-readable event.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vrd_core::obs::metrics::MetricsReport;
+use vrd_core::obs::trace::parse_jsonl;
+use vrd_core::obs::Event;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("vrd-trace-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn vrd_exp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vrd-exp")).args(args).output().expect("spawn vrd-exp")
+}
+
+/// Small fixed-seed fig3 run over two modules — one foundational
+/// campaign, one unit per module.
+const RUN: &[&str] =
+    &["fig3", "--modules", "M1,S2", "--measurements", "200", "--seed", "9", "--threads", "2"];
+
+#[test]
+fn trace_out_writes_parseable_jsonl_with_full_unit_accounting() {
+    let out = scratch_dir("out");
+    let trace = out.join("trace.jsonl");
+    let out_dir = out.to_str().unwrap().to_owned();
+    let trace_path = trace.to_str().unwrap().to_owned();
+
+    let run = vrd_exp(&[RUN, &["--out", &out_dir, "--trace-out", &trace_path]].concat());
+    assert!(run.status.success(), "traced run failed: {run:?}");
+
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let events = parse_jsonl(&text).expect("every trace line parses back into an Event");
+    assert!(!events.is_empty(), "trace must not be empty");
+
+    let finished = events.iter().filter(|e| matches!(e, Event::UnitFinished { .. })).count();
+    assert_eq!(finished, 2, "one UnitFinished per module");
+    assert!(
+        events.iter().any(
+            |e| matches!(e, Event::CampaignStarted { campaign } if campaign == "foundational")
+        ),
+        "trace must bracket the campaign start"
+    );
+    assert!(
+        events.iter().any(
+            |e| matches!(e, Event::CampaignFinished { campaign, .. } if campaign == "foundational")
+        ),
+        "trace must bracket the campaign end"
+    );
+
+    let metrics = std::fs::read_to_string(out.join("metrics.json")).expect("metrics.json written");
+    let reports: Vec<MetricsReport> = serde_json::from_str(&metrics).expect("metrics parse");
+    assert_eq!(reports.len(), 1, "one campaign, one report");
+    let report = &reports[0];
+    assert_eq!(report.campaign, "foundational");
+    assert_eq!(report.unit_wall_time.count, 2, "both units sampled into the histogram");
+    assert!(report.throughput_units_per_s > 0.0, "throughput must be positive");
+
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn json_log_format_emits_machine_readable_lines_on_both_streams() {
+    let out = scratch_dir("json");
+    let out_dir = out.to_str().unwrap().to_owned();
+
+    let run = vrd_exp(&[RUN, &["--out", &out_dir, "--log-format", "json"]].concat());
+    assert!(run.status.success(), "json-format run failed: {run:?}");
+
+    // stdout carries the rendered artifacts as Artifact events.
+    let stdout = String::from_utf8(run.stdout).expect("utf-8 stdout");
+    let artifacts = parse_jsonl(&stdout).expect("every stdout line parses as an Event");
+    assert!(!artifacts.is_empty(), "fig3 must render at least one artifact");
+    assert!(
+        artifacts.iter().all(|e| matches!(e, Event::Artifact { .. })),
+        "stdout must carry only Artifact events, got {artifacts:?}"
+    );
+
+    // stderr carries status lines as Message events.
+    let stderr = String::from_utf8(run.stderr).expect("utf-8 stderr");
+    let messages = parse_jsonl(&stderr).expect("every stderr line parses as an Event");
+    assert!(
+        messages.iter().all(|e| matches!(e, Event::Message { .. })),
+        "stderr must carry only Message events, got {messages:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn unknown_log_format_is_rejected() {
+    let run = vrd_exp(&["fig3", "--log-format", "yaml"]);
+    assert_eq!(run.status.code(), Some(2), "bad --log-format must exit 2");
+    assert!(
+        String::from_utf8_lossy(&run.stderr).contains("log format"),
+        "error must name the offending flag value"
+    );
+}

@@ -32,14 +32,14 @@ fn main() {
             temperature_c: 50.0,
         })
         .collect();
-    let cfg = InDepthConfig {
-        measurements: 200,
-        segment_rows: 128,
-        picks_per_segment: 5,
-        conditions,
-        seed: 99,
-        row_bytes: 1024,
-    };
+    let cfg = InDepthConfig::builder()
+        .measurements(200)
+        .segment_rows(128)
+        .picks_per_segment(5)
+        .conditions(conditions)
+        .seed(99)
+        .row_bytes(1024)
+        .build();
     let result = run_in_depth(&spec, &cfg);
 
     println!("\nrow      pattern      min RDT  max/min   P(min|N=1)  E[min|N=1]/min");

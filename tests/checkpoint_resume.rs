@@ -17,12 +17,12 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use vrd::core::campaign::{
-    run_foundational_campaign, run_foundational_campaign_checkpointed, run_in_depth_campaign,
-    run_in_depth_campaign_checkpointed, FoundationalConfig, FoundationalResult, InDepthConfig,
+    foundational_campaign, in_depth_campaign, FoundationalConfig, FoundationalResult, InDepthConfig,
 };
 use vrd::core::checkpoint::{self, Checkpoint, CheckpointError, CheckpointManifest, UnitHooks};
 use vrd::core::exec::faults::{self, FaultPlan};
 use vrd::core::exec::{ExecConfig, Progress, Unit, UnitKey};
+use vrd::core::run::RunOptions;
 use vrd::dram::fleet::{roster_fingerprint, shard_specs};
 use vrd::dram::ModuleSpec;
 
@@ -43,13 +43,12 @@ fn modules(names: &[&str]) -> Vec<ModuleSpec> {
 }
 
 fn foundational_cfg(seed: u64) -> FoundationalConfig {
-    FoundationalConfig {
-        measurements: 25,
-        seed,
-        row_bytes: 512,
-        scan_rows: 2_000,
-        ..FoundationalConfig::default()
-    }
+    FoundationalConfig::builder()
+        .measurements(25)
+        .seed(seed)
+        .row_bytes(512)
+        .scan_rows(2_000)
+        .build()
 }
 
 fn foundational_manifest(cfg: &FoundationalConfig, specs: &[ModuleSpec]) -> CheckpointManifest {
@@ -74,8 +73,10 @@ fn foundational_json(results: &[Option<FoundationalResult>]) -> String {
 fn foundational_killed_and_resumed_is_byte_identical() {
     let specs = modules(&["M1", "S2", "H3"]);
     let cfg = foundational_cfg(2025);
-    let golden =
-        foundational_json(&run_foundational_campaign(&specs, &cfg, &ExecConfig::serial(cfg.seed)));
+    let golden = foundational_json(
+        &foundational_campaign(&specs, &cfg, &RunOptions::new(ExecConfig::serial(cfg.seed)))
+            .expect("plain campaign run cannot fail"),
+    );
 
     for threads in [1usize, 2, 8] {
         for kill_after in [1u64, 2] {
@@ -86,13 +87,10 @@ fn foundational_killed_and_resumed_is_byte_identical() {
             // `kill_after` units have committed to the journal.
             let plan = FaultPlan::kill_after(kill_after);
             let ckpt = Checkpoint::open(&dir, foundational_manifest(&cfg, &specs)).unwrap();
-            let first = run_foundational_campaign_checkpointed(
+            let first = foundational_campaign(
                 &specs,
                 &cfg,
-                &exec_cfg,
-                &Progress::new(),
-                &ckpt,
-                Some(&plan),
+                &RunOptions::new(exec_cfg).checkpoint(&ckpt).hooks(&plan),
             );
             assert!(plan.fired(), "threads={threads}: kill fault must fire");
             assert!(plan.committed() >= kill_after);
@@ -114,8 +112,10 @@ fn foundational_killed_and_resumed_is_byte_identical() {
             let ckpt = Checkpoint::open(&dir, foundational_manifest(&cfg, &specs)).unwrap();
             assert!(ckpt.completed_units() >= kill_after as usize);
             let progress = Progress::new();
-            let resumed = run_foundational_campaign_checkpointed(
-                &specs, &cfg, &exec_cfg, &progress, &ckpt, None,
+            let resumed = foundational_campaign(
+                &specs,
+                &cfg,
+                &RunOptions::new(exec_cfg).progress(&progress).checkpoint(&ckpt),
             )
             .expect("resume completes");
             assert_eq!(
@@ -136,11 +136,10 @@ fn foundational_killed_and_resumed_is_byte_identical() {
 fn in_depth_killed_and_resumed_is_byte_identical() {
     let specs = modules(&["H3"]);
     let cfg = InDepthConfig::quick();
-    let golden = serde_json::to_string_pretty(&run_in_depth_campaign(
-        &specs,
-        &cfg,
-        &ExecConfig::serial(cfg.seed),
-    ))
+    let golden = serde_json::to_string_pretty(
+        &in_depth_campaign(&specs, &cfg, &RunOptions::new(ExecConfig::serial(cfg.seed)))
+            .expect("plain campaign run cannot fail"),
+    )
     .unwrap();
     let manifest = || CheckpointManifest {
         format_version: checkpoint::FORMAT_VERSION,
@@ -161,13 +160,10 @@ fn in_depth_killed_and_resumed_is_byte_identical() {
 
             let plan = FaultPlan::kill_after(kill_after);
             let ckpt = Checkpoint::open(&dir, manifest()).unwrap();
-            let first = run_in_depth_campaign_checkpointed(
+            let first = in_depth_campaign(
                 &specs,
                 &cfg,
-                &exec_cfg,
-                &Progress::new(),
-                &ckpt,
-                Some(&plan),
+                &RunOptions::new(exec_cfg).checkpoint(&ckpt).hooks(&plan),
             );
             assert!(plan.fired());
             if threads == 1 && kill_after > 1 {
@@ -176,15 +172,9 @@ fn in_depth_killed_and_resumed_is_byte_identical() {
             drop(ckpt);
 
             let ckpt = Checkpoint::open(&dir, manifest()).unwrap();
-            let resumed = run_in_depth_campaign_checkpointed(
-                &specs,
-                &cfg,
-                &exec_cfg,
-                &Progress::new(),
-                &ckpt,
-                None,
-            )
-            .expect("resume completes");
+            let resumed =
+                in_depth_campaign(&specs, &cfg, &RunOptions::new(exec_cfg).checkpoint(&ckpt))
+                    .expect("resume completes");
             assert_eq!(
                 serde_json::to_string_pretty(&resumed).unwrap(),
                 golden,
@@ -397,13 +387,15 @@ fn config_hash_tracks_config_changes() {
 fn shard_union_is_byte_identical_to_unsharded_run() {
     let specs = modules(&["M1", "S2", "H3", "S0"]);
     let cfg = foundational_cfg(2025);
-    let exec_cfg = ExecConfig::new(2, cfg.seed);
-    let golden = run_foundational_campaign(&specs, &cfg, &exec_cfg);
+    let run_opts = RunOptions::new(ExecConfig::new(2, cfg.seed));
+    let golden =
+        foundational_campaign(&specs, &cfg, &run_opts).expect("plain campaign run cannot fail");
 
     for count in [2usize, 3] {
         let shard_runs: Vec<Vec<Option<FoundationalResult>>> = (0..count)
             .map(|index| {
-                run_foundational_campaign(&shard_specs(&specs, index, count), &cfg, &exec_cfg)
+                foundational_campaign(&shard_specs(&specs, index, count), &cfg, &run_opts)
+                    .expect("plain campaign run cannot fail")
             })
             .collect();
 

@@ -19,23 +19,25 @@ use std::fs;
 use std::path::PathBuf;
 
 use vrd::core::campaign::{
-    run_foundational_campaign, run_in_depth_campaign, FoundationalConfig, InDepthConfig,
+    foundational_campaign, in_depth_campaign, FoundationalConfig, InDepthConfig,
 };
 use vrd::core::exec::ExecConfig;
+use vrd::core::run::RunOptions;
 use vrd::dram::ModuleSpec;
 
 /// A shrunk foundational campaign over two modules.
 fn foundational_json(threads: usize, seed: u64) -> String {
     let specs: Vec<ModuleSpec> =
         ["M1", "S2"].iter().map(|n| ModuleSpec::by_name(n).expect("Table-1 module")).collect();
-    let cfg = FoundationalConfig {
-        measurements: 40,
-        seed,
-        row_bytes: 512,
-        scan_rows: 3_000,
-        ..FoundationalConfig::default()
-    };
-    let results = run_foundational_campaign(&specs, &cfg, &ExecConfig::new(threads, seed));
+    let cfg = FoundationalConfig::builder()
+        .measurements(40)
+        .seed(seed)
+        .row_bytes(512)
+        .scan_rows(3_000)
+        .build();
+    let results =
+        foundational_campaign(&specs, &cfg, &RunOptions::new(ExecConfig::new(threads, seed)))
+            .expect("plain campaign run cannot fail");
     serde_json::to_string_pretty(&results).expect("serializable results")
 }
 
@@ -43,8 +45,9 @@ fn foundational_json(threads: usize, seed: u64) -> String {
 fn in_depth_json(threads: usize, seed: u64) -> String {
     let specs: Vec<ModuleSpec> =
         ["H3", "M1"].iter().map(|n| ModuleSpec::by_name(n).expect("Table-1 module")).collect();
-    let cfg = InDepthConfig { seed, ..InDepthConfig::quick() };
-    let results = run_in_depth_campaign(&specs, &cfg, &ExecConfig::new(threads, seed));
+    let cfg = InDepthConfig::quick().to_builder().seed(seed).build();
+    let results = in_depth_campaign(&specs, &cfg, &RunOptions::new(ExecConfig::new(threads, seed)))
+        .expect("plain campaign run cannot fail");
     serde_json::to_string_pretty(&results).expect("serializable results")
 }
 
