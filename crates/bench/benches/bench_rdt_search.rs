@@ -1,0 +1,34 @@
+//! Benchmarks the RDT search strategies (linear sweep vs adaptive
+//! gallop+bisect) over the same stochastic model. Both measure the
+//! identical series; only the hammer-session count differs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vrd_bench::prepared_platform;
+use vrd_core::algorithm::{measure_rdt_once_with, test_loop_with, SearchStrategy};
+use vrd_dram::TestConditions;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rdt_search");
+    group.sample_size(20);
+    let conditions = TestConditions::foundational();
+
+    // The platform is stateful (trap states evolve), which is exactly the
+    // workload: repeated measurements of the same row.
+    for (name, search) in
+        [("linear", SearchStrategy::Linear), ("adaptive", SearchStrategy::Adaptive)]
+    {
+        let (mut platform, row, sweep) = prepared_platform("M1", 1);
+        group.bench_function(&format!("measure_rdt_once/{name}"), |b| {
+            b.iter(|| measure_rdt_once_with(&mut platform, 0, row, &conditions, &sweep, search))
+        });
+
+        let (mut platform, row, sweep) = prepared_platform("M1", 2);
+        group.bench_function(&format!("test_loop_20/{name}"), |b| {
+            b.iter(|| test_loop_with(&mut platform, 0, row, &conditions, 20, &sweep, search))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

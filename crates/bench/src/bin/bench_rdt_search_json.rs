@@ -1,0 +1,160 @@
+//! Emits `BENCH_rdt_search.json`: the measured cost of the linear vs
+//! adaptive RDT search strategies on identically-seeded platforms.
+//!
+//! Both strategies measure the byte-identical RDT series (this bin
+//! asserts it); the interesting numbers are hammer sessions per
+//! measurement and wall time.
+//!
+//! ```text
+//! cargo run --release -p vrd-bench --bin bench_rdt_search_json -- \
+//!     [--measurements N] [--seed S] [--out PATH] [--check]
+//! ```
+//!
+//! `--check` exits nonzero unless the adaptive strategy spends at most
+//! a quarter of the linear strategy's hammer sessions (the acceptance
+//! bar for the search optimization), making the bin usable as a CI
+//! smoke gate.
+
+use std::process::ExitCode;
+
+use serde::Serialize;
+use vrd_bench::search_cost;
+use vrd_core::SearchStrategy;
+
+/// Modules covering the three vendors' Table-1 stochastic profiles.
+const MODULES: [&str; 3] = ["M1", "S0", "Chip1"];
+
+#[derive(Debug, Serialize)]
+struct ModuleReport {
+    module: String,
+    grid_points: usize,
+    censored: u32,
+    series_identical: bool,
+    linear_sessions: u64,
+    adaptive_sessions: u64,
+    linear_sessions_per_measurement: f64,
+    adaptive_sessions_per_measurement: f64,
+    session_reduction: f64,
+    linear_wall_ms: f64,
+    adaptive_wall_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    seed: u64,
+    measurements: u32,
+    total_linear_sessions: u64,
+    total_adaptive_sessions: u64,
+    overall_session_reduction: f64,
+    modules: Vec<ModuleReport>,
+}
+
+fn run_module(module: &str, seed: u64, measurements: u32) -> ModuleReport {
+    let linear = search_cost(module, seed, measurements, SearchStrategy::Linear);
+    let adaptive = search_cost(module, seed, measurements, SearchStrategy::Adaptive);
+    let per = f64::from(measurements).max(1.0);
+    ModuleReport {
+        module: module.to_owned(),
+        grid_points: linear.grid_points,
+        censored: linear.series.censored(),
+        series_identical: linear.series == adaptive.series,
+        linear_sessions: linear.sessions,
+        adaptive_sessions: adaptive.sessions,
+        linear_sessions_per_measurement: linear.sessions as f64 / per,
+        adaptive_sessions_per_measurement: adaptive.sessions as f64 / per,
+        session_reduction: linear.sessions as f64 / (adaptive.sessions as f64).max(1.0),
+        linear_wall_ms: linear.wall.as_secs_f64() * 1e3,
+        adaptive_wall_ms: adaptive.wall.as_secs_f64() * 1e3,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut measurements: u32 = 40;
+    let mut seed: u64 = 2025;
+    let mut out = "BENCH_rdt_search.json".to_owned();
+    let mut check = false;
+
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut need = |name: &str| {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2)
+            })
+        };
+        match arg.as_str() {
+            "--measurements" => match need("--measurements").parse() {
+                Ok(n) => measurements = n,
+                Err(e) => {
+                    eprintln!("--measurements: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match need("--seed").parse() {
+                Ok(n) => seed = n,
+                Err(e) => {
+                    eprintln!("--seed: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => out = need("--out"),
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let modules: Vec<ModuleReport> =
+        MODULES.iter().map(|m| run_module(m, seed, measurements)).collect();
+    let total_linear: u64 = modules.iter().map(|m| m.linear_sessions).sum();
+    let total_adaptive: u64 = modules.iter().map(|m| m.adaptive_sessions).sum();
+    let report = Report {
+        seed,
+        measurements,
+        total_linear_sessions: total_linear,
+        total_adaptive_sessions: total_adaptive,
+        overall_session_reduction: total_linear as f64 / (total_adaptive as f64).max(1.0),
+        modules,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    for m in &report.modules {
+        println!(
+            "{:6}  linear {:6} sessions ({:7.1}/meas, {:8.1} ms)  adaptive {:5} sessions \
+             ({:5.1}/meas, {:7.1} ms)  reduction {:5.2}x  identical={}",
+            m.module,
+            m.linear_sessions,
+            m.linear_sessions_per_measurement,
+            m.linear_wall_ms,
+            m.adaptive_sessions,
+            m.adaptive_sessions_per_measurement,
+            m.adaptive_wall_ms,
+            m.session_reduction,
+            m.series_identical,
+        );
+    }
+    println!(
+        "total   linear {} sessions  adaptive {} sessions  reduction {:.2}x  -> {}",
+        total_linear, total_adaptive, report.overall_session_reduction, out
+    );
+
+    if report.modules.iter().any(|m| !m.series_identical) {
+        eprintln!("FAIL: strategies disagree on a measured series");
+        return ExitCode::FAILURE;
+    }
+    if check && total_adaptive.saturating_mul(4) > total_linear {
+        eprintln!(
+            "FAIL: adaptive used {total_adaptive} sessions, more than 1/4 of linear's \
+             {total_linear}"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

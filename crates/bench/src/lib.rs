@@ -5,7 +5,7 @@
 //! platforms, series, and configurations the benches measure.
 
 use vrd_bender::TestPlatform;
-use vrd_core::algorithm::{find_victim, test_loop, SweepSpec};
+use vrd_core::algorithm::{find_victim, test_loop, test_loop_with, SearchStrategy, SweepSpec};
 use vrd_core::RdtSeries;
 use vrd_dram::{ModuleSpec, TestConditions};
 
@@ -26,6 +26,44 @@ pub fn measured_series(module: &str, seed: u64, measurements: u32) -> RdtSeries 
     let (mut platform, row, sweep) = prepared_platform(module, seed);
     let conditions = TestConditions::foundational();
     test_loop(&mut platform, 0, row, &conditions, measurements, &sweep)
+}
+
+/// One search strategy's measured cost on a fresh, identically-seeded
+/// platform: the series it measured plus the hammer sessions and wall
+/// time `test_loop` spent (victim search excluded).
+#[derive(Debug)]
+pub struct SearchCost {
+    /// The measured RDT series.
+    pub series: RdtSeries,
+    /// Hammer sessions spent by the `test_loop` alone.
+    pub sessions: u64,
+    /// Wall-clock time of the `test_loop`.
+    pub wall: std::time::Duration,
+    /// Sweep grid points (the linear strategy's sessions per
+    /// non-censored measurement is bounded by this).
+    pub grid_points: usize,
+}
+
+/// Runs the foundational `test_loop` under one [`SearchStrategy`] and
+/// reports its cost. Identical `(module, seed, measurements)` inputs
+/// measure the identical series under either strategy.
+pub fn search_cost(
+    module: &str,
+    seed: u64,
+    measurements: u32,
+    search: SearchStrategy,
+) -> SearchCost {
+    let (mut platform, row, sweep) = prepared_platform(module, seed);
+    let conditions = TestConditions::foundational();
+    let before = platform.hammer_sessions();
+    let started = std::time::Instant::now();
+    let series = test_loop_with(&mut platform, 0, row, &conditions, measurements, &sweep, search);
+    SearchCost {
+        series,
+        sessions: platform.hammer_sessions() - before,
+        wall: started.elapsed(),
+        grid_points: sweep.len(),
+    }
 }
 
 /// A deterministic synthetic series (no device in the loop) for

@@ -39,6 +39,7 @@ pub mod estimate;
 pub mod platform;
 pub mod program;
 pub mod routines;
+pub mod search;
 pub mod thermal;
 pub mod timing;
 

@@ -12,7 +12,7 @@ use vrd_dram::spec::ModuleSpec;
 use vrd_dram::DramError;
 
 use crate::estimate::EnergyModel;
-use crate::program::{execute, ExecStats, Program};
+use crate::program::{execute, ExecStats, Program, ProgramCache, ProgramKey};
 use crate::thermal::ThermalController;
 use crate::timing::TimingParams;
 
@@ -29,6 +29,9 @@ pub struct TestPlatform {
     next_refresh_ns: f64,
     energy: EnergyModel,
     energy_nj: f64,
+    programs: ProgramCache,
+    hammer_sessions: u64,
+    measurement_epoch: u64,
 }
 
 impl TestPlatform {
@@ -45,6 +48,9 @@ impl TestPlatform {
             next_refresh_ns: 0.0,
             energy: EnergyModel::default(),
             energy_nj: 0.0,
+            programs: ProgramCache::new(),
+            hammer_sessions: 0,
+            measurement_epoch: 0,
         }
     }
 
@@ -167,6 +173,86 @@ impl TestPlatform {
             }
         }
         Ok(stats)
+    }
+
+    /// Runs a row-initialization program through the program cache, so
+    /// repeated measurements with identical parameters reuse the compiled
+    /// command stream instead of rebuilding it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device command errors.
+    pub fn run_init_row(
+        &mut self,
+        bank: usize,
+        row: u32,
+        fill: u8,
+        bursts: u32,
+    ) -> Result<ExecStats, DramError> {
+        let program = self.programs.get_or_build(ProgramKey::Init { bank, row, fill, bursts });
+        self.run(&program)
+    }
+
+    /// Runs a double-sided hammer program through the program cache (see
+    /// [`run_init_row`](Self::run_init_row)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device command errors.
+    pub fn run_double_sided_hammer(
+        &mut self,
+        bank: usize,
+        aggr1: u32,
+        aggr2: u32,
+        count: u32,
+        t_on_ns: f64,
+    ) -> Result<ExecStats, DramError> {
+        let key = ProgramKey::Hammer { bank, aggr1, aggr2, count, t_on_bits: t_on_ns.to_bits() };
+        let program = self.programs.get_or_build(key);
+        self.run(&program)
+    }
+
+    /// `(hits, builds)` counters of the internal program cache.
+    pub fn program_cache_stats(&self) -> (u64, u64) {
+        self.programs.stats()
+    }
+
+    /// Records one completed hammer session (init + hammer + read of a
+    /// victim). The RDT search layers use this to compare how many
+    /// sessions each search strategy spends per measurement.
+    pub fn note_hammer_session(&mut self) {
+        self.hammer_sessions += 1;
+    }
+
+    /// Total hammer sessions recorded on this platform.
+    pub fn hammer_sessions(&self) -> u64 {
+        self.hammer_sessions
+    }
+
+    /// Starts a new measurement epoch and returns its number (1-based).
+    ///
+    /// Epochs number the RDT measurements on this platform in order; the
+    /// keyed dynamics mode draws per-measurement thresholds and trap
+    /// catch-up steps from the epoch number, which is identical no matter
+    /// which search strategy performs the measurement. The counter is
+    /// *not* reset by [`reseed_dynamics`](Self::reseed_dynamics): a
+    /// campaign reseeds per unit but epochs keep advancing, and the
+    /// keyed draws depend on (seed, epoch) jointly.
+    pub fn begin_measurement(&mut self) -> u64 {
+        self.measurement_epoch += 1;
+        self.measurement_epoch
+    }
+
+    /// Enters keyed-dynamics mode on the device for one hammer session of
+    /// the given measurement epoch (see
+    /// [`DramDevice::begin_keyed_session`]).
+    pub fn begin_keyed_session(&mut self, epoch: u64, session: u64) {
+        self.device.begin_keyed_session(epoch, session);
+    }
+
+    /// Leaves keyed-dynamics mode (see [`DramDevice::end_keyed_session`]).
+    pub fn end_keyed_session(&mut self) {
+        self.device.end_keyed_session();
     }
 
     /// Verifies the §3.1 preconditions for interference-free RDT

@@ -101,6 +101,96 @@ impl Program {
     }
 }
 
+/// Cache key for a memoizable test program. Hammer programs embed the
+/// on-time as raw bits so the key stays `Eq + Hash` (`f64` is not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProgramKey {
+    /// A [`Program::double_sided_hammer`] build.
+    Hammer {
+        /// Bank index.
+        bank: usize,
+        /// First aggressor row.
+        aggr1: u32,
+        /// Second aggressor row.
+        aggr2: u32,
+        /// Hammer count per aggressor.
+        count: u32,
+        /// `t_AggOn` in nanoseconds, as `f64::to_bits`.
+        t_on_bits: u64,
+    },
+    /// A [`Program::init_row`] build.
+    Init {
+        /// Bank index.
+        bank: usize,
+        /// Row to initialize.
+        row: u32,
+        /// Fill byte.
+        fill: u8,
+        /// Write bursts to fill the row.
+        bursts: u32,
+    },
+}
+
+impl ProgramKey {
+    /// Builds the program this key describes.
+    pub fn build(&self) -> Program {
+        match *self {
+            ProgramKey::Hammer { bank, aggr1, aggr2, count, t_on_bits } => {
+                Program::double_sided_hammer(bank, aggr1, aggr2, count, f64::from_bits(t_on_bits))
+            }
+            ProgramKey::Init { bank, row, fill, bursts } => {
+                Program::init_row(bank, row, fill, bursts)
+            }
+        }
+    }
+}
+
+/// Memoizes built command programs per [`ProgramKey`].
+///
+/// An RDT campaign re-issues the same few hundred programs (one init per
+/// row fill, one hammer per grid point) tens of thousands of times;
+/// caching skips re-building the instruction vectors. Entries are shared
+/// [`std::sync::Arc`]s, so a cached program can be executed while the
+/// cache itself stays borrowed mutably elsewhere.
+#[derive(Debug, Default)]
+pub struct ProgramCache {
+    map: std::collections::HashMap<ProgramKey, std::sync::Arc<Program>>,
+    hits: u64,
+    builds: u64,
+}
+
+/// A campaign's working set is a few hundred programs; past this the
+/// cache is dropped wholesale (simpler than LRU, and refilling costs one
+/// build per key).
+const PROGRAM_CACHE_CAP: usize = 1024;
+
+impl ProgramCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ProgramCache::default()
+    }
+
+    /// The cached program for `key`, building and inserting it on miss.
+    pub fn get_or_build(&mut self, key: ProgramKey) -> std::sync::Arc<Program> {
+        if let Some(p) = self.map.get(&key) {
+            self.hits += 1;
+            return std::sync::Arc::clone(p);
+        }
+        if self.map.len() >= PROGRAM_CACHE_CAP {
+            self.map.clear();
+        }
+        self.builds += 1;
+        let p = std::sync::Arc::new(key.build());
+        self.map.insert(key, std::sync::Arc::clone(&p));
+        p
+    }
+
+    /// `(hits, builds)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.builds)
+    }
+}
+
 /// Outcome of executing a [`Program`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExecStats {
@@ -419,6 +509,45 @@ mod tests {
         let stats = execute(&mut dev, &TimingParams::ddr4(), &p).unwrap();
         assert_eq!(stats.column_bursts, 127);
         assert!((stats.elapsed_ns - 127.0 * 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn program_cache_returns_identical_programs() {
+        let mut cache = ProgramCache::new();
+        let key = ProgramKey::Hammer {
+            bank: 0,
+            aggr1: 9,
+            aggr2: 11,
+            count: 500,
+            t_on_bits: 35.0f64.to_bits(),
+        };
+        let a = cache.get_or_build(key);
+        let b = cache.get_or_build(key);
+        assert_eq!(*a, Program::double_sided_hammer(0, 9, 11, 500, 35.0));
+        assert_eq!(*a, *b);
+        assert_eq!(cache.stats(), (1, 1), "second lookup must hit");
+        let init =
+            cache.get_or_build(ProgramKey::Init { bank: 0, row: 3, fill: 0xAA, bursts: 128 });
+        assert_eq!(*init, Program::init_row(0, 3, 0xAA, 128));
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn program_cache_bounds_its_size() {
+        let mut cache = ProgramCache::new();
+        for count in 0..3_000u32 {
+            let _ = cache.get_or_build(ProgramKey::Hammer {
+                bank: 0,
+                aggr1: 1,
+                aggr2: 3,
+                count,
+                t_on_bits: 35.0f64.to_bits(),
+            });
+        }
+        assert!(cache.map.len() <= super::PROGRAM_CACHE_CAP);
+        let (hits, builds) = cache.stats();
+        assert_eq!(hits, 0);
+        assert_eq!(builds, 3_000);
     }
 
     #[test]

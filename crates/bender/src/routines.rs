@@ -10,6 +10,7 @@ use vrd_dram::{Bitflip, DataPattern, TestConditions};
 
 use crate::platform::TestPlatform;
 use crate::program::Program;
+use crate::search::first_true;
 
 /// Write bursts needed to fill one row (the Appendix-A tables use 128
 /// bursts of 64 bytes for an 8 KiB row).
@@ -35,8 +36,10 @@ pub fn initialize_rows(
     let rows = platform.device().config().rows_per_bank;
     let mut elapsed = 0.0;
     let mut init = |platform: &mut TestPlatform, row: u32, fill: u8| {
-        let prog = Program::init_row(bank, row, fill, BURSTS_PER_ROW);
-        elapsed += platform.run(&prog).expect("valid init program").elapsed_ns;
+        elapsed += platform
+            .run_init_row(bank, row, fill, BURSTS_PER_ROW)
+            .expect("valid init program")
+            .elapsed_ns;
     };
 
     init(platform, victim, pattern.victim_byte());
@@ -73,16 +76,15 @@ pub fn hammer_double_sided(
 ) -> f64 {
     let rows = platform.device().config().rows_per_bank;
     let (below, above) = platform.device().config().mapping.neighbors_of(victim, rows);
-    let prog = match (below, above) {
-        (Some(a1), Some(a2)) => {
-            Program::double_sided_hammer(bank, a1, a2, hammer_count, conditions.t_agg_on_ns)
-        }
-        (Some(a), None) | (None, Some(a)) => {
-            Program::double_sided_hammer(bank, a, a, hammer_count, conditions.t_agg_on_ns)
-        }
+    let (a1, a2) = match (below, above) {
+        (Some(a1), Some(a2)) => (a1, a2),
+        (Some(a), None) | (None, Some(a)) => (a, a),
         (None, None) => return 0.0,
     };
-    platform.run(&prog).expect("valid hammer program").elapsed_ns
+    platform
+        .run_double_sided_hammer(bank, a1, a2, hammer_count, conditions.t_agg_on_ns)
+        .expect("valid hammer program")
+        .elapsed_ns
 }
 
 /// Reads the victim row and compares against the pattern's victim byte,
@@ -105,6 +107,7 @@ pub fn hammer_session(
     hammer_count: u32,
     conditions: &TestConditions,
 ) -> Vec<Bitflip> {
+    platform.note_hammer_session();
     initialize_rows(platform, bank, victim, conditions.pattern, false);
     hammer_double_sided(platform, bank, victim, hammer_count, conditions);
     read_compare(platform, bank, victim, conditions.pattern)
@@ -156,30 +159,35 @@ pub fn guess_rdt(
     conditions: &TestConditions,
     max_hammer_count: u32,
 ) -> Option<u32> {
-    // Exponential probe upward from a small count.
+    if max_hammer_count == 0 {
+        return None;
+    }
+    // Exponential probe upward, starting no higher than the cap (so caps
+    // below the historical 512 start still get probed) and always ending
+    // on the cap itself before declaring the row non-flipping.
     let mut lo = 0u32;
-    let mut hi = None;
-    let mut hc = 512u32;
-    while hc <= max_hammer_count {
-        if hammer_session(platform, bank, victim, hc, conditions).is_empty() {
-            lo = hc;
-            hc = hc.saturating_mul(2);
-        } else {
-            hi = Some(hc);
-            break;
+    let mut hc = 512u32.min(max_hammer_count);
+    let hi = loop {
+        if !hammer_session(platform, bank, victim, hc, conditions).is_empty() {
+            break hc;
         }
-    }
-    let mut hi = hi?;
-    // Bisection to ~3% precision.
-    while hi - lo > hi / 32 + 1 {
-        let mid = lo + (hi - lo) / 2;
-        if hammer_session(platform, bank, victim, mid, conditions).is_empty() {
-            lo = mid;
-        } else {
-            hi = mid;
+        if hc >= max_hammer_count {
+            return None;
         }
-    }
-    Some(hi)
+        lo = hc;
+        hc = hc.saturating_mul(2).min(max_hammer_count);
+    };
+    // Refine to ~3% precision over a uniform grid of counts in (lo, hi]
+    // with the shared gallop+bisect primitive. The per-session threshold
+    // is noisy, so the probe is not strictly monotone; when the search
+    // finds no flip at all, `hi` (which did flip above) is the estimate.
+    let step = ((hi - lo) / 32).max(1);
+    let n = ((hi - lo) / step) as usize;
+    let first = first_true(n, |i| {
+        let count = lo + (i as u32 + 1) * step;
+        !hammer_session(platform, bank, victim, count, conditions).is_empty()
+    });
+    Some(first.map_or(hi, |i| lo + (i as u32 + 1) * step))
 }
 
 #[cfg(test)]
@@ -266,6 +274,74 @@ mod tests {
             .find(|&r| p.device_mut().oracle_row_threshold(0, r, &cond).is_none())
             .expect("some row has no weak cell");
         assert_eq!(guess_rdt(&mut p, 0, strong, &cond, 1 << 16), None);
+    }
+
+    #[test]
+    fn guess_rdt_works_below_old_gallop_start() {
+        // Regression: the gallop used to start at a hard-coded 512, so a
+        // cap below 512 (or a module whose RDTs sit below it) returned
+        // `None` without a single probe.
+        use vrd_dram::device::{DeviceConfig, DramDevice};
+        let mut cfg = DeviceConfig::small_test();
+        cfg.vrd.median_rdt = 100.0;
+        cfg.vrd.weak_cells_per_row = 3.0;
+        let mut p = TestPlatform::new(DramDevice::new(cfg, 9), crate::timing::TimingParams::ddr4());
+        let victim = vulnerable_row(&mut p);
+        let guess =
+            guess_rdt(&mut p, 0, victim, &TestConditions::foundational(), 450).expect("flips");
+        assert!(guess <= 450, "estimate {guess} must respect the cap");
+    }
+
+    #[test]
+    fn guess_rdt_probes_the_cap_before_censoring() {
+        // Regression: the gallop used to overstep the cap without ever
+        // probing the cap itself, censoring rows whose RDT lies between
+        // the last power-of-two probe and the cap. On a never-flipping
+        // row the probe sequence is deterministic: 512, 1024, …, 65536
+        // and then the cap itself — 9 sessions, where the old code
+        // stopped at 8 without testing 100 000.
+        let mut p = TestPlatform::small_test(5);
+        let cond = TestConditions::foundational();
+        let strong = (2..4000)
+            .find(|&r| p.device_mut().oracle_row_threshold(0, r, &cond).is_none())
+            .expect("some row has no weak cell");
+        assert_eq!(guess_rdt(&mut p, 0, strong, &cond, 100_000), None);
+        assert_eq!(p.hammer_sessions(), 9, "the cap must be probed before censoring");
+    }
+
+    #[test]
+    fn guess_rdt_terminates_at_u32_max_cap() {
+        // Regression: with `max_hammer_count == u32::MAX` the saturating
+        // doubling used to pin `hc` at the cap and loop forever on a row
+        // that never flips.
+        let mut p = TestPlatform::small_test(5);
+        let cond = TestConditions::foundational();
+        let strong = (2..4000)
+            .find(|&r| p.device_mut().oracle_row_threshold(0, r, &cond).is_none())
+            .expect("some row has no weak cell");
+        assert_eq!(guess_rdt(&mut p, 0, strong, &cond, u32::MAX), None);
+    }
+
+    #[test]
+    fn hammer_sessions_are_counted() {
+        let mut p = TestPlatform::small_test(5);
+        let cond = TestConditions::foundational();
+        assert_eq!(p.hammer_sessions(), 0);
+        hammer_session(&mut p, 0, 100, 50, &cond);
+        hammer_session(&mut p, 0, 100, 50, &cond);
+        assert_eq!(p.hammer_sessions(), 2);
+    }
+
+    #[test]
+    fn repeated_sessions_hit_the_program_cache() {
+        let mut p = TestPlatform::small_test(5);
+        let cond = TestConditions::foundational();
+        for _ in 0..4 {
+            hammer_session(&mut p, 0, 100, 1_000, &cond);
+        }
+        let (hits, builds) = p.program_cache_stats();
+        assert!(builds <= 4, "4 identical sessions need at most 4 distinct programs");
+        assert!(hits >= 12, "repeat sessions must reuse cached programs (hits={hits})");
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Gallop + bisect search over a monotone predicate.
+//!
+//! The RDT measurement loop asks "what is the first hammer count on the
+//! sweep grid that flips the victim?". Under keyed per-measurement
+//! dynamics ([`vrd_dram::keyed`]) the flip predicate is monotone in the
+//! hammer count, so the first flipping grid point can be found with
+//! O(log n) sessions instead of a linear scan. This module holds the one
+//! shared primitive; `vrd_core::algorithm` drives it over [`SweepSpec`]
+//! grids and [`crate::routines::guess_rdt`] over its coarse bracket.
+//!
+//! [`SweepSpec`]: https://docs.rs/vrd-core
+
+/// Returns the smallest index in `[0, n)` for which `probe` is true, or
+/// `None` when no index satisfies it — exactly what a linear
+/// `(0..n).find(|&i| probe(i))` returns, assuming `probe` is monotone
+/// (false…false, true…true).
+///
+/// Probes index 0 first (the min edge), then gallops through indices
+/// `1, 3, 7, …, 2^k − 1` (clamped to `n − 1`, so censored searches
+/// always probe the last grid point before giving up), then bisects the
+/// bracket. Worst case `2·log2(n) + 2` probes.
+pub fn first_true(n: usize, mut probe: impl FnMut(usize) -> bool) -> Option<usize> {
+    if n == 0 {
+        return None;
+    }
+    if probe(0) {
+        return Some(0);
+    }
+    // Gallop: maintain probe(lo) == false, find a true index or run off
+    // the end.
+    let mut lo = 0usize;
+    let mut hi;
+    let mut next = 1usize;
+    loop {
+        let idx = next.min(n - 1);
+        if probe(idx) {
+            hi = idx;
+            break;
+        }
+        if idx == n - 1 {
+            return None;
+        }
+        lo = idx;
+        next = idx * 2 + 1;
+    }
+    // Bisect (lo, hi]: probe(lo) == false, probe(hi) == true.
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if probe(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Oracle: linear scan. Also counts probes for both.
+    fn check(n: usize, first: Option<usize>) {
+        let predicate = |i: usize| match first {
+            Some(f) => i >= f,
+            None => false,
+        };
+        let linear = (0..n).find(|&i| predicate(i));
+        assert_eq!(first_true(n, predicate), linear, "n={n}, first={first:?}");
+    }
+
+    #[test]
+    fn matches_linear_scan_everywhere() {
+        for n in 0..40 {
+            check(n, None);
+            for f in 0..n {
+                check(n, Some(f));
+            }
+        }
+        check(1_000, Some(0));
+        check(1_000, Some(999));
+        check(1_000, Some(137));
+        check(1_000, None);
+    }
+
+    #[test]
+    fn censored_search_is_logarithmic() {
+        let mut probes = 0usize;
+        assert_eq!(
+            first_true(250, |_| {
+                probes += 1;
+                false
+            }),
+            None
+        );
+        assert!(probes <= 10, "censored search used {probes} probes on a 250-point grid");
+    }
+
+    #[test]
+    fn typical_search_beats_linear_by_4x() {
+        // The foundational sweep has ~250 points with the first flip
+        // around index 50 (guess ≈ RDT, min = guess/2, step = guess/100).
+        let mut probes = 0usize;
+        assert_eq!(
+            first_true(250, |i| {
+                probes += 1;
+                i >= 50
+            }),
+            Some(50)
+        );
+        assert!(probes * 4 <= 51, "adaptive used {probes} probes where linear uses 51");
+    }
+}

@@ -20,6 +20,90 @@ use crate::series::RdtSeries;
 /// The paper's vulnerability cutoff for victim selection (Alg. 1 line 6).
 pub const FIND_VICTIM_CUTOFF: u32 = 40_000;
 
+/// How one RDT measurement locates the first flipping hammer count on the
+/// sweep grid.
+///
+/// Both strategies probe the *same* grid (see [`SweepSpec::grid`]) under
+/// keyed per-measurement dynamics (see
+/// [`vrd_dram::device::DramDevice::begin_keyed_session`]), which make the
+/// flip outcome at a grid point a pure function of the measurement epoch
+/// — independent of which other grid points were probed before it. The
+/// flip predicate is then monotone in the hammer count, so both
+/// strategies return the identical first flipping count:
+///
+/// - [`Linear`](SearchStrategy::Linear) walks the grid in ascending
+///   order, one hammer session per point — Alg. 1 as written, O(grid).
+/// - [`Adaptive`](SearchStrategy::Adaptive) gallops and bisects
+///   ([`vrd_bender::search::first_true`]) — O(log grid) sessions.
+///
+/// `tests/search_equivalence.rs` proves the byte-identity of the two on
+/// full campaigns; the default is [`Adaptive`](SearchStrategy::Adaptive).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SearchStrategy {
+    /// Ascending linear scan of the sweep grid.
+    Linear,
+    /// Gallop + bisect over the sweep grid.
+    #[default]
+    Adaptive,
+}
+
+impl SearchStrategy {
+    fn name(self) -> &'static str {
+        match self {
+            SearchStrategy::Linear => "Linear",
+            SearchStrategy::Adaptive => "Adaptive",
+        }
+    }
+}
+
+impl Serialize for SearchStrategy {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_owned())
+    }
+}
+
+impl Deserialize for SearchStrategy {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => {
+                s.parse().map_err(|_| serde::Error(format!("unknown search strategy `{s}`")))
+            }
+            other => Err(serde::Error(format!(
+                "expected search strategy string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Configs serialized before the strategy existed deserialize to the
+    /// default instead of erroring.
+    fn from_missing_field(_name: &str) -> Result<Self, serde::Error> {
+        Ok(SearchStrategy::default())
+    }
+}
+
+impl std::str::FromStr for SearchStrategy {
+    type Err = String;
+
+    /// Accepts the variant name, case-insensitively (`linear` /
+    /// `adaptive`), as used by the `--search` CLI flag.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "linear" => Ok(SearchStrategy::Linear),
+            "adaptive" => Ok(SearchStrategy::Adaptive),
+            other => {
+                Err(format!("unknown search strategy `{other}` (expected `linear` or `adaptive`)"))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SearchStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Hammer-count sweep grid of one RDT measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SweepSpec {
@@ -61,12 +145,30 @@ impl SweepSpec {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The `idx`-th hammer count of the grid (`idx < self.len()`),
+    /// i.e. the value `self.grid().nth(idx)` yields.
+    pub fn point(&self, idx: usize) -> u32 {
+        self.min + (idx as u32) * self.step
+    }
+
+    /// Finds the first grid point for which `probe` returns true via
+    /// gallop + bisect ([`vrd_bender::search::first_true`]), in O(log
+    /// grid) probes. Returns exactly what
+    /// `self.grid().find(|&hc| probe(hc))` returns provided `probe` is
+    /// monotone in the hammer count (false below some grid point, true
+    /// from it on) — which keyed measurement dynamics guarantee for the
+    /// flip predicate.
+    pub fn search_grid(&self, mut probe: impl FnMut(u32) -> bool) -> Option<u32> {
+        vrd_bender::search::first_true(self.len(), |i| probe(self.point(i))).map(|i| self.point(i))
+    }
 }
 
-/// One RDT measurement (Alg. 1's inner loop): sweeps the grid; at each
-/// hammer count, initializes the rows, hammers double-sided, and reads
-/// the victim back. Returns the first hammer count with a bitflip, or
-/// `None` if the row survives the whole sweep (a censored measurement).
+/// One RDT measurement (Alg. 1's inner loop): finds the first hammer
+/// count on the sweep grid whose session flips the victim, or `None` if
+/// the row survives the whole sweep (a censored measurement).
+///
+/// Uses the default [`SearchStrategy`]; see [`measure_rdt_once_with`].
 pub fn measure_rdt_once(
     platform: &mut TestPlatform,
     bank: usize,
@@ -74,7 +176,41 @@ pub fn measure_rdt_once(
     conditions: &TestConditions,
     sweep: &SweepSpec,
 ) -> Option<u32> {
-    sweep.grid().find(|&hc| !hammer_session(platform, bank, victim, hc, conditions).is_empty())
+    measure_rdt_once_with(platform, bank, victim, conditions, sweep, SearchStrategy::default())
+}
+
+/// One RDT measurement with an explicit [`SearchStrategy`].
+///
+/// The measurement opens a new *measurement epoch* on the platform and
+/// runs every hammer session of the sweep in keyed-dynamics mode: the
+/// per-cell threshold draw and the between-measurement trap evolution are
+/// pure functions of `(dynamics seed, epoch, cell)`, independent of how
+/// many sessions ran before or in which order. Under those dynamics the
+/// flip predicate is monotone in the hammer count, so
+/// [`Linear`](SearchStrategy::Linear) and
+/// [`Adaptive`](SearchStrategy::Adaptive) return identical results — the
+/// adaptive strategy merely spends O(log grid) sessions instead of
+/// O(grid).
+pub fn measure_rdt_once_with(
+    platform: &mut TestPlatform,
+    bank: usize,
+    victim: u32,
+    conditions: &TestConditions,
+    sweep: &SweepSpec,
+    search: SearchStrategy,
+) -> Option<u32> {
+    let epoch = platform.begin_measurement();
+    let mut probe = |hc: u32| {
+        let session = u64::from((hc - sweep.min) / sweep.step);
+        platform.begin_keyed_session(epoch, session);
+        !hammer_session(platform, bank, victim, hc, conditions).is_empty()
+    };
+    let first = match search {
+        SearchStrategy::Linear => sweep.grid().find(|&hc| probe(hc)),
+        SearchStrategy::Adaptive => sweep.search_grid(probe),
+    };
+    platform.end_keyed_session();
+    first
 }
 
 /// Alg. 1's `find_victim`: scans `rows` in order, guessing each row's RDT
@@ -112,7 +248,7 @@ pub fn find_victim(
 
 /// Alg. 1's `test_loop`: measures the victim's RDT `measurements` times
 /// over the given sweep, returning the series (censored sweeps counted
-/// separately).
+/// separately). Uses the default [`SearchStrategy`].
 pub fn test_loop(
     platform: &mut TestPlatform,
     bank: usize,
@@ -121,10 +257,32 @@ pub fn test_loop(
     measurements: u32,
     sweep: &SweepSpec,
 ) -> RdtSeries {
+    test_loop_with(
+        platform,
+        bank,
+        victim,
+        conditions,
+        measurements,
+        sweep,
+        SearchStrategy::default(),
+    )
+}
+
+/// Alg. 1's `test_loop` with an explicit [`SearchStrategy`] (see
+/// [`measure_rdt_once_with`]).
+pub fn test_loop_with(
+    platform: &mut TestPlatform,
+    bank: usize,
+    victim: u32,
+    conditions: &TestConditions,
+    measurements: u32,
+    sweep: &SweepSpec,
+    search: SearchStrategy,
+) -> RdtSeries {
     let mut values = Vec::with_capacity(measurements as usize);
     let mut censored = 0u32;
     for _ in 0..measurements {
-        match measure_rdt_once(platform, bank, victim, conditions, sweep) {
+        match measure_rdt_once_with(platform, bank, victim, conditions, sweep, search) {
             Some(rdt) => values.push(rdt),
             None => censored += 1,
         }
@@ -218,5 +376,68 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_guess_panics() {
         SweepSpec::from_guess(0);
+    }
+
+    #[test]
+    fn point_matches_grid_order() {
+        let s = SweepSpec::from_guess(10_000);
+        for (i, hc) in s.grid().enumerate() {
+            assert_eq!(s.point(i), hc);
+        }
+    }
+
+    #[test]
+    fn search_strategy_parses_and_roundtrips() {
+        use serde::{Deserialize as _, Serialize as _};
+        assert_eq!("linear".parse::<SearchStrategy>().unwrap(), SearchStrategy::Linear);
+        assert_eq!("Adaptive".parse::<SearchStrategy>().unwrap(), SearchStrategy::Adaptive);
+        assert!("fast".parse::<SearchStrategy>().is_err());
+        for s in [SearchStrategy::Linear, SearchStrategy::Adaptive] {
+            assert_eq!(SearchStrategy::from_value(&s.to_value()).unwrap(), s);
+            assert_eq!(s.to_string().parse::<SearchStrategy>().unwrap(), s);
+        }
+        // Configs from before the field existed keep deserializing.
+        assert_eq!(
+            SearchStrategy::from_missing_field("search").unwrap(),
+            SearchStrategy::default()
+        );
+    }
+
+    #[test]
+    fn linear_and_adaptive_measure_identical_series() {
+        let conditions = TestConditions::foundational();
+        let measure = |search| {
+            let mut platform = TestPlatform::small_test(9);
+            let (row, guess) =
+                find_victim(&mut platform, 0, &conditions, FIND_VICTIM_CUTOFF, 2..2000).unwrap();
+            let sweep = SweepSpec::from_guess(guess);
+            let before = platform.hammer_sessions();
+            let series = test_loop_with(&mut platform, 0, row, &conditions, 40, &sweep, search);
+            (series, platform.hammer_sessions() - before)
+        };
+        let (linear, linear_sessions) = measure(SearchStrategy::Linear);
+        let (adaptive, adaptive_sessions) = measure(SearchStrategy::Adaptive);
+        assert_eq!(linear, adaptive, "strategies must measure identical RDT series");
+        assert!(
+            adaptive_sessions * 4 <= linear_sessions,
+            "adaptive must use ≤¼ the sessions ({adaptive_sessions} vs {linear_sessions})"
+        );
+    }
+
+    #[test]
+    fn linear_and_adaptive_agree_on_censored_sweeps() {
+        let conditions = TestConditions::foundational();
+        let run = |search| {
+            let mut platform = TestPlatform::small_test(9);
+            let strong = (2..2000)
+                .find(|&r| platform.device_mut().oracle_row_threshold(0, r, &conditions).is_none())
+                .expect("some row has no weak cell");
+            let sweep = SweepSpec { min: 100, max: 2_000, step: 100 };
+            test_loop_with(&mut platform, 0, strong, &conditions, 10, &sweep, search)
+        };
+        let linear = run(SearchStrategy::Linear);
+        let adaptive = run(SearchStrategy::Adaptive);
+        assert_eq!(linear, adaptive);
+        assert_eq!(adaptive.censored(), 10);
     }
 }

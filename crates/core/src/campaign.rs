@@ -28,7 +28,9 @@ use vrd_bender::TestPlatform;
 use vrd_dram::spec::ModuleSpec;
 use vrd_dram::TestConditions;
 
-use crate::algorithm::{find_victim, test_loop, SweepSpec, FIND_VICTIM_CUTOFF};
+use crate::algorithm::{
+    find_victim, test_loop, test_loop_with, SearchStrategy, SweepSpec, FIND_VICTIM_CUTOFF,
+};
 use crate::checkpoint::{Checkpoint, CheckpointError, UnitHooks};
 use crate::exec::{ExecConfig, ExecReport, Progress, Unit, UnitCtx, UnitKey};
 use crate::obs::{CampaignSummary, Event};
@@ -189,9 +191,10 @@ pub fn foundational_campaign(
     cfg: &FoundationalConfig,
     opts: &RunOptions<'_>,
 ) -> Result<Vec<Option<FoundationalResult>>, CheckpointError> {
+    let search = opts.exec().search;
     run_campaign_phases(opts, FOUNDATIONAL, |opts| {
         run_units(opts, FOUNDATIONAL, "measure", foundational_units(specs), |ctx, spec| {
-            foundational_unit(spec, cfg, &ctx)
+            foundational_unit(spec, cfg, search, &ctx)
         })
         .map(ExecReport::into_results)
     })
@@ -289,6 +292,7 @@ fn foundational_units(specs: &[ModuleSpec]) -> Vec<Unit<ModuleSpec>> {
 fn foundational_unit(
     spec: &ModuleSpec,
     cfg: &FoundationalConfig,
+    search: SearchStrategy,
     ctx: &UnitCtx<'_>,
 ) -> Option<FoundationalResult> {
     let mut platform =
@@ -298,8 +302,10 @@ fn foundational_unit(
     let (row, guess) =
         find_victim(&mut platform, 0, &cfg.conditions, FIND_VICTIM_CUTOFF, 2..cfg.scan_rows)?;
     let sweep = SweepSpec::from_guess(guess);
-    let series = test_loop(&mut platform, 0, row, &cfg.conditions, cfg.measurements, &sweep);
+    let series =
+        test_loop_with(&mut platform, 0, row, &cfg.conditions, cfg.measurements, &sweep, search);
     ctx.record_flips(series.len() as u64);
+    ctx.record_hammer_sessions(platform.hammer_sessions());
     ctx.record_sim_time_ns(platform.elapsed_ns());
     ctx.record_sim_energy_j(platform.energy_j());
     Some(FoundationalResult {
@@ -551,6 +557,7 @@ pub fn in_depth_campaign(
     cfg: &InDepthConfig,
     opts: &RunOptions<'_>,
 ) -> Result<Vec<InDepthResult>, CheckpointError> {
+    let search = opts.exec().search;
     run_campaign_phases(opts, IN_DEPTH, |opts| {
         // Phase 1: per-module row selection.
         let selections: Vec<Vec<(u32, u32)>> =
@@ -564,7 +571,7 @@ pub fn in_depth_campaign(
         let units = cell_units(specs, cfg, &selections);
         let cells: Vec<Option<ConditionSeries>> =
             run_units(opts, IN_DEPTH, "measure", units, |ctx, &(module_idx, row, conditions)| {
-                measure_cell(&specs[module_idx], cfg, row, &conditions, &ctx)
+                measure_cell(&specs[module_idx], cfg, row, &conditions, search, &ctx)
             })?
             .into_results();
 
@@ -638,6 +645,7 @@ fn select_unit(spec: &ModuleSpec, cfg: &InDepthConfig, ctx: &UnitCtx<'_>) -> Vec
         cfg.picks_per_segment,
         3,
     );
+    ctx.record_hammer_sessions(platform.hammer_sessions());
     ctx.record_sim_time_ns(platform.elapsed_ns());
     ctx.record_sim_energy_j(platform.energy_j());
     rows
@@ -698,6 +706,7 @@ fn measure_cell(
     cfg: &InDepthConfig,
     row: u32,
     conditions: &TestConditions,
+    search: SearchStrategy,
     ctx: &UnitCtx<'_>,
 ) -> Option<ConditionSeries> {
     let mut platform =
@@ -708,8 +717,10 @@ fn measure_cell(
     // shift the testable range substantially.
     let guess = guess_rdt(&mut platform, 0, row, conditions, FIND_VICTIM_CUTOFF * 8)?;
     let sweep = SweepSpec::from_guess(guess);
-    let series = test_loop(&mut platform, 0, row, conditions, cfg.measurements, &sweep);
+    let series =
+        test_loop_with(&mut platform, 0, row, conditions, cfg.measurements, &sweep, search);
     ctx.record_flips(series.len() as u64);
+    ctx.record_hammer_sessions(platform.hammer_sessions());
     ctx.record_sim_time_ns(platform.elapsed_ns());
     ctx.record_sim_energy_j(platform.energy_j());
     if series.is_empty() {

@@ -52,6 +52,7 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::algorithm::SearchStrategy;
 use crate::obs::{Event, NullObserver, Observer, OutcomeKind};
 
 #[cfg(feature = "fault-injection")]
@@ -71,23 +72,29 @@ pub struct ExecConfig {
     /// The campaign seed; combined with each [`UnitKey`] into the
     /// per-unit dynamics seed.
     pub campaign_seed: u64,
+    /// How RDT measurements locate the first flipping grid point. Both
+    /// strategies produce byte-identical campaign results (see
+    /// [`SearchStrategy`]); [`Adaptive`](SearchStrategy::Adaptive) — the
+    /// default — spends O(log grid) hammer sessions per measurement
+    /// instead of O(grid).
+    pub search: SearchStrategy,
 }
 
 impl ExecConfig {
     /// A parallel configuration with the given thread count.
     pub fn new(threads: usize, campaign_seed: u64) -> Self {
-        ExecConfig { threads, campaign_seed }
+        ExecConfig { threads, campaign_seed, search: SearchStrategy::default() }
     }
 
     /// A single-threaded configuration (the reference ordering; parallel
     /// runs must match it byte for byte).
     pub fn serial(campaign_seed: u64) -> Self {
-        ExecConfig { threads: 1, campaign_seed }
+        ExecConfig { threads: 1, campaign_seed, search: SearchStrategy::default() }
     }
 
     /// A builder seeded with the defaults (all cores, campaign seed 0).
     pub fn builder() -> ExecConfigBuilder {
-        ExecConfigBuilder { cfg: ExecConfig { threads: 0, campaign_seed: 0 } }
+        ExecConfigBuilder { cfg: ExecConfig::new(0, 0) }
     }
 
     /// A builder seeded with this configuration's values.
@@ -122,6 +129,12 @@ impl ExecConfigBuilder {
     /// Sets the campaign seed.
     pub fn campaign_seed(mut self, campaign_seed: u64) -> Self {
         self.cfg.campaign_seed = campaign_seed;
+        self
+    }
+
+    /// Sets the RDT search strategy.
+    pub fn search(mut self, search: SearchStrategy) -> Self {
+        self.cfg.search = search;
         self
     }
 
@@ -204,6 +217,7 @@ pub struct Progress {
     done: AtomicUsize,
     panicked: AtomicUsize,
     flips: AtomicU64,
+    hammer_sessions: AtomicU64,
     sim_time_ns: AtomicU64,
     sim_energy_pj: AtomicU64,
 }
@@ -221,6 +235,7 @@ impl Progress {
             units_done: self.done.load(Ordering::Relaxed),
             units_panicked: self.panicked.load(Ordering::Relaxed),
             flips_found: self.flips.load(Ordering::Relaxed),
+            hammer_sessions: self.hammer_sessions.load(Ordering::Relaxed),
             sim_time_ns: self.sim_time_ns.load(Ordering::Relaxed) as f64,
             sim_energy_j: self.sim_energy_pj.load(Ordering::Relaxed) as f64 * 1e-12,
         }
@@ -235,6 +250,10 @@ impl Progress {
 
     fn record_flips(&self, n: u64) {
         self.flips.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn record_hammer_sessions(&self, n: u64) {
+        self.hammer_sessions.fetch_add(n, Ordering::Relaxed);
     }
 
     fn record_sim_time_ns(&self, ns: f64) {
@@ -268,6 +287,9 @@ pub struct ProgressSnapshot {
     pub units_panicked: usize,
     /// Bitflips (successful RDT measurements) reported by units so far.
     pub flips_found: u64,
+    /// Hammer sessions (init + hammer + read) executed so far — the unit
+    /// of work the RDT search strategy minimizes.
+    pub hammer_sessions: u64,
     /// Simulated DRAM test time consumed so far (ns).
     pub sim_time_ns: f64,
     /// Estimated DRAM test energy consumed so far (J), per the bender
@@ -288,6 +310,7 @@ impl ProgressSnapshot {
 #[derive(Debug, Default)]
 struct UnitTally {
     flips: Cell<u64>,
+    hammer_sessions: Cell<u64>,
     sim_time_ns: Cell<f64>,
     sim_energy_j: Cell<f64>,
 }
@@ -307,6 +330,13 @@ impl UnitCtx<'_> {
     pub fn record_flips(&self, n: u64) {
         self.progress.record_flips(n);
         self.tally.flips.set(self.tally.flips.get() + n);
+    }
+
+    /// Reports hammer sessions executed (read from
+    /// [`vrd_bender::TestPlatform::hammer_sessions`] deltas).
+    pub fn record_hammer_sessions(&self, n: u64) {
+        self.progress.record_hammer_sessions(n);
+        self.tally.hammer_sessions.set(self.tally.hammer_sessions.get() + n);
     }
 
     /// Reports simulated test time consumed (ns).

@@ -69,5 +69,5 @@ pub mod profile;
 pub mod run;
 pub mod series;
 
-pub use algorithm::{find_victim, test_loop, SweepSpec};
+pub use algorithm::{find_victim, test_loop, test_loop_with, SearchStrategy, SweepSpec};
 pub use series::RdtSeries;

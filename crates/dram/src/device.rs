@@ -30,6 +30,7 @@ use serde::{Deserialize, Serialize};
 use crate::cells::CellLayout;
 use crate::conditions::{TestConditions, T_AGG_ON_MIN_TRAS_NS};
 use crate::error::DramError;
+use crate::keyed::KeyedRng;
 use crate::mapping::RowMapping;
 use crate::pattern::DataPattern;
 use crate::spatial::SpatialProfile;
@@ -140,6 +141,10 @@ struct RowState {
     disturb: DisturbState,
     /// Weak cells, generated lazily and deterministically per row.
     cells: Vec<WeakCell>,
+    /// Last measurement epoch whose keyed trap evolution this row has
+    /// absorbed (see [`DramDevice::begin_keyed_session`]). Rows touched
+    /// only by the sequential path stay at their creation epoch.
+    trap_epoch: u64,
 }
 
 #[derive(Debug)]
@@ -162,6 +167,27 @@ impl Bank {
     }
 }
 
+/// The identity of the hammer session currently executing under
+/// counter-based RNG keying (see [`DramDevice::begin_keyed_session`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyedSession {
+    /// Measurement epoch: one RDT measurement = one epoch. Threshold
+    /// jitter and trap evolution are keyed by this value, so every
+    /// session within a measurement samples identical dynamics.
+    pub epoch: u64,
+    /// Session index within the measurement (the sweep's grid index).
+    /// Not part of any stochastic key — recorded for diagnostics only,
+    /// because the flip predicate must be independent of *which*
+    /// sessions a search strategy chooses to run.
+    pub session: u64,
+}
+
+/// Compound trap Markov steps charged per measurement epoch under keyed
+/// dynamics: approximately the per-measurement restore count of a linear
+/// Algorithm-1 sweep (two restorations per session, a few dozen sessions
+/// until the first flip).
+pub const TRAP_STEPS_PER_MEASUREMENT: u32 = 100;
+
 /// A behavioural DRAM device with a stochastic read-disturbance engine.
 ///
 /// See the [module documentation](self) for the model semantics.
@@ -171,6 +197,12 @@ pub struct DramDevice {
     seed: u64,
     banks: Vec<Bank>,
     rng: ChaCha12Rng,
+    /// Key material for counter-based draws ([`crate::keyed`]): follows
+    /// the sequential RNG's seed through [`Self::reseed_dynamics`].
+    dynamics_seed: u64,
+    /// When set, restoration dynamics draw from keyed streams instead of
+    /// the sequential RNG.
+    keyed_session: Option<KeyedSession>,
     temperature_c: f64,
     trr_enabled: bool,
     on_die_ecc_enabled: bool,
@@ -201,6 +233,8 @@ impl DramDevice {
         DramDevice {
             banks,
             rng: ChaCha12Rng::seed_from_u64(seed ^ 0xD12A_0DE1_u64),
+            dynamics_seed: seed ^ 0xD12A_0DE1_u64,
+            keyed_session: None,
             seed,
             config,
             temperature_c: 50.0,
@@ -256,6 +290,36 @@ impl DramDevice {
     /// bit-identical regardless of thread count or scheduling order.
     pub fn reseed_dynamics(&mut self, seed: u64) {
         self.rng = ChaCha12Rng::seed_from_u64(seed ^ 0xD12A_0DE1_u64);
+        self.dynamics_seed = seed ^ 0xD12A_0DE1_u64;
+    }
+
+    /// Enters (or re-keys) a keyed hammer session: until
+    /// [`end_keyed_session`](Self::end_keyed_session), restoration
+    /// dynamics — per-measurement threshold jitter and trap evolution —
+    /// draw from counter-based streams keyed by `(dynamics seed, epoch,
+    /// cell identity)` instead of consuming the sequential RNG (see
+    /// [`crate::keyed`]). Because the keyed draws are a pure function of
+    /// the epoch and the cell, running *fewer* or *different* sessions
+    /// (an adaptive search) observes bit-identical dynamics to a full
+    /// linear sweep, and the sequential RNG's stream position is left
+    /// untouched for the surrounding unkeyed code.
+    ///
+    /// Epochs must be distinct per RDT measurement and are expected to
+    /// increase monotonically over a device's lifetime; the session
+    /// index is diagnostic only.
+    pub fn begin_keyed_session(&mut self, epoch: u64, session: u64) {
+        self.keyed_session = Some(KeyedSession { epoch, session });
+    }
+
+    /// Leaves keyed-session mode: restoration dynamics return to the
+    /// sequential RNG.
+    pub fn end_keyed_session(&mut self) {
+        self.keyed_session = None;
+    }
+
+    /// The keyed session currently in effect, if any.
+    pub fn keyed_session(&self) -> Option<KeyedSession> {
+        self.keyed_session
     }
 
     /// The currently open row of `bank`, if any.
@@ -580,6 +644,9 @@ impl DramDevice {
             return;
         }
         let cells = self.generate_weak_cells(bank, row);
+        // Rows born inside a keyed session owe no catch-up for epochs
+        // they did not exist in.
+        let trap_epoch = self.keyed_session.map_or(0, |s| s.epoch);
         self.banks[bank].rows.insert(
             row,
             RowState {
@@ -587,6 +654,7 @@ impl DramDevice {
                 flipped: Vec::new(),
                 disturb: DisturbState::default(),
                 cells,
+                trap_epoch,
             },
         );
     }
@@ -690,7 +758,14 @@ impl DramDevice {
     }
 
     /// Charge restoration of a row: materialize pending flips, reset
-    /// accumulated disturbance, step traps `n` times.
+    /// accumulated disturbance, evolve traps.
+    ///
+    /// Sequential mode steps traps `n` times and samples a fresh
+    /// threshold per restoration from the device RNG. Keyed mode (see
+    /// [`begin_keyed_session`](Self::begin_keyed_session)) draws both
+    /// from counter-based streams: one threshold and one compound trap
+    /// step per *measurement epoch*, independent of how many sessions
+    /// the epoch runs.
     fn restore_row(&mut self, bank: usize, row: u32, n: u32) {
         // Avoid instantiating untouched rows on refresh.
         if !self.banks[bank].rows.contains_key(&row) {
@@ -698,7 +773,53 @@ impl DramDevice {
         }
         let temperature = self.temperature_c;
         let conditions = self.infer_conditions(bank, row);
+        let keyed = self.keyed_session;
+        let dynamics_seed = self.dynamics_seed;
         let state = self.banks[bank].rows.get_mut(&row).expect("checked");
+        if let Some(session) = keyed {
+            // Catch up trap evolution for every epoch since this row's
+            // last keyed restoration, one compound step per epoch. The
+            // draws are keyed by epoch, so it does not matter which
+            // session (or which search strategy) triggers the catch-up.
+            if state.trap_epoch < session.epoch && !state.cells.is_empty() {
+                for epoch in state.trap_epoch + 1..=session.epoch {
+                    for cell in &mut state.cells {
+                        for (trap_idx, trap) in cell.traps.iter_mut().enumerate() {
+                            let mut rng = KeyedRng::for_trap(
+                                dynamics_seed,
+                                epoch,
+                                bank as u64,
+                                row,
+                                cell.bit,
+                                trap_idx as u64,
+                            );
+                            step_trap_n(trap, &mut rng, temperature, TRAP_STEPS_PER_MEASUREMENT);
+                        }
+                    }
+                }
+                state.trap_epoch = session.epoch;
+            }
+            if !state.disturb.is_clean() {
+                let hammers = state.disturb.effective_hammers();
+                for cell in &state.cells {
+                    let already = state.flipped.contains(&cell.bit);
+                    let stored = state.data.bit(cell.bit) ^ already;
+                    let mut rng = KeyedRng::for_threshold(
+                        dynamics_seed,
+                        session.epoch,
+                        bank as u64,
+                        row,
+                        cell.bit,
+                    );
+                    let threshold = cell.sample_threshold(&mut rng, &conditions, stored);
+                    if hammers >= threshold && !already {
+                        state.flipped.push(cell.bit);
+                    }
+                }
+                state.disturb = DisturbState::default();
+            }
+            return;
+        }
         if !state.disturb.is_clean() {
             let hammers = state.disturb.effective_hammers();
             for cell in &state.cells {

@@ -43,6 +43,7 @@ pub mod conditions;
 pub mod device;
 pub mod error;
 pub mod fleet;
+pub mod keyed;
 pub mod mapping;
 pub mod pattern;
 pub mod retention;

@@ -66,6 +66,10 @@ pub struct Options {
     pub trace_out: Option<String>,
     /// Terminal output encoding (`--log-format human|json`).
     pub log_format: LogFormat,
+    /// RDT search strategy (`--search linear|adaptive`). Both produce
+    /// byte-identical campaign results; adaptive (the default) spends
+    /// O(log grid) hammer sessions per measurement instead of O(grid).
+    pub search: vrd_core::SearchStrategy,
 }
 
 impl Default for Options {
@@ -92,6 +96,7 @@ impl Default for Options {
             fail_after_units: None,
             trace_out: None,
             log_format: LogFormat::Human,
+            search: vrd_core::SearchStrategy::default(),
         }
     }
 }
@@ -148,6 +153,9 @@ impl Options {
     /// The executor configuration for campaign parallelism.
     pub fn exec_config(&self) -> vrd_core::exec::ExecConfig {
         vrd_core::exec::ExecConfig::new(self.threads, self.seed)
+            .to_builder()
+            .search(self.search)
+            .build()
     }
 
     /// The in-depth condition grid at this scale.
