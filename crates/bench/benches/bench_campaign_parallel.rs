@@ -13,6 +13,7 @@ use vrd_core::checkpoint::{self, Checkpoint, CheckpointManifest};
 use vrd_core::exec::{execute, ExecConfig, Progress, Unit, UnitKey};
 use vrd_core::obs::metrics::MetricsSink;
 use vrd_core::run::RunOptions;
+use vrd_core::EvalStrategy;
 use vrd_dram::fleet::roster_fingerprint;
 use vrd_dram::ModuleSpec;
 
@@ -69,6 +70,15 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
+    // The same serial campaign forced onto the scalar per-session
+    // device path: the delta against in_depth_threads_1 (which runs the
+    // default batch eval) is the batch engine's whole-campaign speedup.
+    group.bench_function("in_depth_threads_1_scalar_eval", |b| {
+        b.iter(|| {
+            let exec = ExecConfig::new(1, cfg.seed).to_builder().eval(EvalStrategy::Scalar).build();
+            in_depth_campaign(black_box(&specs), black_box(&cfg), &RunOptions::new(exec)).unwrap()
+        })
+    });
     // The same campaign with a metrics observer attached to every
     // event: the delta against in_depth_threads_4 is the observability
     // overhead (the acceptance bar is ≤ 5%).

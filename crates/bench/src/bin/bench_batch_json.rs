@@ -1,0 +1,174 @@
+//! Emits `BENCH_batch.json`: the measured cost of the scalar
+//! (per-session command programs) vs batch (whole-row u64-lane masks)
+//! device evaluation strategies on identically-seeded platforms.
+//!
+//! Both strategies measure the byte-identical RDT series (this bin
+//! asserts it) and spend the identical number of hammer sessions under
+//! the adaptive search; the interesting number is sessions per second
+//! of wall time.
+//!
+//! ```text
+//! cargo run --release -p vrd-bench --bin bench_batch_json -- \
+//!     [--measurements N] [--seed S] [--out PATH] [--check]
+//! ```
+//!
+//! `--check` exits nonzero unless the batch strategy sustains at least
+//! 5× the scalar strategy's sessions per second overall (the acceptance
+//! bar for the batch engine), making the bin usable as a CI smoke gate.
+
+use std::process::ExitCode;
+
+use serde::Serialize;
+use vrd_bench::eval_cost;
+use vrd_core::EvalStrategy;
+
+/// Modules covering the three vendors' Table-1 stochastic profiles.
+const MODULES: [&str; 3] = ["M1", "S0", "Chip1"];
+
+/// Overall sessions-per-second speedup `--check` requires.
+const CHECK_MIN_SPEEDUP: f64 = 5.0;
+
+#[derive(Debug, Serialize)]
+struct ModuleReport {
+    module: String,
+    sessions: u64,
+    series_identical: bool,
+    sessions_equal: bool,
+    scalar_wall_ms: f64,
+    batch_wall_ms: f64,
+    scalar_sessions_per_sec: f64,
+    batch_sessions_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    seed: u64,
+    measurements: u32,
+    total_sessions: u64,
+    total_scalar_wall_ms: f64,
+    total_batch_wall_ms: f64,
+    overall_speedup: f64,
+    modules: Vec<ModuleReport>,
+}
+
+/// Wall-time samples per strategy; the minimum is reported, so a single
+/// scheduler hiccup on a busy (or 1-CPU) CI runner cannot fail `--check`.
+const REPS: usize = 3;
+
+fn best_of(module: &str, seed: u64, measurements: u32, eval: EvalStrategy) -> vrd_bench::EvalCost {
+    (0..REPS)
+        .map(|_| eval_cost(module, seed, measurements, eval))
+        .min_by_key(|c| c.wall)
+        .expect("REPS > 0")
+}
+
+fn run_module(module: &str, seed: u64, measurements: u32) -> ModuleReport {
+    let scalar = best_of(module, seed, measurements, EvalStrategy::Scalar);
+    let batch = best_of(module, seed, measurements, EvalStrategy::Batch);
+    let scalar_s = scalar.wall.as_secs_f64();
+    let batch_s = batch.wall.as_secs_f64();
+    ModuleReport {
+        module: module.to_owned(),
+        sessions: scalar.sessions,
+        series_identical: scalar.series == batch.series,
+        sessions_equal: scalar.sessions == batch.sessions,
+        scalar_wall_ms: scalar_s * 1e3,
+        batch_wall_ms: batch_s * 1e3,
+        scalar_sessions_per_sec: scalar.sessions as f64 / scalar_s.max(1e-9),
+        batch_sessions_per_sec: batch.sessions as f64 / batch_s.max(1e-9),
+        speedup: scalar_s / batch_s.max(1e-9),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut measurements: u32 = 40;
+    let mut seed: u64 = 2025;
+    let mut out = "BENCH_batch.json".to_owned();
+    let mut check = false;
+
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut need = |name: &str| {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2)
+            })
+        };
+        match arg.as_str() {
+            "--measurements" => match need("--measurements").parse() {
+                Ok(n) => measurements = n,
+                Err(e) => {
+                    eprintln!("--measurements: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match need("--seed").parse() {
+                Ok(n) => seed = n,
+                Err(e) => {
+                    eprintln!("--seed: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => out = need("--out"),
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let modules: Vec<ModuleReport> =
+        MODULES.iter().map(|m| run_module(m, seed, measurements)).collect();
+    let total_sessions: u64 = modules.iter().map(|m| m.sessions).sum();
+    let total_scalar_ms: f64 = modules.iter().map(|m| m.scalar_wall_ms).sum();
+    let total_batch_ms: f64 = modules.iter().map(|m| m.batch_wall_ms).sum();
+    let report = Report {
+        seed,
+        measurements,
+        total_sessions,
+        total_scalar_wall_ms: total_scalar_ms,
+        total_batch_wall_ms: total_batch_ms,
+        overall_speedup: total_scalar_ms / total_batch_ms.max(1e-9),
+        modules,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    for m in &report.modules {
+        println!(
+            "{:6}  {:6} sessions  scalar {:8.1} ms ({:9.0}/s)  batch {:7.1} ms ({:9.0}/s)  \
+             speedup {:5.2}x  identical={}",
+            m.module,
+            m.sessions,
+            m.scalar_wall_ms,
+            m.scalar_sessions_per_sec,
+            m.batch_wall_ms,
+            m.batch_sessions_per_sec,
+            m.speedup,
+            m.series_identical && m.sessions_equal,
+        );
+    }
+    println!(
+        "total   {} sessions  scalar {:.1} ms  batch {:.1} ms  speedup {:.2}x  -> {}",
+        total_sessions, total_scalar_ms, total_batch_ms, report.overall_speedup, out
+    );
+
+    if report.modules.iter().any(|m| !m.series_identical || !m.sessions_equal) {
+        eprintln!("FAIL: strategies disagree on a measured series or session count");
+        return ExitCode::FAILURE;
+    }
+    if check && report.overall_speedup < CHECK_MIN_SPEEDUP {
+        eprintln!(
+            "FAIL: batch eval is only {:.2}x faster than scalar (bar: {CHECK_MIN_SPEEDUP}x)",
+            report.overall_speedup
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -5,7 +5,10 @@
 //! platforms, series, and configurations the benches measure.
 
 use vrd_bender::TestPlatform;
-use vrd_core::algorithm::{find_victim, test_loop, test_loop_with, SearchStrategy, SweepSpec};
+use vrd_core::algorithm::{
+    find_victim, test_loop, test_loop_using, test_loop_with, EvalStrategy, SearchStrategy,
+    SweepSpec,
+};
 use vrd_core::RdtSeries;
 use vrd_dram::{ModuleSpec, TestConditions};
 
@@ -64,6 +67,42 @@ pub fn search_cost(
         wall: started.elapsed(),
         grid_points: sweep.len(),
     }
+}
+
+/// One evaluation strategy's measured cost on a fresh, identically-seeded
+/// platform: the series it measured plus the hammer sessions and wall
+/// time `test_loop` spent (victim search excluded). Both strategies run
+/// the adaptive search, so the session counts are identical and the
+/// interesting ratio is sessions per second of wall time.
+#[derive(Debug)]
+pub struct EvalCost {
+    /// The measured RDT series.
+    pub series: RdtSeries,
+    /// Hammer sessions spent by the `test_loop` alone.
+    pub sessions: u64,
+    /// Wall-clock time of the `test_loop`.
+    pub wall: std::time::Duration,
+}
+
+/// Runs the foundational `test_loop` under one [`EvalStrategy`] and
+/// reports its cost. Identical `(module, seed, measurements)` inputs
+/// measure the identical series under either strategy.
+pub fn eval_cost(module: &str, seed: u64, measurements: u32, eval: EvalStrategy) -> EvalCost {
+    let (mut platform, row, sweep) = prepared_platform(module, seed);
+    let conditions = TestConditions::foundational();
+    let before = platform.hammer_sessions();
+    let started = std::time::Instant::now();
+    let series = test_loop_using(
+        &mut platform,
+        0,
+        row,
+        &conditions,
+        measurements,
+        &sweep,
+        SearchStrategy::Adaptive,
+        eval,
+    );
+    EvalCost { series, sessions: platform.hammer_sessions() - before, wall: started.elapsed() }
 }
 
 /// A deterministic synthetic series (no device in the loop) for

@@ -44,7 +44,7 @@ pub mod thermal;
 pub mod timing;
 
 pub use command::DramCommand;
-pub use platform::TestPlatform;
+pub use platform::{BatchMeasurement, TestPlatform};
 pub use program::{Instr, Program};
 pub use thermal::ThermalController;
 pub use timing::TimingParams;

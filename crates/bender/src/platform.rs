@@ -9,12 +9,52 @@
 
 use vrd_dram::device::{DeviceConfig, DramDevice};
 use vrd_dram::spec::ModuleSpec;
-use vrd_dram::DramError;
+use vrd_dram::{DramError, RowBatchProfile, TestConditions};
 
 use crate::estimate::EnergyModel;
 use crate::program::{execute, ExecStats, Program, ProgramCache, ProgramKey};
+use crate::routines::BURSTS_PER_ROW;
 use crate::thermal::ThermalController;
 use crate::timing::TimingParams;
+
+/// One measurement epoch prepared for batched hammer sessions.
+///
+/// Wraps the device-side [`RowBatchProfile`] together with the
+/// platform-side constants a session charges: the cached program keys the
+/// scalar path would have fetched and the pre-folded per-program
+/// time/energy figures, accumulated in the same `f64` operation order as
+/// [`crate::program::execute`] so batched bookkeeping stays bitwise
+/// identical to running the programs.
+#[derive(Debug, Clone)]
+pub struct BatchMeasurement {
+    profile: RowBatchProfile,
+    /// Init keys in session order: victim, below aggressor, above.
+    init_keys: [ProgramKey; 3],
+    /// Raw (unclamped) `t_AggOn` bits embedded in the hammer keys.
+    hammer_t_on_bits: u64,
+    /// Elapsed time of one init program (Act + 128 write bursts + Pre).
+    init_elapsed_ns: f64,
+    /// Energy of one init program.
+    init_energy_nj: f64,
+    /// Elapsed time per hammer activation (`max(t_AggOn, t_RAS) + t_RP`).
+    hammer_per_act_ns: f64,
+    /// Program-cache generation at which all three init keys were last
+    /// proven cached; `None` (or a stale generation) means the next
+    /// session must replay the init fetches in full.
+    primed_generation: Option<u64>,
+}
+
+impl BatchMeasurement {
+    /// The prepared device-side row profile.
+    pub fn profile(&self) -> &RowBatchProfile {
+        &self.profile
+    }
+
+    /// Measurement epoch the batch was prepared for.
+    pub fn epoch(&self) -> u64 {
+        self.profile.epoch()
+    }
+}
 
 /// A DRAM module under test, with timing, thermal control, and
 /// interference configuration.
@@ -243,11 +283,126 @@ impl TestPlatform {
         self.measurement_epoch
     }
 
+    /// Total measurement epochs begun on this platform.
+    pub fn measurement_epochs(&self) -> u64 {
+        self.measurement_epoch
+    }
+
     /// Enters keyed-dynamics mode on the device for one hammer session of
     /// the given measurement epoch (see
     /// [`DramDevice::begin_keyed_session`]).
     pub fn begin_keyed_session(&mut self, epoch: u64, session: u64) {
         self.device.begin_keyed_session(epoch, session);
+    }
+
+    /// Prepares one measurement epoch for batched hammer sessions (see
+    /// [`DramDevice::prepare_batch_epoch`]).
+    ///
+    /// On success the platform is left in keyed-dynamics mode for
+    /// `epoch` and the returned [`BatchMeasurement`] drives
+    /// [`run_batched_session`](Self::run_batched_session); callers end
+    /// the keyed session when the measurement completes, exactly as on
+    /// the scalar path. Returns `None` — leaving keyed mode untouched —
+    /// whenever the scalar command path must be used instead (refresh
+    /// interference enabled, or any device-side gate).
+    pub fn prepare_batch_epoch(
+        &mut self,
+        epoch: u64,
+        bank: usize,
+        victim: u32,
+        conditions: &TestConditions,
+    ) -> Option<BatchMeasurement> {
+        if self.refresh_enabled {
+            return None;
+        }
+        self.begin_keyed_session(epoch, 0);
+        let t_eff = conditions.t_agg_on_ns.max(self.timing.t_ras);
+        let Some(profile) =
+            self.device.prepare_batch_epoch(bank, victim, conditions.pattern, t_eff)
+        else {
+            self.end_keyed_session();
+            return None;
+        };
+        // Fold one init program's stats in execute()'s exact `f64` order:
+        // Act, first write burst, remaining bursts, Pre.
+        let mut init_elapsed_ns = 0.0;
+        init_elapsed_ns += self.timing.t_rcd;
+        init_elapsed_ns += self.timing.t_ccd_l_wr;
+        init_elapsed_ns += self.timing.t_ccd_l_wr * f64::from(BURSTS_PER_ROW - 1);
+        init_elapsed_ns += self.timing.t_rp;
+        let init_energy_nj =
+            1.0 * self.energy.act_pre_nj + f64::from(BURSTS_PER_ROW) * self.energy.write_nj;
+        let init_keys = [
+            ProgramKey::Init {
+                bank,
+                row: profile.victim(),
+                fill: profile.victim_fill(),
+                bursts: BURSTS_PER_ROW,
+            },
+            ProgramKey::Init {
+                bank,
+                row: profile.below(),
+                fill: profile.aggressor_fill(),
+                bursts: BURSTS_PER_ROW,
+            },
+            ProgramKey::Init {
+                bank,
+                row: profile.above(),
+                fill: profile.aggressor_fill(),
+                bursts: BURSTS_PER_ROW,
+            },
+        ];
+        Some(BatchMeasurement {
+            profile,
+            init_keys,
+            hammer_t_on_bits: conditions.t_agg_on_ns.to_bits(),
+            init_elapsed_ns,
+            init_energy_nj,
+            hammer_per_act_ns: t_eff + self.timing.t_rp,
+            primed_generation: None,
+        })
+    }
+
+    /// Runs one double-sided hammer session of a prepared batch epoch:
+    /// counters, program-cache traffic, time, and energy advance exactly
+    /// as the scalar init/hammer/read sequence would advance them, and
+    /// the device replays the session's end state in one lane-compare
+    /// pass. Returns whether the read observed any (post-ECC) bitflip.
+    pub fn run_batched_session(&mut self, batch: &mut BatchMeasurement, hammer_count: u32) -> bool {
+        self.note_hammer_session();
+        // The init programs never change within an epoch; once all three
+        // keys are proven cached (and no wholesale clear has happened
+        // since), the fetches collapse to a hit-counter bump.
+        if batch.primed_generation == Some(self.programs.generation()) {
+            self.programs.note_hits(3);
+        } else {
+            let generation = self.programs.generation();
+            for key in batch.init_keys {
+                self.programs.touch(key);
+            }
+            batch.primed_generation =
+                (self.programs.generation() == generation).then_some(generation);
+        }
+        for _ in 0..batch.init_keys.len() {
+            self.elapsed_ns += batch.init_elapsed_ns;
+            self.energy_nj += batch.init_energy_nj;
+        }
+        // The scalar path fetches the hammer program even for zero
+        // hammers (the program is an empty loop), so the cache counters
+        // only match if the batch path does too.
+        self.programs.touch(ProgramKey::Hammer {
+            bank: batch.profile.bank(),
+            aggr1: batch.profile.below(),
+            aggr2: batch.profile.above(),
+            count: hammer_count,
+            t_on_bits: batch.hammer_t_on_bits,
+        });
+        if hammer_count > 0 {
+            let per_side = f64::from(hammer_count) * batch.hammer_per_act_ns;
+            self.elapsed_ns += per_side + per_side;
+            self.energy_nj += (2 * u64::from(hammer_count)) as f64 * self.energy.act_pre_nj;
+        }
+        self.device.batch_hammer_session(&batch.profile, hammer_count)
     }
 
     /// Leaves keyed-dynamics mode (see [`DramDevice::end_keyed_session`]).

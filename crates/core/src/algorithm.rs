@@ -104,6 +104,88 @@ impl std::fmt::Display for SearchStrategy {
     }
 }
 
+/// How one RDT measurement evaluates the hammer sessions of its sweep.
+///
+/// Both strategies produce byte-identical results — the same flip
+/// outcomes, counters, simulated time/energy, and program-cache traffic —
+/// because batched evaluation replays exactly the state transitions of
+/// the scalar command sequence (see
+/// [`vrd_dram::batch`] and `tests/batch_equivalence.rs`):
+///
+/// - [`Scalar`](EvalStrategy::Scalar) executes every session as DRAM
+///   command programs, re-deriving each cell's per-epoch threshold on
+///   every probe.
+/// - [`Batch`](EvalStrategy::Batch) draws all of the epoch's per-bit
+///   thresholds once into struct-of-arrays lanes
+///   ([`vrd_dram::LaneThresholds`]) and reduces each probe to one
+///   branch-free `u64` lane-mask compare pass over the whole row.
+///
+/// Rows the batch engine cannot capture (refresh/TRR interference, edge
+/// victims, asymmetric mappings) silently fall back to the scalar path,
+/// so `Batch` is safe — and the default — everywhere.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EvalStrategy {
+    /// Per-session DRAM command execution.
+    Scalar,
+    /// Whole-row struct-of-arrays evaluation per epoch.
+    #[default]
+    Batch,
+}
+
+impl EvalStrategy {
+    fn name(self) -> &'static str {
+        match self {
+            EvalStrategy::Scalar => "Scalar",
+            EvalStrategy::Batch => "Batch",
+        }
+    }
+}
+
+impl Serialize for EvalStrategy {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_owned())
+    }
+}
+
+impl Deserialize for EvalStrategy {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => {
+                s.parse().map_err(|_| serde::Error(format!("unknown eval strategy `{s}`")))
+            }
+            other => {
+                Err(serde::Error(format!("expected eval strategy string, found {}", other.kind())))
+            }
+        }
+    }
+
+    /// Configs serialized before the strategy existed deserialize to the
+    /// default instead of erroring.
+    fn from_missing_field(_name: &str) -> Result<Self, serde::Error> {
+        Ok(EvalStrategy::default())
+    }
+}
+
+impl std::str::FromStr for EvalStrategy {
+    type Err = String;
+
+    /// Accepts the variant name, case-insensitively (`scalar` / `batch`),
+    /// as used by the `--eval` CLI flag.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Ok(EvalStrategy::Scalar),
+            "batch" => Ok(EvalStrategy::Batch),
+            other => Err(format!("unknown eval strategy `{other}` (expected `scalar` or `batch`)")),
+        }
+    }
+}
+
+impl std::fmt::Display for EvalStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Hammer-count sweep grid of one RDT measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SweepSpec {
@@ -199,7 +281,52 @@ pub fn measure_rdt_once_with(
     sweep: &SweepSpec,
     search: SearchStrategy,
 ) -> Option<u32> {
+    measure_rdt_once_using(
+        platform,
+        bank,
+        victim,
+        conditions,
+        sweep,
+        search,
+        EvalStrategy::default(),
+    )
+}
+
+/// One RDT measurement with explicit [`SearchStrategy`] and
+/// [`EvalStrategy`].
+///
+/// Under [`EvalStrategy::Batch`] the measurement first tries to capture
+/// the epoch as a [`vrd_dram::RowBatchProfile`] (one struct-of-arrays
+/// threshold draw for the whole row); each probe then costs one
+/// lane-compare pass instead of a full command-program session. When the
+/// row cannot be captured — or the sweep is empty, so no session would
+/// run at all — the measurement falls back to the scalar command path,
+/// byte-identically.
+pub fn measure_rdt_once_using(
+    platform: &mut TestPlatform,
+    bank: usize,
+    victim: u32,
+    conditions: &TestConditions,
+    sweep: &SweepSpec,
+    search: SearchStrategy,
+    eval: EvalStrategy,
+) -> Option<u32> {
     let epoch = platform.begin_measurement();
+    if eval == EvalStrategy::Batch && !sweep.is_empty() {
+        if let Some(mut batch) = platform.prepare_batch_epoch(epoch, bank, victim, conditions) {
+            let mut probe = |hc: u32| {
+                let session = u64::from((hc - sweep.min) / sweep.step);
+                platform.begin_keyed_session(epoch, session);
+                platform.run_batched_session(&mut batch, hc)
+            };
+            let first = match search {
+                SearchStrategy::Linear => sweep.grid().find(|&hc| probe(hc)),
+                SearchStrategy::Adaptive => sweep.search_grid(probe),
+            };
+            platform.end_keyed_session();
+            return first;
+        }
+    }
     let mut probe = |hc: u32| {
         let session = u64::from((hc - sweep.min) / sweep.step);
         platform.begin_keyed_session(epoch, session);
@@ -279,10 +406,35 @@ pub fn test_loop_with(
     sweep: &SweepSpec,
     search: SearchStrategy,
 ) -> RdtSeries {
+    test_loop_using(
+        platform,
+        bank,
+        victim,
+        conditions,
+        measurements,
+        sweep,
+        search,
+        EvalStrategy::default(),
+    )
+}
+
+/// Alg. 1's `test_loop` with explicit [`SearchStrategy`] and
+/// [`EvalStrategy`] (see [`measure_rdt_once_using`]).
+#[allow(clippy::too_many_arguments)]
+pub fn test_loop_using(
+    platform: &mut TestPlatform,
+    bank: usize,
+    victim: u32,
+    conditions: &TestConditions,
+    measurements: u32,
+    sweep: &SweepSpec,
+    search: SearchStrategy,
+    eval: EvalStrategy,
+) -> RdtSeries {
     let mut values = Vec::with_capacity(measurements as usize);
     let mut censored = 0u32;
     for _ in 0..measurements {
-        match measure_rdt_once_with(platform, bank, victim, conditions, sweep, search) {
+        match measure_rdt_once_using(platform, bank, victim, conditions, sweep, search, eval) {
             Some(rdt) => values.push(rdt),
             None => censored += 1,
         }
@@ -439,5 +591,70 @@ mod tests {
         let adaptive = run(SearchStrategy::Adaptive);
         assert_eq!(linear, adaptive);
         assert_eq!(adaptive.censored(), 10);
+    }
+
+    #[test]
+    fn eval_strategy_parses_and_roundtrips() {
+        use serde::{Deserialize as _, Serialize as _};
+        assert_eq!("scalar".parse::<EvalStrategy>().unwrap(), EvalStrategy::Scalar);
+        assert_eq!("Batch".parse::<EvalStrategy>().unwrap(), EvalStrategy::Batch);
+        assert!("vector".parse::<EvalStrategy>().is_err());
+        for e in [EvalStrategy::Scalar, EvalStrategy::Batch] {
+            assert_eq!(EvalStrategy::from_value(&e.to_value()).unwrap(), e);
+            assert_eq!(e.to_string().parse::<EvalStrategy>().unwrap(), e);
+        }
+        // Configs from before the field existed keep deserializing.
+        assert_eq!(EvalStrategy::from_missing_field("eval").unwrap(), EvalStrategy::default());
+    }
+
+    #[test]
+    fn scalar_and_batch_measure_identical_series() {
+        let conditions = TestConditions::foundational();
+        let measure = |eval| {
+            let mut platform = TestPlatform::small_test(9);
+            let (row, guess) =
+                find_victim(&mut platform, 0, &conditions, FIND_VICTIM_CUTOFF, 2..2000).unwrap();
+            let sweep = SweepSpec::from_guess(guess);
+            let series = test_loop_using(
+                &mut platform,
+                0,
+                row,
+                &conditions,
+                40,
+                &sweep,
+                SearchStrategy::Adaptive,
+                eval,
+            );
+            (series, platform.hammer_sessions(), platform.elapsed_ns(), platform.energy_j())
+        };
+        let scalar = measure(EvalStrategy::Scalar);
+        let batch = measure(EvalStrategy::Batch);
+        assert_eq!(scalar.0, batch.0, "strategies must measure identical RDT series");
+        assert_eq!(scalar.1, batch.1, "hammer-session counters must match");
+        assert_eq!(scalar.2.to_bits(), batch.2.to_bits(), "simulated time must match bitwise");
+        assert_eq!(scalar.3.to_bits(), batch.3.to_bits(), "simulated energy must match bitwise");
+    }
+
+    #[test]
+    fn batch_falls_back_when_refresh_is_enabled() {
+        // With refresh (and thus TRR) on, the batch engine must decline
+        // and the scalar fallback must still measure.
+        let conditions = TestConditions::foundational();
+        let mut platform = TestPlatform::small_test(9);
+        let (row, guess) =
+            find_victim(&mut platform, 0, &conditions, FIND_VICTIM_CUTOFF, 2..2000).unwrap();
+        platform.set_refresh_enabled(true);
+        let sweep = SweepSpec::from_guess(guess);
+        let batch = test_loop_using(
+            &mut platform,
+            0,
+            row,
+            &conditions,
+            5,
+            &sweep,
+            SearchStrategy::Adaptive,
+            EvalStrategy::Batch,
+        );
+        assert_eq!(batch.len() + batch.censored() as usize, 5);
     }
 }

@@ -16,8 +16,8 @@
 //!   campaign output is bit-identical at any thread count. A
 //!   [`RunOptions`] value selects the capabilities — progress counters,
 //!   event observers, checkpointing, cancellation — that used to be the
-//!   `run_X_campaign{,_observed,_checkpointed}` triad (still present as
-//!   deprecated wrappers).
+//!   `run_X_campaign{,_observed,_checkpointed}` triad (removed after a
+//!   deprecation cycle).
 
 use std::time::Instant;
 
@@ -29,9 +29,10 @@ use vrd_dram::spec::ModuleSpec;
 use vrd_dram::TestConditions;
 
 use crate::algorithm::{
-    find_victim, test_loop, test_loop_with, SearchStrategy, SweepSpec, FIND_VICTIM_CUTOFF,
+    find_victim, test_loop, test_loop_using, EvalStrategy, SearchStrategy, SweepSpec,
+    FIND_VICTIM_CUTOFF,
 };
-use crate::checkpoint::{Checkpoint, CheckpointError, UnitHooks};
+use crate::checkpoint::CheckpointError;
 use crate::exec::{ExecConfig, ExecReport, Progress, Unit, UnitCtx, UnitKey};
 use crate::obs::{CampaignSummary, Event};
 use crate::run::{run_units, RunOptions};
@@ -192,9 +193,10 @@ pub fn foundational_campaign(
     opts: &RunOptions<'_>,
 ) -> Result<Vec<Option<FoundationalResult>>, CheckpointError> {
     let search = opts.exec().search;
+    let eval = opts.exec().eval;
     run_campaign_phases(opts, FOUNDATIONAL, |opts| {
         run_units(opts, FOUNDATIONAL, "measure", foundational_units(specs), |ctx, spec| {
-            foundational_unit(spec, cfg, search, &ctx)
+            foundational_unit(spec, cfg, search, eval, &ctx)
         })
         .map(ExecReport::into_results)
     })
@@ -235,53 +237,6 @@ fn run_campaign_phases<T>(
     Ok(result)
 }
 
-/// Deprecated triad wrapper: a plain run of [`foundational_campaign`].
-#[deprecated(note = "use `foundational_campaign` with `RunOptions::new(exec_cfg)`")]
-pub fn run_foundational_campaign(
-    specs: &[ModuleSpec],
-    cfg: &FoundationalConfig,
-    exec_cfg: &ExecConfig,
-) -> Vec<Option<FoundationalResult>> {
-    foundational_campaign(specs, cfg, &RunOptions::new(*exec_cfg))
-        .expect("plain campaign run cannot fail")
-}
-
-/// Deprecated triad wrapper: [`foundational_campaign`] with shared
-/// progress counters.
-#[deprecated(note = "use `foundational_campaign` with `RunOptions::new(exec_cfg).progress(p)`")]
-pub fn run_foundational_campaign_observed(
-    specs: &[ModuleSpec],
-    cfg: &FoundationalConfig,
-    exec_cfg: &ExecConfig,
-    progress: &Progress,
-) -> Vec<Option<FoundationalResult>> {
-    foundational_campaign(specs, cfg, &RunOptions::new(*exec_cfg).progress(progress))
-        .expect("observed campaign run cannot fail")
-}
-
-/// Deprecated triad wrapper: [`foundational_campaign`] with progress,
-/// checkpoint, and hooks.
-///
-/// # Errors
-///
-/// See [`foundational_campaign`].
-#[deprecated(note = "use `foundational_campaign` with \
-                     `RunOptions::new(exec_cfg).progress(p).checkpoint(c).hooks(h)`")]
-pub fn run_foundational_campaign_checkpointed(
-    specs: &[ModuleSpec],
-    cfg: &FoundationalConfig,
-    exec_cfg: &ExecConfig,
-    progress: &Progress,
-    ckpt: &Checkpoint,
-    hooks: Option<&dyn UnitHooks>,
-) -> Result<Vec<Option<FoundationalResult>>, CheckpointError> {
-    let mut opts = RunOptions::new(*exec_cfg).progress(progress).checkpoint(ckpt);
-    if let Some(h) = hooks {
-        opts = opts.hooks(h);
-    }
-    foundational_campaign(specs, cfg, &opts)
-}
-
 /// One unit per module, keyed by module name.
 fn foundational_units(specs: &[ModuleSpec]) -> Vec<Unit<ModuleSpec>> {
     specs.iter().map(|s| Unit::new(UnitKey::module(&s.name), s.clone())).collect()
@@ -293,6 +248,7 @@ fn foundational_unit(
     spec: &ModuleSpec,
     cfg: &FoundationalConfig,
     search: SearchStrategy,
+    eval: EvalStrategy,
     ctx: &UnitCtx<'_>,
 ) -> Option<FoundationalResult> {
     let mut platform =
@@ -302,10 +258,19 @@ fn foundational_unit(
     let (row, guess) =
         find_victim(&mut platform, 0, &cfg.conditions, FIND_VICTIM_CUTOFF, 2..cfg.scan_rows)?;
     let sweep = SweepSpec::from_guess(guess);
-    let series =
-        test_loop_with(&mut platform, 0, row, &cfg.conditions, cfg.measurements, &sweep, search);
+    let series = test_loop_using(
+        &mut platform,
+        0,
+        row,
+        &cfg.conditions,
+        cfg.measurements,
+        &sweep,
+        search,
+        eval,
+    );
     ctx.record_flips(series.len() as u64);
     ctx.record_hammer_sessions(platform.hammer_sessions());
+    ctx.record_measurement_epochs(platform.measurement_epochs());
     ctx.record_sim_time_ns(platform.elapsed_ns());
     ctx.record_sim_energy_j(platform.energy_j());
     Some(FoundationalResult {
@@ -558,6 +523,7 @@ pub fn in_depth_campaign(
     opts: &RunOptions<'_>,
 ) -> Result<Vec<InDepthResult>, CheckpointError> {
     let search = opts.exec().search;
+    let eval = opts.exec().eval;
     run_campaign_phases(opts, IN_DEPTH, |opts| {
         // Phase 1: per-module row selection.
         let selections: Vec<Vec<(u32, u32)>> =
@@ -571,59 +537,12 @@ pub fn in_depth_campaign(
         let units = cell_units(specs, cfg, &selections);
         let cells: Vec<Option<ConditionSeries>> =
             run_units(opts, IN_DEPTH, "measure", units, |ctx, &(module_idx, row, conditions)| {
-                measure_cell(&specs[module_idx], cfg, row, &conditions, search, &ctx)
+                measure_cell(&specs[module_idx], cfg, row, &conditions, search, eval, &ctx)
             })?
             .into_results();
 
         Ok(merge_in_depth(specs, selections, cells, cfg.conditions.len()))
     })
-}
-
-/// Deprecated triad wrapper: a plain run of [`in_depth_campaign`].
-#[deprecated(note = "use `in_depth_campaign` with `RunOptions::new(exec_cfg)`")]
-pub fn run_in_depth_campaign(
-    specs: &[ModuleSpec],
-    cfg: &InDepthConfig,
-    exec_cfg: &ExecConfig,
-) -> Vec<InDepthResult> {
-    in_depth_campaign(specs, cfg, &RunOptions::new(*exec_cfg))
-        .expect("plain campaign run cannot fail")
-}
-
-/// Deprecated triad wrapper: [`in_depth_campaign`] with shared progress
-/// counters.
-#[deprecated(note = "use `in_depth_campaign` with `RunOptions::new(exec_cfg).progress(p)`")]
-pub fn run_in_depth_campaign_observed(
-    specs: &[ModuleSpec],
-    cfg: &InDepthConfig,
-    exec_cfg: &ExecConfig,
-    progress: &Progress,
-) -> Vec<InDepthResult> {
-    in_depth_campaign(specs, cfg, &RunOptions::new(*exec_cfg).progress(progress))
-        .expect("observed campaign run cannot fail")
-}
-
-/// Deprecated triad wrapper: [`in_depth_campaign`] with progress,
-/// checkpoint, and hooks.
-///
-/// # Errors
-///
-/// See [`in_depth_campaign`].
-#[deprecated(note = "use `in_depth_campaign` with \
-                     `RunOptions::new(exec_cfg).progress(p).checkpoint(c).hooks(h)`")]
-pub fn run_in_depth_campaign_checkpointed(
-    specs: &[ModuleSpec],
-    cfg: &InDepthConfig,
-    exec_cfg: &ExecConfig,
-    progress: &Progress,
-    ckpt: &Checkpoint,
-    hooks: Option<&dyn UnitHooks>,
-) -> Result<Vec<InDepthResult>, CheckpointError> {
-    let mut opts = RunOptions::new(*exec_cfg).progress(progress).checkpoint(ckpt);
-    if let Some(h) = hooks {
-        opts = opts.hooks(h);
-    }
-    in_depth_campaign(specs, cfg, &opts)
 }
 
 /// Phase-1 units: one per module, keyed by module name.
@@ -707,6 +626,7 @@ fn measure_cell(
     row: u32,
     conditions: &TestConditions,
     search: SearchStrategy,
+    eval: EvalStrategy,
     ctx: &UnitCtx<'_>,
 ) -> Option<ConditionSeries> {
     let mut platform =
@@ -718,9 +638,10 @@ fn measure_cell(
     let guess = guess_rdt(&mut platform, 0, row, conditions, FIND_VICTIM_CUTOFF * 8)?;
     let sweep = SweepSpec::from_guess(guess);
     let series =
-        test_loop_with(&mut platform, 0, row, conditions, cfg.measurements, &sweep, search);
+        test_loop_using(&mut platform, 0, row, conditions, cfg.measurements, &sweep, search, eval);
     ctx.record_flips(series.len() as u64);
     ctx.record_hammer_sessions(platform.hammer_sessions());
+    ctx.record_measurement_epochs(platform.measurement_epochs());
     ctx.record_sim_time_ns(platform.elapsed_ns());
     ctx.record_sim_energy_j(platform.energy_j());
     if series.is_empty() {
@@ -879,17 +800,31 @@ mod tests {
         assert!(summary.sim_energy_j > 0.0);
     }
 
-    /// The deprecated triad must stay behaviorally identical to the
-    /// unified entry points for one release.
+    /// Satellite regression for the batch engine: the scalar and batch
+    /// evaluation strategies must report identical results *and*
+    /// identical progress counters — hammer sessions and measurement
+    /// epochs included.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_triad_wrappers_match_unified_entry_points() {
+    fn eval_strategies_report_identical_progress_snapshots() {
         let specs = vec![ModuleSpec::by_name("M1").unwrap()];
         let cfg = quick_foundational();
-        let exec_cfg = ExecConfig::serial(cfg.seed);
-        let unified = foundational_campaign(&specs, &cfg, &RunOptions::new(exec_cfg)).unwrap();
-        assert_eq!(run_foundational_campaign(&specs, &cfg, &exec_cfg), unified);
-        let progress = Progress::new();
-        assert_eq!(run_foundational_campaign_observed(&specs, &cfg, &exec_cfg, &progress), unified);
+        let run = |eval| {
+            let exec_cfg = ExecConfig::serial(cfg.seed).to_builder().eval(eval).build();
+            let progress = Progress::new();
+            let results =
+                foundational_campaign(&specs, &cfg, &RunOptions::new(exec_cfg).progress(&progress))
+                    .unwrap();
+            (results, progress.snapshot())
+        };
+        let (scalar_results, scalar_snap) = run(EvalStrategy::Scalar);
+        let (batch_results, batch_snap) = run(EvalStrategy::Batch);
+        assert_eq!(scalar_results, batch_results, "campaign output must not depend on eval");
+        assert_eq!(scalar_snap, batch_snap, "progress counters must not depend on eval");
+        assert_eq!(
+            batch_snap.measurement_epochs,
+            u64::from(cfg.measurements),
+            "one epoch per RDT measurement"
+        );
+        assert!(batch_snap.hammer_sessions > 0);
     }
 }

@@ -52,7 +52,7 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use crate::algorithm::SearchStrategy;
+use crate::algorithm::{EvalStrategy, SearchStrategy};
 use crate::obs::{Event, NullObserver, Observer, OutcomeKind};
 
 #[cfg(feature = "fault-injection")]
@@ -78,18 +78,34 @@ pub struct ExecConfig {
     /// default — spends O(log grid) hammer sessions per measurement
     /// instead of O(grid).
     pub search: SearchStrategy,
+    /// How RDT measurements evaluate the hammer sessions they probe.
+    /// Both strategies produce byte-identical campaign results (see
+    /// [`EvalStrategy`]); [`Batch`](EvalStrategy::Batch) — the default —
+    /// evaluates a whole row per measurement epoch in one
+    /// struct-of-arrays pass instead of per-session command programs.
+    pub eval: EvalStrategy,
 }
 
 impl ExecConfig {
     /// A parallel configuration with the given thread count.
     pub fn new(threads: usize, campaign_seed: u64) -> Self {
-        ExecConfig { threads, campaign_seed, search: SearchStrategy::default() }
+        ExecConfig {
+            threads,
+            campaign_seed,
+            search: SearchStrategy::default(),
+            eval: EvalStrategy::default(),
+        }
     }
 
     /// A single-threaded configuration (the reference ordering; parallel
     /// runs must match it byte for byte).
     pub fn serial(campaign_seed: u64) -> Self {
-        ExecConfig { threads: 1, campaign_seed, search: SearchStrategy::default() }
+        ExecConfig {
+            threads: 1,
+            campaign_seed,
+            search: SearchStrategy::default(),
+            eval: EvalStrategy::default(),
+        }
     }
 
     /// A builder seeded with the defaults (all cores, campaign seed 0).
@@ -135,6 +151,12 @@ impl ExecConfigBuilder {
     /// Sets the RDT search strategy.
     pub fn search(mut self, search: SearchStrategy) -> Self {
         self.cfg.search = search;
+        self
+    }
+
+    /// Sets the hammer-session evaluation strategy.
+    pub fn eval(mut self, eval: EvalStrategy) -> Self {
+        self.cfg.eval = eval;
         self
     }
 
@@ -218,6 +240,7 @@ pub struct Progress {
     panicked: AtomicUsize,
     flips: AtomicU64,
     hammer_sessions: AtomicU64,
+    measurement_epochs: AtomicU64,
     sim_time_ns: AtomicU64,
     sim_energy_pj: AtomicU64,
 }
@@ -236,6 +259,7 @@ impl Progress {
             units_panicked: self.panicked.load(Ordering::Relaxed),
             flips_found: self.flips.load(Ordering::Relaxed),
             hammer_sessions: self.hammer_sessions.load(Ordering::Relaxed),
+            measurement_epochs: self.measurement_epochs.load(Ordering::Relaxed),
             sim_time_ns: self.sim_time_ns.load(Ordering::Relaxed) as f64,
             sim_energy_j: self.sim_energy_pj.load(Ordering::Relaxed) as f64 * 1e-12,
         }
@@ -254,6 +278,10 @@ impl Progress {
 
     fn record_hammer_sessions(&self, n: u64) {
         self.hammer_sessions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn record_measurement_epochs(&self, n: u64) {
+        self.measurement_epochs.fetch_add(n, Ordering::Relaxed);
     }
 
     fn record_sim_time_ns(&self, ns: f64) {
@@ -290,6 +318,10 @@ pub struct ProgressSnapshot {
     /// Hammer sessions (init + hammer + read) executed so far — the unit
     /// of work the RDT search strategy minimizes.
     pub hammer_sessions: u64,
+    /// RDT measurement epochs opened so far. Search and eval strategies
+    /// may change how many *sessions* an epoch costs, never how many
+    /// epochs a campaign opens — the regression tests pin this.
+    pub measurement_epochs: u64,
     /// Simulated DRAM test time consumed so far (ns).
     pub sim_time_ns: f64,
     /// Estimated DRAM test energy consumed so far (J), per the bender
@@ -337,6 +369,12 @@ impl UnitCtx<'_> {
     pub fn record_hammer_sessions(&self, n: u64) {
         self.progress.record_hammer_sessions(n);
         self.tally.hammer_sessions.set(self.tally.hammer_sessions.get() + n);
+    }
+
+    /// Reports measurement epochs opened (read from
+    /// [`vrd_bender::TestPlatform::measurement_epochs`] deltas).
+    pub fn record_measurement_epochs(&self, n: u64) {
+        self.progress.record_measurement_epochs(n);
     }
 
     /// Reports simulated test time consumed (ns).

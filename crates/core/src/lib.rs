@@ -69,5 +69,8 @@ pub mod profile;
 pub mod run;
 pub mod series;
 
-pub use algorithm::{find_victim, test_loop, test_loop_with, SearchStrategy, SweepSpec};
+pub use algorithm::{
+    find_victim, test_loop, test_loop_using, test_loop_with, EvalStrategy, SearchStrategy,
+    SweepSpec,
+};
 pub use series::RdtSeries;

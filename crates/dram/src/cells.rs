@@ -22,6 +22,7 @@ impl CellPolarity {
     ///
     /// Read disturbance predominantly discharges charged cells, so only
     /// charged cells flip at full coupling strength.
+    #[inline]
     pub fn is_charged(self, bit: bool) -> bool {
         match self {
             CellPolarity::True => bit,

@@ -27,9 +27,11 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::batch::{LaneThresholds, RowBatchProfile};
 use crate::cells::CellLayout;
 use crate::conditions::{TestConditions, T_AGG_ON_MIN_TRAS_NS};
 use crate::error::DramError;
+use crate::hashing::FxHashMap;
 use crate::keyed::KeyedRng;
 use crate::mapping::RowMapping;
 use crate::pattern::DataPattern;
@@ -150,7 +152,7 @@ struct RowState {
 #[derive(Debug)]
 struct Bank {
     open_row: Option<u32>,
-    rows: HashMap<u32, RowState>,
+    rows: FxHashMap<u32, RowState>,
     refresh_ptr: u32,
     /// Recently activated rows (ring buffer) for TRR emulation.
     recent_activations: Vec<u32>,
@@ -160,7 +162,7 @@ impl Bank {
     fn new() -> Self {
         Bank {
             open_row: None,
-            rows: HashMap::new(),
+            rows: FxHashMap::default(),
             refresh_ptr: 0,
             recent_activations: Vec::new(),
         }
@@ -775,30 +777,9 @@ impl DramDevice {
         let conditions = self.infer_conditions(bank, row);
         let keyed = self.keyed_session;
         let dynamics_seed = self.dynamics_seed;
-        let state = self.banks[bank].rows.get_mut(&row).expect("checked");
         if let Some(session) = keyed {
-            // Catch up trap evolution for every epoch since this row's
-            // last keyed restoration, one compound step per epoch. The
-            // draws are keyed by epoch, so it does not matter which
-            // session (or which search strategy) triggers the catch-up.
-            if state.trap_epoch < session.epoch && !state.cells.is_empty() {
-                for epoch in state.trap_epoch + 1..=session.epoch {
-                    for cell in &mut state.cells {
-                        for (trap_idx, trap) in cell.traps.iter_mut().enumerate() {
-                            let mut rng = KeyedRng::for_trap(
-                                dynamics_seed,
-                                epoch,
-                                bank as u64,
-                                row,
-                                cell.bit,
-                                trap_idx as u64,
-                            );
-                            step_trap_n(trap, &mut rng, temperature, TRAP_STEPS_PER_MEASUREMENT);
-                        }
-                    }
-                }
-                state.trap_epoch = session.epoch;
-            }
+            self.catch_up_traps(bank, row, session.epoch);
+            let state = self.banks[bank].rows.get_mut(&row).expect("checked");
             if !state.disturb.is_clean() {
                 let hammers = state.disturb.effective_hammers();
                 for cell in &state.cells {
@@ -820,6 +801,7 @@ impl DramDevice {
             }
             return;
         }
+        let state = self.banks[bank].rows.get_mut(&row).expect("checked");
         if !state.disturb.is_clean() {
             let hammers = state.disturb.effective_hammers();
             for cell in &state.cells {
@@ -868,6 +850,229 @@ impl DramDevice {
             .or_else(|| victim_fill.map(nearest_pattern))
             .unwrap_or(DataPattern::Checkered0);
         TestConditions { pattern, t_agg_on_ns: t_on, temperature_c: self.temperature_c }
+    }
+
+    /// Catches up trap evolution of `row` to `epoch` under keyed
+    /// dynamics: one compound step per elapsed epoch, keyed by epoch, so
+    /// it does not matter which session (or which search strategy, or
+    /// the batch engine) triggers the catch-up.
+    fn catch_up_traps(&mut self, bank: usize, row: u32, epoch: u64) {
+        let temperature = self.temperature_c;
+        let dynamics_seed = self.dynamics_seed;
+        let Some(state) = self.banks[bank].rows.get_mut(&row) else {
+            return;
+        };
+        if state.trap_epoch >= epoch || state.cells.is_empty() {
+            return;
+        }
+        for e in state.trap_epoch + 1..=epoch {
+            for cell in &mut state.cells {
+                for (trap_idx, trap) in cell.traps.iter_mut().enumerate() {
+                    let mut rng = KeyedRng::for_trap(
+                        dynamics_seed,
+                        e,
+                        bank as u64,
+                        row,
+                        cell.bit,
+                        trap_idx as u64,
+                    );
+                    step_trap_n(trap, &mut rng, temperature, TRAP_STEPS_PER_MEASUREMENT);
+                }
+            }
+        }
+        state.trap_epoch = epoch;
+    }
+
+    /// Prepares one `(epoch, bank, victim)` for batched double-sided
+    /// hammer sessions: materializes the rows a session touches, catches
+    /// their traps up to the current keyed epoch, and draws every weak
+    /// cell's per-epoch threshold once into dense lanes.
+    ///
+    /// `hammer_t_on_ns` is the aggressor on-time of hammered probes as
+    /// the memory controller applies it (already clamped to `t_RAS`).
+    ///
+    /// Returns `None` — leaving the device in a state the scalar path
+    /// reproduces exactly — whenever the scalar path could diverge from
+    /// the batch replay: no keyed session, invalid address, TRR
+    /// emulation, an edge victim without two distinct aggressors, an
+    /// asymmetric mapping, or a row whose weak cells share a bit
+    /// position (their flip evaluation is order-dependent).
+    pub fn prepare_batch_epoch(
+        &mut self,
+        bank: usize,
+        victim: u32,
+        pattern: DataPattern,
+        hammer_t_on_ns: f64,
+    ) -> Option<RowBatchProfile> {
+        let session = self.keyed_session?;
+        self.check_addr(bank, victim).ok()?;
+        if self.trr_enabled {
+            return None;
+        }
+        let rows = self.config.rows_per_bank;
+        let (below, above) = self.config.mapping.neighbors_of(victim, rows);
+        let (below, above) = match (below, above) {
+            (Some(b), Some(a)) => (b, a),
+            // Edge victims hammer a single aggressor twice; keep them
+            // on the scalar path.
+            _ => return None,
+        };
+        let (outer_below, below_up) = self.config.mapping.neighbors_of(below, rows);
+        let (above_down, outer_above) = self.config.mapping.neighbors_of(above, rows);
+        if below_up != Some(victim) || above_down != Some(victim) {
+            return None;
+        }
+
+        let epoch = session.epoch;
+        for row in [victim, below, above] {
+            self.ensure_row(bank, row);
+            self.catch_up_traps(bank, row, epoch);
+        }
+
+        let victim_fill = pattern.victim_byte();
+        let aggressor_fill = pattern.aggressor_byte();
+        let hammer_t_on = T_AGG_ON_MIN_TRAS_NS.max(hammer_t_on_ns);
+        // The conditions the read restore will infer from the rows the
+        // session has just written.
+        let inferred = classify_pattern(Some(victim_fill), Some(aggressor_fill))
+            .or_else(|| Some(nearest_pattern(victim_fill)))
+            .unwrap_or(DataPattern::Checkered0);
+        let cond_hammer = TestConditions {
+            pattern: inferred,
+            t_agg_on_ns: hammer_t_on,
+            temperature_c: self.temperature_c,
+        };
+        let cond_idle = TestConditions { t_agg_on_ns: T_AGG_ON_MIN_TRAS_NS, ..cond_hammer };
+
+        let state = self.banks[bank].rows.get(&victim).expect("ensured");
+        let bits: Vec<u32> = state.cells.iter().map(|c| c.bit).collect();
+        let mut sorted = bits.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return None;
+        }
+        let dynamics_seed = self.dynamics_seed;
+        let sample_set = |cond: &TestConditions| {
+            let mut thresholds = Vec::with_capacity(state.cells.len());
+            for cell in &state.cells {
+                let stored = (victim_fill >> (cell.bit % 8)) & 1 == 1;
+                let mut rng =
+                    KeyedRng::for_threshold(dynamics_seed, epoch, bank as u64, victim, cell.bit);
+                thresholds.push(cell.sample_threshold(&mut rng, cond, stored));
+            }
+            LaneThresholds::new(bits.clone(), thresholds)
+        };
+        let hammer = sample_set(&cond_hammer);
+        let idle =
+            (cond_idle.t_agg_on_ns != cond_hammer.t_agg_on_ns).then(|| sample_set(&cond_idle));
+
+        Some(RowBatchProfile {
+            epoch,
+            bank,
+            victim,
+            below,
+            above,
+            outer_below,
+            outer_above,
+            victim_fill,
+            aggressor_fill,
+            hammer_t_on_ns,
+            hammer,
+            idle,
+        })
+    }
+
+    /// Replays one double-sided hammer session against a prepared
+    /// [`RowBatchProfile`], byte-identical in device state to the scalar
+    /// init/hammer/read command sequence, and returns whether the read
+    /// would have observed any (post-ECC) bitflip.
+    ///
+    /// Per-cell work collapses to one branch-free lane-compare pass over
+    /// the profile's precomputed thresholds; everything else is counter
+    /// and end-state bookkeeping.
+    pub fn batch_hammer_session(&mut self, profile: &RowBatchProfile, hammer_count: u32) -> bool {
+        debug_assert_eq!(
+            self.keyed_session.map(|s| s.epoch),
+            Some(profile.epoch),
+            "batch sessions must run inside the profile's keyed epoch"
+        );
+        let hc = hammer_count;
+        // Init activates victim and both aggressors once; the hammer
+        // activates each aggressor `hc` times; the read activates the
+        // victim once more.
+        self.total_activations += 4 + 2 * u64::from(hc);
+
+        // Both victim neighbors accumulate one init activation plus the
+        // hammer count, so the read restore sees a balanced disturbance.
+        let effective = 1.0 + f64::from(hc);
+        let lanes = if hc == 0 {
+            profile.idle.as_ref().unwrap_or(&profile.hammer)
+        } else {
+            &profile.hammer
+        };
+        let ecc = self.on_die_ecc_enabled;
+
+        // Victim end state: freshly written fill, materialized flips,
+        // disturbance consumed by the read restore. The victim's flip
+        // buffer is reused across sessions, keeping the probe
+        // allocation-free once its capacity settles.
+        let state = self.banks[profile.bank].rows.get_mut(&profile.victim).expect("prepared");
+        state.data = RowData::Uniform(profile.victim_fill);
+        state.disturb = DisturbState::default();
+        state.flipped.clear();
+        lanes.flips_into(effective, &mut state.flipped);
+        let flipped = if ecc {
+            !visible_flips(&state.flipped, true).is_empty()
+        } else {
+            !state.flipped.is_empty()
+        };
+
+        // Aggressor end state: written fill, cleared flips, and exactly
+        // one pending disturbance from the final read of the victim —
+        // folded inline so each row is hashed once per session.
+        for (row, from_below) in [(profile.below, false), (profile.above, true)] {
+            let state = self.banks[profile.bank].rows.get_mut(&row).expect("prepared");
+            state.data = RowData::Uniform(profile.aggressor_fill);
+            state.flipped.clear();
+            state.disturb = DisturbState::default();
+            if !state.cells.is_empty() {
+                if from_below {
+                    state.disturb.below += 1.0;
+                } else {
+                    state.disturb.above += 1.0;
+                }
+                state.disturb.t_on_ns = state.disturb.t_on_ns.max(T_AGG_ON_MIN_TRAS_NS);
+            }
+        }
+        // Outer rows are disturbed by the aggressors' init and hammer
+        // activations and never restored within the session; the two
+        // accumulations must stay separate f64 additions, in the scalar
+        // path's order (init read at minimum on-time, then the hammer).
+        for (outer, from_below) in [(profile.outer_below, false), (profile.outer_above, true)] {
+            if let Some(row) = outer {
+                self.ensure_row(profile.bank, row);
+                let state = self.banks[profile.bank].rows.get_mut(&row).expect("ensured");
+                if state.cells.is_empty() {
+                    continue;
+                }
+                if from_below {
+                    state.disturb.below += 1.0;
+                } else {
+                    state.disturb.above += 1.0;
+                }
+                state.disturb.t_on_ns = state.disturb.t_on_ns.max(T_AGG_ON_MIN_TRAS_NS);
+                if hc > 0 {
+                    if from_below {
+                        state.disturb.below += f64::from(hc);
+                    } else {
+                        state.disturb.above += f64::from(hc);
+                    }
+                    state.disturb.t_on_ns = state.disturb.t_on_ns.max(profile.hammer_t_on_ns);
+                }
+            }
+        }
+        self.banks[profile.bank].open_row = None;
+        flipped
     }
 }
 

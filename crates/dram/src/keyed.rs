@@ -55,6 +55,7 @@ impl KeyedRng {
     /// Builds a stream from explicit key parts. Order matters; callers
     /// should lead with a domain tag so different draw sites with equal
     /// numeric keys cannot collide.
+    #[inline]
     pub fn from_key(parts: &[u64]) -> Self {
         let mut state = 0x9E37_79B9_7F4A_7C15u64;
         for &part in parts {
@@ -67,6 +68,7 @@ impl KeyedRng {
     /// `epoch`. Deliberately *not* keyed by session index: a single
     /// threshold per measurement keeps the flip predicate monotone in
     /// hammer count (see the module docs).
+    #[inline]
     pub fn for_threshold(dynamics_seed: u64, epoch: u64, bank: u64, row: u32, bit: u32) -> Self {
         KeyedRng::from_key(&[
             TAG_THRESHOLD,
@@ -80,6 +82,7 @@ impl KeyedRng {
 
     /// The stream for one trap's compound Markov catch-up step covering
     /// measurement `epoch`.
+    #[inline]
     pub fn for_trap(
         dynamics_seed: u64,
         epoch: u64,
@@ -101,10 +104,12 @@ impl KeyedRng {
 }
 
 impl RngCore for KeyedRng {
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
 
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         mix64(self.state)

@@ -38,11 +38,13 @@
 //! ```
 
 pub mod access;
+pub mod batch;
 pub mod cells;
 pub mod conditions;
 pub mod device;
 pub mod error;
 pub mod fleet;
+pub mod hashing;
 pub mod keyed;
 pub mod mapping;
 pub mod pattern;
@@ -51,6 +53,7 @@ pub mod spatial;
 pub mod spec;
 pub mod vrd;
 
+pub use batch::{LaneThresholds, RowBatchProfile};
 pub use cells::CellPolarity;
 pub use conditions::TestConditions;
 pub use device::{Bitflip, DeviceConfig, DramDevice};

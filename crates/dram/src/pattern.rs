@@ -34,6 +34,7 @@ impl DataPattern {
     ];
 
     /// The byte written to every byte of the victim row.
+    #[inline]
     pub fn victim_byte(self) -> u8 {
         match self {
             DataPattern::Rowstripe0 => 0x00,
@@ -54,6 +55,7 @@ impl DataPattern {
     }
 
     /// Dense index in `0..4`, for parameter tables indexed by pattern.
+    #[inline]
     pub fn index(self) -> usize {
         match self {
             DataPattern::Rowstripe0 => 0,

@@ -81,6 +81,7 @@ impl Trap {
     }
 
     /// The threshold multiplier contributed by this trap right now.
+    #[inline]
     pub fn multiplier(&self) -> f64 {
         if self.occupied {
             1.0 - self.assist
@@ -134,6 +135,7 @@ impl WeakCell {
     /// `conditions`, given the bit value currently stored in the cell.
     ///
     /// Returns the hammer count at which this cell flips; always positive.
+    #[inline]
     pub fn effective_threshold(&self, conditions: &TestConditions, stored_bit: bool) -> f64 {
         let mut t = self.base_threshold;
         t *= self.pattern_sense[conditions.pattern.index()];
@@ -163,6 +165,7 @@ impl WeakCell {
     /// Samples the threshold for one hammer session: the deterministic
     /// [`effective_threshold`](Self::effective_threshold) scaled by the
     /// per-session lognormal jitter.
+    #[inline]
     pub fn sample_threshold<R: Rng + ?Sized>(
         &self,
         rng: &mut R,

@@ -22,6 +22,10 @@
 //!                         O(log grid) hammer sessions per measurement)
 //!                         or linear (Alg. 1 as written); results are
 //!                         identical either way
+//!   --eval E              hammer-session evaluation: batch (default;
+//!                         whole-row struct-of-arrays pass per epoch)
+//!                         or scalar (per-session command programs);
+//!                         results are identical either way
 //!   --shard I/N           run only the I-th of N round-robin roster
 //!                         shards (for spreading a campaign across
 //!                         processes; per-module results are unchanged)
@@ -197,6 +201,9 @@ fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
             }
             "--search" => {
                 opts.search = need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--eval" => {
+                opts.eval = need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
             }
             "--shard" => {
                 let value = need(&mut iter, arg)?;

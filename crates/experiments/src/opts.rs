@@ -70,6 +70,11 @@ pub struct Options {
     /// byte-identical campaign results; adaptive (the default) spends
     /// O(log grid) hammer sessions per measurement instead of O(grid).
     pub search: vrd_core::SearchStrategy,
+    /// Hammer-session evaluation strategy (`--eval scalar|batch`). Both
+    /// produce byte-identical campaign results; batch (the default)
+    /// evaluates a whole row per measurement epoch in one
+    /// struct-of-arrays pass instead of per-session command programs.
+    pub eval: vrd_core::EvalStrategy,
 }
 
 impl Default for Options {
@@ -97,6 +102,7 @@ impl Default for Options {
             trace_out: None,
             log_format: LogFormat::Human,
             search: vrd_core::SearchStrategy::default(),
+            eval: vrd_core::EvalStrategy::default(),
         }
     }
 }
@@ -155,6 +161,7 @@ impl Options {
         vrd_core::exec::ExecConfig::new(self.threads, self.seed)
             .to_builder()
             .search(self.search)
+            .eval(self.eval)
             .build()
     }
 
