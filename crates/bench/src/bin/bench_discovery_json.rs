@@ -1,0 +1,193 @@
+//! Emits `BENCH_discovery.json`: the measurement epochs spent by the
+//! early-stopping discovery campaign vs the fixed epoch budget a
+//! same-seed in-depth characterization of the same rows would spend.
+//!
+//! The epoch counts on both sides are fully deterministic (wall time is
+//! reported but never gated), so the bin is safe on a busy or 1-CPU CI
+//! runner.
+//!
+//! ```text
+//! cargo run --release -p vrd-bench --bin bench_discovery_json -- \
+//!     [--measurements N] [--seed S] [--out PATH] [--check]
+//! ```
+//!
+//! `--check` exits nonzero unless the campaign spends at most half the
+//! fixed budget overall (the acceptance bar for early stopping) AND the
+//! fraction of rows whose fixed-budget reference minimum undercuts the
+//! guardbanded bound stays within the configured confidence: the bound
+//! is a per-row `confidence`-level claim, so a deeper replay may
+//! legitimately undercut it on up to `1 - confidence` of rows (plus
+//! binomial slack), but not more. Both gated numbers are deterministic,
+//! making the bin usable as a CI smoke gate.
+
+use std::process::ExitCode;
+
+use serde::Serialize;
+use vrd_bench::discovery_cost;
+
+/// Modules covering the three vendors' Table-1 stochastic profiles.
+const MODULES: [&str; 3] = ["M1", "S0", "Chip1"];
+
+/// Overall fixed-over-spent epoch ratio `--check` requires.
+const CHECK_MIN_SAVINGS: f64 = 2.0;
+
+#[derive(Debug, Serialize)]
+struct ModuleReport {
+    module: String,
+    rows: usize,
+    epochs_spent: u64,
+    fixed_epochs: u64,
+    epochs_per_row: f64,
+    savings: f64,
+    violations: usize,
+    wall_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    seed: u64,
+    fixed_budget: u32,
+    total_rows: usize,
+    total_epochs_spent: u64,
+    total_fixed_epochs: u64,
+    overall_savings: f64,
+    confidence: f64,
+    total_violations: usize,
+    violation_rate: f64,
+    allowed_violation_rate: f64,
+    modules: Vec<ModuleReport>,
+}
+
+fn run_module(module: &str, seed: u64, fixed_budget: u32) -> ModuleReport {
+    let cost = discovery_cost(module, seed, fixed_budget);
+    ModuleReport {
+        module: module.to_owned(),
+        rows: cost.rows,
+        epochs_spent: cost.epochs_spent,
+        fixed_epochs: cost.fixed_epochs,
+        epochs_per_row: cost.epochs_spent as f64 / (cost.rows as f64).max(1.0),
+        savings: cost.fixed_epochs as f64 / (cost.epochs_spent as f64).max(1.0),
+        violations: cost.rows - cost.sound_rows,
+        wall_ms: cost.wall.as_secs_f64() * 1e3,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut fixed_budget: u32 = 300;
+    let mut seed: u64 = 2025;
+    let mut out = "BENCH_discovery.json".to_owned();
+    let mut check = false;
+
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut need = |name: &str| {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2)
+            })
+        };
+        match arg.as_str() {
+            "--measurements" => match need("--measurements").parse() {
+                Ok(n) => fixed_budget = n,
+                Err(e) => {
+                    eprintln!("--measurements: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match need("--seed").parse() {
+                Ok(n) => seed = n,
+                Err(e) => {
+                    eprintln!("--seed: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => out = need("--out"),
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let modules: Vec<ModuleReport> =
+        MODULES.iter().map(|m| run_module(m, seed, fixed_budget)).collect();
+    let total_rows: usize = modules.iter().map(|m| m.rows).sum();
+    let total_spent: u64 = modules.iter().map(|m| m.epochs_spent).sum();
+    let total_fixed: u64 = modules.iter().map(|m| m.fixed_epochs).sum();
+    let total_violations: usize = modules.iter().map(|m| m.violations).sum();
+    // The stopping rule promises the bound holds per row at this
+    // confidence; allow the nominal miss rate plus 3-sigma binomial
+    // slack on the observed row count.
+    let confidence = vrd_core::discovery::DiscoveryConfig::default().confidence;
+    let nominal_miss = 1.0 - confidence;
+    let allowed_violation_rate =
+        nominal_miss + 3.0 * (nominal_miss * confidence / (total_rows as f64).max(1.0)).sqrt();
+    let report = Report {
+        seed,
+        fixed_budget,
+        total_rows,
+        total_epochs_spent: total_spent,
+        total_fixed_epochs: total_fixed,
+        overall_savings: total_fixed as f64 / (total_spent as f64).max(1.0),
+        confidence,
+        total_violations,
+        violation_rate: total_violations as f64 / (total_rows as f64).max(1.0),
+        allowed_violation_rate,
+        modules,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    for m in &report.modules {
+        println!(
+            "{:6}  {:3} rows  spent {:6} epochs ({:6.1}/row)  fixed {:6}  savings {:5.2}x  \
+             violations={}  {:8.1} ms",
+            m.module,
+            m.rows,
+            m.epochs_spent,
+            m.epochs_per_row,
+            m.fixed_epochs,
+            m.savings,
+            m.violations,
+            m.wall_ms,
+        );
+    }
+    println!(
+        "total   {} rows  spent {} epochs  fixed {} epochs  savings {:.2}x  violations \
+         {}/{} (allowed rate {:.2})  -> {}",
+        total_rows,
+        total_spent,
+        total_fixed,
+        report.overall_savings,
+        total_violations,
+        total_rows,
+        allowed_violation_rate,
+        out
+    );
+
+    if report.modules.iter().any(|m| m.rows == 0) {
+        eprintln!("FAIL: a module bounded no rows");
+        return ExitCode::FAILURE;
+    }
+    if report.violation_rate > allowed_violation_rate {
+        eprintln!(
+            "FAIL: {}/{} bounds undercut by the fixed-budget replay ({:.2} > allowed {:.2})",
+            total_violations, total_rows, report.violation_rate, allowed_violation_rate
+        );
+        return ExitCode::FAILURE;
+    }
+    if check && report.overall_savings < CHECK_MIN_SAVINGS {
+        eprintln!(
+            "FAIL: early stopping saves only {:.2}x over the fixed budget (bar: \
+             {CHECK_MIN_SAVINGS}x)",
+            report.overall_savings
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

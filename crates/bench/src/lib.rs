@@ -105,6 +105,68 @@ pub fn eval_cost(module: &str, seed: u64, measurements: u32, eval: EvalStrategy)
     EvalCost { series, sessions: platform.hammer_sessions() - before, wall: started.elapsed() }
 }
 
+/// The discovery campaign's measured cost on one module, compared
+/// against the fixed epoch budget a same-seed in-depth characterization
+/// of the same rows would spend.
+#[derive(Debug)]
+pub struct DiscoveryCost {
+    /// Rows the campaign bounded.
+    pub rows: usize,
+    /// Measurement epochs the early-stopping campaign actually spent.
+    pub epochs_spent: u64,
+    /// Epochs a fixed budget would spend on the same rows
+    /// (`rows * fixed_budget`).
+    pub fixed_epochs: u64,
+    /// Rows whose guardbanded bound lower-bounds the minimum of the
+    /// full fixed-budget reference series (must equal `rows`).
+    pub sound_rows: usize,
+    /// Wall-clock time of the discovery campaign alone.
+    pub wall: std::time::Duration,
+}
+
+/// Runs the early-stopping discovery campaign on `module` with the
+/// ceiling raised to `fixed_budget`, then replays the same rows through
+/// the fixed-budget in-depth campaign (same seed, same selection
+/// parameters, so its condition-0 stream extends the discovery stream)
+/// to price the epochs saved and check per-row soundness.
+pub fn discovery_cost(module: &str, seed: u64, fixed_budget: u32) -> DiscoveryCost {
+    use vrd_core::campaign::{run_in_depth, InDepthConfig};
+    use vrd_core::discovery::{run_discovery, DiscoveryConfig};
+
+    let spec = ModuleSpec::by_name(module).expect("module exists in Table 1");
+    let cfg = DiscoveryConfig::quick().to_builder().seed(seed).max_epochs(fixed_budget).build();
+    let started = std::time::Instant::now();
+    let discovery = run_discovery(&spec, &cfg);
+    let wall = started.elapsed();
+
+    let indepth_cfg =
+        InDepthConfig::quick().to_builder().seed(seed).measurements(fixed_budget).build();
+    let indepth = run_in_depth(&spec, &indepth_cfg);
+
+    let rows = discovery.rows.len();
+    let epochs_spent = discovery.rows.iter().map(|r| u64::from(r.epochs_used)).sum();
+    let sound_rows = discovery
+        .rows
+        .iter()
+        .filter(|r| {
+            indepth
+                .rows
+                .iter()
+                .find(|reference| reference.row == r.row)
+                .and_then(|reference| reference.per_condition.first())
+                .and_then(|cell| cell.series.min())
+                .is_some_and(|reference_min| r.bound <= reference_min)
+        })
+        .count();
+    DiscoveryCost {
+        rows,
+        epochs_spent,
+        fixed_epochs: rows as u64 * u64::from(fixed_budget),
+        sound_rows,
+        wall,
+    }
+}
+
 /// A deterministic synthetic series (no device in the loop) for
 /// statistics benchmarks.
 pub fn synthetic_series(len: usize) -> RdtSeries {

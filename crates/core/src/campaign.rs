@@ -207,7 +207,7 @@ pub fn foundational_campaign(
 /// counters even when the caller supplied none), the
 /// [`Event::CampaignStarted`] / [`Event::CampaignFinished`] bracket,
 /// and the campaign wall-clock measurement.
-fn run_campaign_phases<T>(
+pub(crate) fn run_campaign_phases<T>(
     opts: &RunOptions<'_>,
     campaign: &str,
     body: impl FnOnce(&RunOptions<'_>) -> Result<T, CheckpointError>,
@@ -552,18 +552,26 @@ fn selection_units(specs: &[ModuleSpec]) -> Vec<Unit<ModuleSpec>> {
 
 /// One phase-1 unit: segment scan + row selection for one module.
 fn select_unit(spec: &ModuleSpec, cfg: &InDepthConfig, ctx: &UnitCtx<'_>) -> Vec<(u32, u32)> {
-    let mut platform =
-        TestPlatform::for_module_with_row_bytes(spec.clone(), cfg.seed, cfg.row_bytes);
+    select_unit_with(spec, cfg.seed, cfg.row_bytes, cfg.segment_rows, cfg.picks_per_segment, ctx)
+}
+
+/// The shared body of a row-selection unit. The discovery campaign
+/// calls this with the same parameters as the in-depth campaign so
+/// both select identical rows from identical platforms — the anchor of
+/// the discovery soundness proof (`tests/discovery_validation.rs`).
+pub(crate) fn select_unit_with(
+    spec: &ModuleSpec,
+    seed: u64,
+    row_bytes: u32,
+    segment_rows: u32,
+    picks_per_segment: usize,
+    ctx: &UnitCtx<'_>,
+) -> Vec<(u32, u32)> {
+    let mut platform = TestPlatform::for_module_with_row_bytes(spec.clone(), seed, row_bytes);
     let selection_conditions = TestConditions::foundational();
     platform.set_temperature_c(selection_conditions.temperature_c);
-    let rows = select_rows(
-        &mut platform,
-        0,
-        &selection_conditions,
-        cfg.segment_rows,
-        cfg.picks_per_segment,
-        3,
-    );
+    let rows =
+        select_rows(&mut platform, 0, &selection_conditions, segment_rows, picks_per_segment, 3);
     ctx.record_hammer_sessions(platform.hammer_sessions());
     ctx.record_sim_time_ns(platform.elapsed_ns());
     ctx.record_sim_energy_j(platform.energy_j());

@@ -326,6 +326,35 @@ impl Checkpoint {
         }
     }
 
+    /// Journals an auxiliary record under `key` and flushes it — the
+    /// mid-unit counterpart of the executor's per-unit commit, used by
+    /// the discovery campaign to persist a row's sequential state every
+    /// few epochs. Repeated stashes under one key supersede each other
+    /// (the journal replays front to back, last record wins), and a torn
+    /// stash at the crash point simply falls back to the previous one.
+    ///
+    /// Use a key that can never collide with a real unit (e.g. a
+    /// sentinel condition index): a stash record under a unit's own key
+    /// would be restored as that unit's final result.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error when the append or flush fails.
+    pub fn stash<T: Serialize>(&self, key: &UnitKey, value: &T) -> std::io::Result<()> {
+        self.append(key, value)
+    }
+
+    /// The most recent [`Checkpoint::stash`] record under `key` from any
+    /// previous run, decoded as `T`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Decode`] when the journaled record no longer
+    /// decodes as `T`.
+    pub fn stashed<T: Deserialize>(&self, key: &UnitKey) -> Result<Option<T>, CheckpointError> {
+        self.cached(key)
+    }
+
     /// Appends one finished unit and flushes, making it durable.
     fn append<T: Serialize>(&self, key: &UnitKey, value: &T) -> std::io::Result<()> {
         let body = format!(
@@ -495,6 +524,13 @@ where
             h.before_unit(key);
         }
         let value = f(ctx, payload);
+        if ctx.was_interrupted() {
+            // The closure yielded mid-unit to cancellation: its value is
+            // partial, so it must not be journaled — the executor reports
+            // the unit as skipped and a resume reruns it (from whatever
+            // the closure stashed).
+            return value;
+        }
         let commit_started = Instant::now();
         if let Err(e) = checkpoint.append(key, &value) {
             panic!("checkpoint journal append failed: {e}");

@@ -33,7 +33,11 @@
 //! Runs can be **cancelled** cooperatively: [`execute_cancellable`]
 //! takes an `AtomicBool` flag checked before each unit is popped. Units
 //! never started report [`UnitOutcome::Skipped`]; in-flight units finish
-//! normally. [`crate::checkpoint`] builds crash-safe resume on top of
+//! normally unless they poll [`UnitCtx::is_cancelled`] themselves and
+//! yield via [`UnitCtx::interrupt`] (long per-unit loops, like the
+//! discovery campaign's epoch loop, do — an interrupted unit also
+//! reports `Skipped` and reruns on resume).
+//! [`crate::checkpoint`] builds crash-safe resume on top of
 //! this, and the cfg-gated [`faults`] module turns the flag into a
 //! deterministic kill switch for testing.
 //!
@@ -345,9 +349,14 @@ struct UnitTally {
     hammer_sessions: Cell<u64>,
     sim_time_ns: Cell<f64>,
     sim_energy_j: Cell<f64>,
+    /// Set by [`UnitCtx::interrupt`]: the closure yielded mid-unit to a
+    /// cancellation request, so its return value is partial and must not
+    /// be committed.
+    interrupted: Cell<bool>,
 }
 
 /// Per-unit context handed to the work closure.
+#[derive(Clone, Copy)]
 pub struct UnitCtx<'a> {
     /// The unit's derived dynamics seed; reseed the platform with this.
     pub seed: u64,
@@ -355,6 +364,7 @@ pub struct UnitCtx<'a> {
     pub key: &'a UnitKey,
     progress: &'a Progress,
     tally: &'a UnitTally,
+    cancel: Option<&'a AtomicBool>,
 }
 
 impl UnitCtx<'_> {
@@ -387,6 +397,27 @@ impl UnitCtx<'_> {
     pub fn record_sim_energy_j(&self, joules: f64) {
         self.progress.record_sim_energy_j(joules);
         self.tally.sim_energy_j.set(self.tally.sim_energy_j.get() + joules);
+    }
+
+    /// Whether the run's cancellation flag has flipped. Long-running
+    /// units (the discovery campaign's per-row epoch loops) poll this to
+    /// yield mid-unit instead of finishing a row the run no longer
+    /// wants.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_some_and(|flag| flag.load(Ordering::SeqCst))
+    }
+
+    /// Marks this unit as interrupted: its return value is partial and
+    /// must be discarded, not committed. The executor reports the unit
+    /// as [`UnitOutcome::Skipped`] (so a resume reruns it) and the
+    /// checkpointed path skips the journal append.
+    pub fn interrupt(&self) {
+        self.tally.interrupted.set(true);
+    }
+
+    /// Whether [`UnitCtx::interrupt`] was called on this unit.
+    pub fn was_interrupted(&self) -> bool {
+        self.tally.interrupted.get()
     }
 }
 
@@ -555,20 +586,29 @@ where
                         key: &unit.key,
                         progress,
                         tally: &tally,
+                        cancel,
                     };
-                    let outcome = match catch_unwind(AssertUnwindSafe(|| f(ctx, &unit.payload))) {
+                    let caught = catch_unwind(AssertUnwindSafe(|| f(ctx, &unit.payload)));
+                    let interrupted = tally.interrupted.get();
+                    let outcome = match caught {
+                        // An interrupted closure's value is partial; report
+                        // the unit as never-finished so a resume reruns it.
+                        Ok(_) if interrupted => UnitOutcome::Skipped,
                         Ok(value) => UnitOutcome::Completed(value),
                         Err(payload) => {
                             progress.panicked.fetch_add(1, Ordering::Relaxed);
                             UnitOutcome::Panicked(panic_message(payload.as_ref()))
                         }
                     };
-                    progress.done.fetch_add(1, Ordering::Relaxed);
+                    if !interrupted {
+                        progress.done.fetch_add(1, Ordering::Relaxed);
+                    }
                     observer.on_event(&Event::UnitFinished {
                         key: unit.key.clone(),
                         outcome: match &outcome {
                             UnitOutcome::Panicked(msg) => OutcomeKind::Panicked(msg.clone()),
-                            _ => OutcomeKind::Completed,
+                            UnitOutcome::Skipped => OutcomeKind::Interrupted,
+                            UnitOutcome::Completed(_) => OutcomeKind::Completed,
                         },
                         wall_ns: started.elapsed().as_nanos() as u64,
                         sim_time_ns: tally.sim_time_ns.get(),

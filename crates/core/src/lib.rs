@@ -20,6 +20,9 @@
 //!   and in closed form (for cross-validation).
 //! - [`campaign`] — the foundational (§4) and in-depth (§5) measurement
 //!   campaigns against simulated modules.
+//! - [`discovery`] — the DiscoRD-style early-stopping campaign: bound
+//!   each row's reliable RDT with a sequential quiet-streak stopping
+//!   rule instead of a fixed measurement budget.
 //! - [`exec`] — the deterministic work-stealing executor that shards
 //!   campaign work units across threads with per-unit derived seeds, so
 //!   parallel campaigns are bit-identical to serial ones.
@@ -58,6 +61,7 @@
 pub mod algorithm;
 pub mod campaign;
 pub mod checkpoint;
+pub mod discovery;
 pub mod exec;
 pub mod guardband;
 pub mod metrics;

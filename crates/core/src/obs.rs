@@ -57,6 +57,9 @@ pub enum OutcomeKind {
     Completed,
     /// Panicked with the contained message.
     Panicked(String),
+    /// Yielded mid-unit to a cancellation request
+    /// ([`crate::exec::UnitCtx::interrupt`]); the unit reruns on resume.
+    Interrupted,
 }
 
 /// End-of-campaign roll-up carried by [`Event::CampaignFinished`].
@@ -136,6 +139,21 @@ pub enum Event {
         /// Time the append + flush took (ns). Zeroed by [`canonical`].
         latency_ns: u64,
     },
+    /// A discovery-campaign row unit's sequential stopping rule fired:
+    /// the row's reliable-RDT bound is certified at the configured
+    /// confidence after `epochs_used` measurement epochs (instead of a
+    /// fixed-epoch characterization).
+    DiscoveryStopped {
+        /// The row unit.
+        key: UnitKey,
+        /// Measurement epochs the row consumed before stopping.
+        epochs_used: u32,
+        /// The guardbanded reliable-RDT lower bound reported for the
+        /// row.
+        bound: u32,
+        /// The confidence target the stopping rule certified.
+        confidence: f64,
+    },
     /// A campaign entry point returned successfully.
     CampaignFinished {
         /// Campaign label.
@@ -184,6 +202,7 @@ impl Event {
                 | Event::UnitFinished { .. }
                 | Event::UnitRestored { .. }
                 | Event::CheckpointCommitted { .. }
+                | Event::DiscoveryStopped { .. }
         )
     }
 }
@@ -273,14 +292,16 @@ impl Observer for MultiObserver<'_> {
 /// ([`UnitRestored`](Event::UnitRestored) <
 /// [`UnitStarted`](Event::UnitStarted) <
 /// [`CheckpointCommitted`](Event::CheckpointCommitted) <
+/// [`DiscoveryStopped`](Event::DiscoveryStopped) <
 /// [`UnitFinished`](Event::UnitFinished)).
 fn unit_event_rank(event: &Event) -> u8 {
     match event {
         Event::UnitRestored { .. } => 0,
         Event::UnitStarted { .. } => 1,
         Event::CheckpointCommitted { .. } => 2,
-        Event::UnitFinished { .. } => 3,
-        _ => 4,
+        Event::DiscoveryStopped { .. } => 3,
+        Event::UnitFinished { .. } => 4,
+        _ => 5,
     }
 }
 
@@ -289,6 +310,7 @@ fn unit_event_key(event: &Event) -> Option<&UnitKey> {
         Event::UnitRestored { key }
         | Event::UnitStarted { key }
         | Event::CheckpointCommitted { key, .. }
+        | Event::DiscoveryStopped { key, .. }
         | Event::UnitFinished { key, .. } => Some(key),
         _ => None,
     }
@@ -396,6 +418,20 @@ mod tests {
             Event::CampaignStarted { campaign: "foundational".into() },
             finished("M1", 3, 42),
             Event::CheckpointCommitted { key: UnitKey::module("M1"), latency_ns: 17 },
+            Event::DiscoveryStopped {
+                key: UnitKey::cell("M1", 9, 0),
+                epochs_used: 57,
+                bound: 4_180,
+                confidence: 0.9,
+            },
+            Event::UnitFinished {
+                key: UnitKey::cell("M1", 9, 0),
+                outcome: OutcomeKind::Interrupted,
+                wall_ns: 1,
+                sim_time_ns: 2.0,
+                sim_energy_j: 3e-9,
+                bitflips: 0,
+            },
             Event::Message { level: Level::Warn, body: "hello".into() },
             Event::Artifact { id: "fig5".into(), text: "table".into() },
             Event::CampaignFinished {

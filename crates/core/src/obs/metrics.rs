@@ -83,6 +83,20 @@ impl DurationHistogram {
     }
 }
 
+/// Early-stopping statistics of a discovery campaign: how many epochs
+/// the sequential stopping rule actually spent per row (the quantity
+/// DiscoRD minimizes against a fixed-epoch characterization).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveryMetrics {
+    /// Rows whose stopping rule fired (one per
+    /// [`Event::DiscoveryStopped`]).
+    pub rows: usize,
+    /// Measurement epochs summed over those rows.
+    pub epochs_total: u64,
+    /// Mean epochs per row.
+    pub mean_epochs_per_row: f64,
+}
+
 /// Checkpoint-journal commit statistics for one campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CheckpointMetrics {
@@ -123,6 +137,9 @@ pub struct MetricsReport {
     pub sim_to_wall_ratio: f64,
     /// Checkpoint statistics; `None` when the run had no checkpoint.
     pub checkpoint: Option<CheckpointMetrics>,
+    /// Early-stopping statistics; `None` unless the campaign emitted
+    /// [`Event::DiscoveryStopped`] events.
+    pub discovery: Option<DiscoveryMetrics>,
 }
 
 #[derive(Default)]
@@ -132,11 +149,22 @@ struct CampaignAccum {
     units_panicked: usize,
     commit_latency_ns: Vec<u64>,
     restored: usize,
+    discovery_rows: usize,
+    discovery_epochs: u64,
 }
 
 impl CampaignAccum {
     fn finish(&mut self, summary: &super::CampaignSummary) -> MetricsReport {
         let wall_s = summary.wall_ns as f64 / 1e9;
+        let discovery = if self.discovery_rows == 0 {
+            None
+        } else {
+            Some(DiscoveryMetrics {
+                rows: self.discovery_rows,
+                epochs_total: self.discovery_epochs,
+                mean_epochs_per_row: self.discovery_epochs as f64 / self.discovery_rows as f64,
+            })
+        };
         let checkpoint = if self.commit_latency_ns.is_empty() && self.restored == 0 {
             None
         } else {
@@ -167,6 +195,7 @@ impl CampaignAccum {
                 0.0
             },
             checkpoint,
+            discovery,
         }
     }
 }
@@ -218,6 +247,10 @@ impl Observer for MetricsSink {
             Event::UnitRestored { .. } => state.current.restored += 1,
             Event::CheckpointCommitted { latency_ns, .. } => {
                 state.current.commit_latency_ns.push(*latency_ns);
+            }
+            Event::DiscoveryStopped { epochs_used, .. } => {
+                state.current.discovery_rows += 1;
+                state.current.discovery_epochs += u64::from(*epochs_used);
             }
             Event::CampaignFinished { summary, .. } => {
                 let report = state.current.finish(summary);
@@ -307,6 +340,36 @@ mod tests {
         // 2 units in 8 µs of wall time = 250k units/s.
         assert!((r.throughput_units_per_s - 250_000.0).abs() < 1e-6);
         assert!((r.sim_to_wall_ratio - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discovery_stops_fold_into_their_own_section() {
+        let sink = MetricsSink::new();
+        sink.on_event(&Event::CampaignStarted { campaign: "discovery".into() });
+        for (row, epochs) in [(3u32, 40u32), (9, 60)] {
+            sink.on_event(&Event::DiscoveryStopped {
+                key: UnitKey::cell("M1", row, 0),
+                epochs_used: epochs,
+                bound: 4_000,
+                confidence: 0.9,
+            });
+        }
+        sink.on_event(&Event::CampaignFinished {
+            campaign: "discovery".into(),
+            summary: CampaignSummary {
+                units_total: 2,
+                units_done: 2,
+                units_panicked: 0,
+                bitflips: 100,
+                sim_time_ns: 1.0,
+                sim_energy_j: 0.0,
+                wall_ns: 10,
+            },
+        });
+        let reports = sink.reports();
+        let d = reports[0].discovery.as_ref().expect("discovery section");
+        assert_eq!((d.rows, d.epochs_total), (2, 100));
+        assert!((d.mean_epochs_per_row - 50.0).abs() < 1e-12);
     }
 
     #[test]

@@ -138,6 +138,14 @@ impl<'a> RunOptions<'a> {
         self.checkpoint
     }
 
+    /// The unit-boundary hooks, if any. Campaign code that commits
+    /// mid-unit state (the discovery campaign's [`Checkpoint::stash`])
+    /// fires [`UnitHooks::after_commit`] through this, so fault plans
+    /// count stash commits like unit commits.
+    pub fn hooks_ref(&self) -> Option<&'a dyn UnitHooks> {
+        self.hooks
+    }
+
     /// The effective cancellation flag: the explicit one, else the
     /// hooks' flag.
     pub fn effective_cancel(&self) -> Option<&'a AtomicBool> {

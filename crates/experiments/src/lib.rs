@@ -16,8 +16,10 @@
 //! | `tab3` | §6.4 ECC error rates | [`ecc_exp`] |
 //! | `fig17`–`fig24` | Appendix A time/energy | [`estimate_exp`] |
 //! | `findings` | Findings 1–17 | [`findings`] |
+//! | `discovery` | DiscoRD-style early-stopping RDT bounds | [`discovery_exp`] |
 //! | `ablation` `security` `online` | extensions beyond the paper | [`extensions`] |
 
+pub mod discovery_exp;
 pub mod ecc_exp;
 pub mod estimate_exp;
 pub mod extensions;

@@ -4,7 +4,8 @@
 //! vrd-exp <id>... [flags]
 //!
 //! ids: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!      fig14 fig15 fig16 fig17-20 fig21-24 fig25 tab3 tab7 findings all
+//!      fig14 fig15 fig16 fig17-20 fig21-24 fig25 tab3 tab7 findings
+//!      discovery all
 //!
 //! flags:
 //!   --paper               paper-scale measurement counts (slow!)
@@ -12,6 +13,12 @@
 //!   --indepth N           in-depth measurements per row per condition
 //!   --rows N              rows selected per segment (in-depth)
 //!   --trials N            guardband trials per margin
+//!   --confidence C        discovery stopping-rule confidence target in
+//!                         (0, 1) (default 0.9)
+//!   --min-epochs N        discovery epoch floor: no row stops earlier
+//!   --max-epochs N        discovery epoch ceiling: every row stops
+//!                         here at the latest (also the fixed budget
+//!                         savings are quoted against)
 //!   --mixes N             Fig.-14 workload mixes
 //!   --cycles N            Fig.-14 simulated nanoseconds
 //!   --modules A,B,...     restrict the module roster
@@ -49,8 +56,8 @@
 use std::sync::OnceLock;
 
 use vrd_experiments::{
-    ecc_exp, estimate_exp, extensions, findings, foundational, guardband_exp, indepth, mc,
-    memsim_exp, runner::save_json, sinks, Options,
+    discovery_exp, ecc_exp, estimate_exp, extensions, findings, foundational, guardband_exp,
+    indepth, mc, memsim_exp, runner::save_json, sinks, Options,
 };
 
 /// Lazily computed shared studies so `all` runs each campaign once.
@@ -59,6 +66,7 @@ struct Ctx {
     foundational: OnceLock<foundational::FoundationalStudy>,
     indepth: OnceLock<indepth::InDepthStudy>,
     guardband: OnceLock<guardband_exp::GuardbandStudy>,
+    discovery: OnceLock<discovery_exp::DiscoveryStudy>,
 }
 
 impl Ctx {
@@ -90,6 +98,17 @@ impl Ctx {
                 opts.guardband_trials
             ));
             guardband_exp::run(opts)
+        })
+    }
+
+    fn discovery(&self, opts: &Options) -> &discovery_exp::DiscoveryStudy {
+        self.discovery.get_or_init(|| {
+            sinks::status(format!(
+                "running discovery campaign ({:.0}% confidence, <= {} epochs/row)...",
+                100.0 * opts.discovery_confidence,
+                opts.discovery_max_epochs
+            ));
+            discovery_exp::run(opts)
         })
     }
 }
@@ -137,6 +156,7 @@ const ALL_IDS: &[&str] = &[
     "tab3",
     "tab7",
     "findings",
+    "discovery",
     "ablation",
     "security",
     "online",
@@ -180,6 +200,21 @@ fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
             }
             "--trials" => {
                 opts.guardband_trials =
+                    need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--confidence" => {
+                opts.discovery_confidence =
+                    need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?;
+                if !(opts.discovery_confidence > 0.0 && opts.discovery_confidence < 1.0) {
+                    return Err(format!("{arg}: must be in (0, 1)"));
+                }
+            }
+            "--min-epochs" => {
+                opts.discovery_min_epochs =
+                    need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--max-epochs" => {
+                opts.discovery_max_epochs =
                     need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
             }
             "--mixes" => {
@@ -384,6 +419,11 @@ fn run_experiment(id: &str, opts: &Options, ctx: &Ctx) {
                     "no module in scope produced profilable rows",
                 ),
             }
+        }
+        "discovery" => {
+            let study = ctx.discovery(opts);
+            sinks::artifact(id, discovery_exp::render(study));
+            let _ = save_json(opts, "discovery", study);
         }
         "findings" => {
             let mut checks = findings::check_foundational(ctx.foundational(opts));

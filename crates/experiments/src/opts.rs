@@ -18,6 +18,14 @@ pub struct Options {
     pub indepth_measurements: u32,
     /// Rows selected per segment in the in-depth study (paper: 50).
     pub picks_per_segment: usize,
+    /// Confidence target of the discovery study's stopping rule.
+    pub discovery_confidence: f64,
+    /// Epoch floor of the discovery study (no row stops earlier).
+    pub discovery_min_epochs: u32,
+    /// Epoch ceiling of the discovery study (every row stops here at
+    /// the latest; also the fixed budget the savings are quoted
+    /// against).
+    pub discovery_max_epochs: u32,
     /// Rows scanned per segment (paper: 1,024).
     pub segment_rows: u32,
     /// Use the paper's full 4×3×3 condition grid instead of the reduced
@@ -83,6 +91,9 @@ impl Default for Options {
             foundational_measurements: 10_000,
             indepth_measurements: 300,
             picks_per_segment: 10,
+            discovery_confidence: 0.9,
+            discovery_min_epochs: 10,
+            discovery_max_epochs: 400,
             segment_rows: 256,
             full_grid: false,
             guardband_trials: 1_500,
@@ -120,6 +131,7 @@ impl Options {
             guardband_rows: 50,
             mixes: 15,
             sim_cycles: 2_000_000,
+            discovery_max_epochs: 1_000,
             row_bytes: 8_192,
             ..Options::default()
         }
@@ -137,6 +149,7 @@ impl Options {
             guardband_rows: 2,
             mixes: 1,
             sim_cycles: 60_000,
+            discovery_max_epochs: 120,
             modules: vec!["M1".into(), "S0".into(), "Chip1".into()],
             row_bytes: 512,
             threads: 2,
@@ -162,6 +175,21 @@ impl Options {
             .to_builder()
             .search(self.search)
             .eval(self.eval)
+            .build()
+    }
+
+    /// The discovery-campaign configuration at this scale. Selection
+    /// parameters (segments, picks, seed, row size) match the in-depth
+    /// campaign's, so both select identical rows.
+    pub fn discovery_config(&self) -> vrd_core::discovery::DiscoveryConfig {
+        vrd_core::discovery::DiscoveryConfig::builder()
+            .confidence(self.discovery_confidence)
+            .min_epochs(self.discovery_min_epochs)
+            .max_epochs(self.discovery_max_epochs)
+            .segment_rows(self.segment_rows)
+            .picks_per_segment(self.picks_per_segment)
+            .seed(self.seed)
+            .row_bytes(self.row_bytes)
             .build()
     }
 

@@ -1,0 +1,265 @@
+//! Binomial distribution and exact (Clopper–Pearson) confidence bounds.
+//!
+//! The discovery campaign's stopping rule treats every measurement epoch
+//! as a Bernoulli trial — "did this epoch undercut the running minimum?"
+//! — and stops once an exact upper confidence bound on the undercut
+//! probability drops below the tolerance. The bound here is the
+//! Clopper–Pearson interval, which never undershoots its nominal
+//! coverage (it is conservative), so the campaign's advertised
+//! confidence is an honest guarantee rather than an asymptotic one.
+
+use crate::error::StatsError;
+use crate::special::ln_gamma;
+
+/// `ln C(n, k)` via log-gamma, stable for large `n`.
+fn ln_choose(n: u64, k: u64) -> f64 {
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+fn check_probability(p: f64) -> Result<(), StatsError> {
+    if !(0.0..=1.0).contains(&p) {
+        // NaN also lands here: both comparisons fail.
+        return Err(StatsError::InvalidParameter("probability must be in [0, 1]"));
+    }
+    Ok(())
+}
+
+/// `P(X = k)` for `X ~ Binomial(n, p)`.
+///
+/// # Errors
+///
+/// [`StatsError::InvalidParameter`] when `n == 0`, `k > n`, or `p` is
+/// outside `[0, 1]` (including NaN) — never a silent NaN.
+pub fn binomial_pmf(k: u64, n: u64, p: f64) -> Result<f64, StatsError> {
+    if n == 0 {
+        return Err(StatsError::InvalidParameter("binomial needs at least one trial"));
+    }
+    if k > n {
+        return Err(StatsError::InvalidParameter("successes cannot exceed trials"));
+    }
+    check_probability(p)?;
+    // The p = 0 / p = 1 edges would produce 0 * ln(0) below; handle exactly.
+    if p == 0.0 {
+        return Ok(if k == 0 { 1.0 } else { 0.0 });
+    }
+    if p == 1.0 {
+        return Ok(if k == n { 1.0 } else { 0.0 });
+    }
+    let ln_p = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+    Ok(ln_p.exp())
+}
+
+/// `P(X <= k)` for `X ~ Binomial(n, p)`, summed term by term (exact for
+/// the trial counts a campaign sees; no incomplete-beta machinery).
+///
+/// # Errors
+///
+/// Same domain as [`binomial_pmf`].
+pub fn binomial_cdf(k: u64, n: u64, p: f64) -> Result<f64, StatsError> {
+    if n == 0 {
+        return Err(StatsError::InvalidParameter("binomial needs at least one trial"));
+    }
+    if k > n {
+        return Err(StatsError::InvalidParameter("successes cannot exceed trials"));
+    }
+    check_probability(p)?;
+    let mut sum = 0.0;
+    for i in 0..=k {
+        sum += binomial_pmf(i, n, p)?;
+    }
+    Ok(sum.min(1.0))
+}
+
+/// `P(X > k)` for `X ~ Binomial(n, p)`, summed over the upper tail so
+/// small survival probabilities keep their precision.
+///
+/// # Errors
+///
+/// Same domain as [`binomial_pmf`].
+pub fn binomial_sf(k: u64, n: u64, p: f64) -> Result<f64, StatsError> {
+    if n == 0 {
+        return Err(StatsError::InvalidParameter("binomial needs at least one trial"));
+    }
+    if k > n {
+        return Err(StatsError::InvalidParameter("successes cannot exceed trials"));
+    }
+    check_probability(p)?;
+    let mut sum = 0.0;
+    for i in (k + 1)..=n {
+        sum += binomial_pmf(i, n, p)?;
+    }
+    Ok(sum.min(1.0))
+}
+
+/// Exact (Clopper–Pearson) upper confidence bound on a Bernoulli success
+/// probability after observing `successes` in `trials`, at significance
+/// `alpha` (i.e. a one-sided `1 - alpha` confidence level): the largest
+/// `p` with `P(X <= successes | p) >= alpha`.
+///
+/// The true `p` exceeds the returned bound with probability at most
+/// `alpha`, whatever `p` is. Monotone: the bound shrinks as `trials`
+/// grows (more evidence) and grows as `alpha` shrinks (more confidence
+/// demanded).
+///
+/// # Errors
+///
+/// [`StatsError::InvalidParameter`] when `trials == 0`,
+/// `successes > trials`, or `alpha` is outside `(0, 1)`.
+pub fn binomial_upper_confidence(
+    successes: u64,
+    trials: u64,
+    alpha: f64,
+) -> Result<f64, StatsError> {
+    if trials == 0 {
+        return Err(StatsError::InvalidParameter("confidence bound needs at least one trial"));
+    }
+    if successes > trials {
+        return Err(StatsError::InvalidParameter("successes cannot exceed trials"));
+    }
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(StatsError::InvalidParameter("alpha must be in (0, 1)"));
+    }
+    if successes == trials {
+        return Ok(1.0);
+    }
+    // binomial_cdf(successes, trials, p) decreases monotonically in p,
+    // from 1 at p = 0 to 0 at p = 1 (given successes < trials); bisect
+    // for the crossing with alpha. 64 halvings put the bracket well
+    // below f64 resolution.
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if binomial_cdf(successes, trials, mid)? >= alpha {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Closed form of [`binomial_upper_confidence`] for the zero-success
+/// case (the "rule of three" generalized): after `trials` failures and
+/// no success, the success probability is at most
+/// `1 - alpha^(1/trials)` with confidence `1 - alpha`.
+///
+/// # Errors
+///
+/// [`StatsError::InvalidParameter`] when `trials == 0` or `alpha` is
+/// outside `(0, 1)`.
+pub fn zero_success_upper_confidence(trials: u64, alpha: f64) -> Result<f64, StatsError> {
+    if trials == 0 {
+        return Err(StatsError::InvalidParameter("confidence bound needs at least one trial"));
+    }
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(StatsError::InvalidParameter("alpha must be in (0, 1)"));
+    }
+    Ok(1.0 - alpha.powf(1.0 / trials as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force pmf via Pascal's triangle and repeated multiplication,
+    /// valid for small n.
+    fn brute_pmf(k: u64, n: u64, p: f64) -> f64 {
+        let mut choose = 1.0f64;
+        for i in 0..k {
+            choose *= (n - i) as f64 / (i + 1) as f64;
+        }
+        choose * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
+    }
+
+    #[test]
+    fn pmf_matches_brute_force_on_small_n() {
+        for n in 1..=12u64 {
+            for k in 0..=n {
+                for &p in &[0.05, 0.3, 0.5, 0.77] {
+                    let exact = binomial_pmf(k, n, p).unwrap();
+                    let brute = brute_pmf(k, n, p);
+                    assert!(
+                        (exact - brute).abs() < 1e-12,
+                        "pmf({k}, {n}, {p}): {exact} vs {brute}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_and_sf_partition_unity() {
+        for &(k, n, p) in &[(0u64, 10u64, 0.2f64), (3, 10, 0.2), (9, 10, 0.9), (10, 10, 0.5)] {
+            let cdf = binomial_cdf(k, n, p).unwrap();
+            let sf = binomial_sf(k, n, p).unwrap();
+            assert!((cdf + sf - 1.0).abs() < 1e-12, "cdf + sf at ({k}, {n}, {p})");
+        }
+    }
+
+    #[test]
+    fn edge_probabilities_are_exact() {
+        assert_eq!(binomial_pmf(0, 5, 0.0).unwrap(), 1.0);
+        assert_eq!(binomial_pmf(3, 5, 0.0).unwrap(), 0.0);
+        assert_eq!(binomial_pmf(5, 5, 1.0).unwrap(), 1.0);
+        assert_eq!(binomial_cdf(4, 5, 1.0).unwrap(), 0.0);
+        assert_eq!(binomial_cdf(5, 5, 1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_error_not_nan() {
+        assert!(binomial_pmf(0, 0, 0.5).is_err());
+        assert!(binomial_pmf(6, 5, 0.5).is_err());
+        assert!(binomial_pmf(1, 5, -0.1).is_err());
+        assert!(binomial_pmf(1, 5, 1.1).is_err());
+        assert!(binomial_pmf(1, 5, f64::NAN).is_err());
+        assert!(binomial_upper_confidence(0, 0, 0.1).is_err());
+        assert!(binomial_upper_confidence(2, 1, 0.1).is_err());
+        assert!(binomial_upper_confidence(0, 10, 0.0).is_err());
+        assert!(binomial_upper_confidence(0, 10, 1.0).is_err());
+        assert!(zero_success_upper_confidence(0, 0.1).is_err());
+    }
+
+    #[test]
+    fn upper_bound_agrees_with_zero_success_closed_form() {
+        for n in [1u64, 3, 10, 45, 200] {
+            for &alpha in &[0.01, 0.05, 0.1, 0.5] {
+                let bisected = binomial_upper_confidence(0, n, alpha).unwrap();
+                let closed = zero_success_upper_confidence(n, alpha).unwrap();
+                assert!(
+                    (bisected - closed).abs() < 1e-9,
+                    "n={n} alpha={alpha}: {bisected} vs {closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bound_is_monotone_in_trials_and_alpha() {
+        // More trials with the same success count -> tighter bound.
+        let mut prev = 1.0;
+        for n in [2u64, 5, 20, 100, 400] {
+            let b = binomial_upper_confidence(1, n, 0.05).unwrap();
+            assert!(b < prev, "bound must shrink as n grows: n={n} gave {b} >= {prev}");
+            prev = b;
+        }
+        // Demanding more confidence (smaller alpha) -> looser bound.
+        let loose = binomial_upper_confidence(1, 50, 0.2).unwrap();
+        let tight = binomial_upper_confidence(1, 50, 0.01).unwrap();
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn all_successes_bound_is_one() {
+        assert_eq!(binomial_upper_confidence(7, 7, 0.05).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn upper_bound_has_clopper_pearson_coverage_shape() {
+        // At the bound itself, the probability of seeing `successes` or
+        // fewer must equal alpha (the defining equation).
+        let bound = binomial_upper_confidence(2, 30, 0.05).unwrap();
+        let at_bound = binomial_cdf(2, 30, bound).unwrap();
+        assert!((at_bound - 0.05).abs() < 1e-9, "cdf at bound = {at_bound}");
+    }
+}

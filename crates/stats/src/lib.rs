@@ -21,6 +21,10 @@
 //! - [`montecarlo`] — deterministic seed derivation and subsampling
 //!   utilities for the paper's Monte-Carlo analyses (§5.1).
 //! - [`scurve`] — sorted percentile curves (Fig. 7a).
+//! - [`binomial`] — binomial pmf/cdf and exact Clopper–Pearson
+//!   confidence bounds.
+//! - [`sequential`] — the DiscoRD-style early-stopping rule bounding a
+//!   row's reliable minimum RDT at a confidence target.
 //!
 //! # Examples
 //!
@@ -33,6 +37,7 @@
 //! ```
 
 pub mod acf;
+pub mod binomial;
 pub mod boxplot;
 pub mod chi_square;
 pub mod descriptive;
@@ -43,9 +48,14 @@ pub mod montecarlo;
 pub mod normal;
 pub mod runlength;
 pub mod scurve;
+pub mod sequential;
 pub mod special;
 
 pub use acf::{autocorrelation, white_noise_bound};
+pub use binomial::{
+    binomial_cdf, binomial_pmf, binomial_sf, binomial_upper_confidence,
+    zero_success_upper_confidence,
+};
 pub use boxplot::BoxSummary;
 pub use chi_square::{chi_square_gof_normal, ChiSquareResult};
 pub use descriptive::{coefficient_of_variation, mean, percentile, stddev, Summary};
@@ -55,3 +65,4 @@ pub use ks::{ks_test_normal, ks_test_two_sample, KsResult};
 pub use montecarlo::{derive_seed, sample_indices_without_replacement};
 pub use runlength::run_length_histogram;
 pub use scurve::SCurve;
+pub use sequential::{SequentialMin, StoppingRule};

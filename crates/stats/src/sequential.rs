@@ -1,0 +1,308 @@
+//! Sequential early-stopping machinery for reliable-minimum discovery.
+//!
+//! DiscoRD's observation: bounding a row's reliable RDT does not need a
+//! fixed (large) number of measurement epochs — it needs enough epochs
+//! that the probability of a *future* epoch undercutting the running
+//! minimum is provably small. Each epoch after the last new minimum is a
+//! Bernoulli trial with zero observed successes ("undercuts"), so after
+//! `k` quiet epochs the exact Clopper–Pearson bound says the undercut
+//! probability is at most `1 - alpha^(1/k)` with confidence `1 - alpha`
+//! (see [`crate::binomial`]). [`StoppingRule`] inverts that: given a
+//! confidence target and an undercut tolerance `epsilon`, it derives the
+//! quiet streak length that certifies `P(undercut) <= epsilon`, and
+//! [`SequentialMin`] tracks the streak as observations arrive.
+//!
+//! Censored epochs (the row did not flip anywhere in the sweep range)
+//! count as quiet: a non-flip can never undercut the minimum.
+
+use crate::binomial::zero_success_upper_confidence;
+use crate::error::StatsError;
+
+/// When to stop measuring a row: once `quiet_epochs` consecutive epochs
+/// have failed to undercut the running minimum, where `quiet_epochs` is
+/// the smallest streak certifying `P(undercut) <= epsilon` at the
+/// configured confidence — bounded below by `min_epochs` and above by
+/// `max_epochs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoppingRule {
+    confidence: f64,
+    epsilon: f64,
+    min_epochs: u32,
+    max_epochs: u32,
+}
+
+impl StoppingRule {
+    /// Builds a validated rule.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] when `confidence` or `epsilon`
+    /// is outside `(0, 1)` (including NaN), `min_epochs == 0`, or
+    /// `max_epochs < min_epochs`.
+    pub fn new(
+        confidence: f64,
+        epsilon: f64,
+        min_epochs: u32,
+        max_epochs: u32,
+    ) -> Result<Self, StatsError> {
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(StatsError::InvalidParameter("confidence must be in (0, 1)"));
+        }
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(StatsError::InvalidParameter("epsilon must be in (0, 1)"));
+        }
+        if min_epochs == 0 {
+            return Err(StatsError::InvalidParameter("min_epochs must be at least 1"));
+        }
+        if max_epochs < min_epochs {
+            return Err(StatsError::InvalidParameter("max_epochs must be >= min_epochs"));
+        }
+        Ok(StoppingRule { confidence, epsilon, min_epochs, max_epochs })
+    }
+
+    /// The confidence target.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// The undercut-probability tolerance.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The epoch floor: the rule never stops earlier.
+    pub fn min_epochs(&self) -> u32 {
+        self.min_epochs
+    }
+
+    /// The epoch ceiling: the rule always stops here.
+    pub fn max_epochs(&self) -> u32 {
+        self.max_epochs
+    }
+
+    /// The quiet streak length the rule waits for: the smallest `k` with
+    /// `(1 - epsilon)^k <= 1 - confidence` — after `k` consecutive
+    /// non-undercutting epochs, an undercut probability above `epsilon`
+    /// is rejected at the confidence level. Monotone nondecreasing in
+    /// `confidence` and nonincreasing in `epsilon`.
+    pub fn required_quiet_epochs(&self) -> u32 {
+        // ceil(ln(1-c) / ln(1-eps)), computed in f64 and clamped to >= 1.
+        let k = ((1.0 - self.confidence).ln() / (1.0 - self.epsilon).ln()).ceil();
+        if k.is_finite() && k >= 1.0 {
+            (k as u64).min(u64::from(u32::MAX)) as u32
+        } else {
+            1
+        }
+    }
+
+    /// Whether measurement of a row tracked by `state` should stop now.
+    /// Never true before `min_epochs`; always true at `max_epochs`.
+    pub fn should_stop(&self, state: &SequentialMin) -> bool {
+        if state.epochs() < u64::from(self.min_epochs) {
+            return false;
+        }
+        if state.epochs() >= u64::from(self.max_epochs) {
+            return true;
+        }
+        state.quiet_epochs() >= u64::from(self.required_quiet_epochs())
+    }
+
+    /// The exact upper confidence bound on the undercut probability given
+    /// the current quiet streak (`None` before the first epoch). When
+    /// the rule stopped via its quiet streak (not the `max_epochs`
+    /// ceiling), this is at most `epsilon`.
+    pub fn undercut_upper_bound(&self, state: &SequentialMin) -> Option<f64> {
+        let quiet = state.quiet_epochs();
+        if quiet == 0 {
+            return None;
+        }
+        zero_success_upper_confidence(quiet, 1.0 - self.confidence).ok()
+    }
+}
+
+/// Running minimum of a measurement stream plus the quiet-streak counter
+/// the stopping rule consumes. Feed it every epoch's outcome in order —
+/// `Some(value)` for a measured RDT, `None` for a censored epoch — via
+/// [`SequentialMin::observe`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SequentialMin {
+    min: Option<u32>,
+    epochs: u64,
+    censored: u64,
+    quiet: u64,
+}
+
+impl SequentialMin {
+    /// Fresh state: no epochs observed.
+    pub fn new() -> Self {
+        SequentialMin::default()
+    }
+
+    /// Folds one epoch's outcome into the state. A value strictly below
+    /// the current minimum resets the quiet streak; anything else —
+    /// equal values, larger values, censored epochs — extends it. The
+    /// first measured value starts a fresh streak (it trivially "is" the
+    /// minimum, with no evidence about undercuts yet).
+    pub fn observe(&mut self, value: Option<u32>) {
+        self.epochs += 1;
+        match value {
+            None => {
+                self.censored += 1;
+                self.quiet += 1;
+            }
+            Some(v) => match self.min {
+                Some(m) if v >= m => self.quiet += 1,
+                _ => {
+                    self.min = Some(v);
+                    self.quiet = 0;
+                }
+            },
+        }
+    }
+
+    /// The running minimum, `None` until a value has been measured.
+    pub fn min(&self) -> Option<u32> {
+        self.min
+    }
+
+    /// Epochs observed so far (measured + censored).
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Censored epochs observed so far.
+    pub fn censored(&self) -> u64 {
+        self.censored
+    }
+
+    /// Consecutive epochs since the minimum last moved (or since the
+    /// start, while everything is censored).
+    pub fn quiet_epochs(&self) -> u64 {
+        self.quiet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(confidence: f64, epsilon: f64) -> StoppingRule {
+        StoppingRule::new(confidence, epsilon, 1, u32::MAX).unwrap()
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(StoppingRule::new(0.0, 0.1, 1, 10).is_err());
+        assert!(StoppingRule::new(1.0, 0.1, 1, 10).is_err());
+        assert!(StoppingRule::new(0.9, 0.0, 1, 10).is_err());
+        assert!(StoppingRule::new(0.9, 1.0, 1, 10).is_err());
+        assert!(StoppingRule::new(f64::NAN, 0.1, 1, 10).is_err());
+        assert!(StoppingRule::new(0.9, f64::NAN, 1, 10).is_err());
+        assert!(StoppingRule::new(0.9, 0.1, 0, 10).is_err());
+        assert!(StoppingRule::new(0.9, 0.1, 10, 9).is_err());
+    }
+
+    #[test]
+    fn required_quiet_epochs_matches_hand_computation() {
+        // (1 - 0.05)^k <= 0.1  =>  k >= ln(0.1)/ln(0.95) = 44.89...
+        assert_eq!(rule(0.9, 0.05).required_quiet_epochs(), 45);
+        // (1 - 0.5)^k <= 0.5  =>  k >= 1.
+        assert_eq!(rule(0.5, 0.5).required_quiet_epochs(), 1);
+    }
+
+    #[test]
+    fn required_quiet_epochs_is_monotone_in_confidence_and_epsilon() {
+        let mut prev = 0;
+        for &c in &[0.5, 0.8, 0.9, 0.95, 0.99, 0.999] {
+            let k = rule(c, 0.05).required_quiet_epochs();
+            assert!(k >= prev, "quiet requirement must not shrink as confidence grows");
+            prev = k;
+        }
+        let mut prev = u32::MAX;
+        for &eps in &[0.01, 0.05, 0.1, 0.3] {
+            let k = rule(0.9, eps).required_quiet_epochs();
+            assert!(k <= prev, "quiet requirement must not grow as epsilon loosens");
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn never_stops_before_min_epochs_and_always_at_max() {
+        let rule = StoppingRule::new(0.5, 0.5, 5, 8).unwrap();
+        let mut state = SequentialMin::new();
+        for epoch in 1..=8u32 {
+            state.observe(Some(100)); // quiet from epoch 2 onward
+            let stop = rule.should_stop(&state);
+            if epoch < 5 {
+                assert!(!stop, "stopped at epoch {epoch} < min_epochs");
+            }
+            if epoch >= 5 {
+                assert!(stop, "streak satisfied and floor passed at epoch {epoch}");
+            }
+        }
+        // A stream that keeps undercutting never satisfies the streak but
+        // must still stop at max_epochs.
+        let rule = StoppingRule::new(0.99, 0.01, 1, 6).unwrap();
+        let mut state = SequentialMin::new();
+        for v in (0..6u32).rev() {
+            state.observe(Some(v));
+        }
+        assert_eq!(state.quiet_epochs(), 0);
+        assert!(rule.should_stop(&state), "max_epochs is a hard ceiling");
+    }
+
+    #[test]
+    fn undercuts_reset_the_streak_and_ties_extend_it() {
+        let mut state = SequentialMin::new();
+        state.observe(Some(50));
+        assert_eq!((state.min(), state.quiet_epochs()), (Some(50), 0));
+        state.observe(Some(60));
+        state.observe(Some(50)); // tie: not an undercut
+        state.observe(None); // censored: not an undercut
+        assert_eq!((state.min(), state.quiet_epochs()), (Some(50), 3));
+        state.observe(Some(49));
+        assert_eq!((state.min(), state.quiet_epochs()), (Some(49), 0));
+        assert_eq!(state.epochs(), 5);
+        assert_eq!(state.censored(), 1);
+    }
+
+    #[test]
+    fn undercut_bound_tracks_the_closed_form() {
+        let rule = rule(0.9, 0.05);
+        let mut state = SequentialMin::new();
+        assert!(rule.undercut_upper_bound(&state).is_none());
+        state.observe(Some(100));
+        assert!(rule.undercut_upper_bound(&state).is_none(), "no quiet evidence yet");
+        for _ in 0..45 {
+            state.observe(Some(120));
+        }
+        let bound = rule.undercut_upper_bound(&state).unwrap();
+        assert!((bound - (1.0 - 0.1f64.powf(1.0 / 45.0))).abs() < 1e-12);
+        assert!(bound <= rule.epsilon(), "streak-satisfied bound must be within tolerance");
+    }
+
+    #[test]
+    fn stop_epoch_is_monotone_in_confidence_on_a_fixed_stream() {
+        // One fixed synthetic stream; higher confidence must never stop
+        // earlier on it.
+        let stream: Vec<Option<u32>> =
+            (0..200u32).map(|i| Some(1_000 + (i.wrapping_mul(2_654_435_761) % 37))).collect();
+        let stop_epoch = |confidence: f64| -> u64 {
+            let rule = StoppingRule::new(confidence, 0.1, 3, 200).unwrap();
+            let mut state = SequentialMin::new();
+            for v in &stream {
+                state.observe(*v);
+                if rule.should_stop(&state) {
+                    return state.epochs();
+                }
+            }
+            state.epochs()
+        };
+        let mut prev = 0;
+        for &c in &[0.5, 0.7, 0.9, 0.95, 0.99] {
+            let e = stop_epoch(c);
+            assert!(e >= prev, "confidence {c} stopped at {e}, earlier than {prev}");
+            prev = e;
+        }
+    }
+}

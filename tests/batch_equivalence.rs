@@ -17,6 +17,7 @@ use vrd::core::algorithm::{find_victim, test_loop_using, FIND_VICTIM_CUTOFF};
 use vrd::core::campaign::{
     foundational_campaign, in_depth_campaign, FoundationalConfig, InDepthConfig,
 };
+use vrd::core::discovery::{discovery_campaign, DiscoveryConfig};
 use vrd::core::exec::ExecConfig;
 use vrd::core::run::RunOptions;
 use vrd::core::{EvalStrategy, SearchStrategy, SweepSpec};
@@ -62,6 +63,34 @@ fn foundational_campaign_is_eval_invariant_across_seeds_and_threads() {
                 reference,
                 foundational_json(threads, seed, EvalStrategy::Batch),
                 "batch eval changed foundational results at seed={seed} threads={threads}"
+            );
+        }
+    }
+}
+
+fn discovery_json(threads: usize, seed: u64, eval: EvalStrategy) -> String {
+    let specs: Vec<ModuleSpec> =
+        ["H3", "M1"].iter().map(|n| ModuleSpec::by_name(n).expect("Table-1 module")).collect();
+    let cfg = DiscoveryConfig::quick().to_builder().seed(seed).build();
+    let results = discovery_campaign(&specs, &cfg, &exec(threads, seed, eval))
+        .expect("plain campaign run cannot fail");
+    serde_json::to_string_pretty(&results).expect("serializable results")
+}
+
+#[test]
+fn discovery_campaign_is_eval_invariant() {
+    // Early stopping raises the stakes: a single divergent measurement
+    // would not only change a value but shift the stopping epoch, so
+    // `epochs_used` (serialized per row) must match too — the batch
+    // path must stop after *exactly* the same number of epochs as the
+    // scalar path on every row.
+    for seed in [5025, 31] {
+        let reference = discovery_json(1, seed, EvalStrategy::Scalar);
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                reference,
+                discovery_json(threads, seed, EvalStrategy::Batch),
+                "batch eval changed discovery results at seed={seed} threads={threads}"
             );
         }
     }

@@ -20,6 +20,7 @@ use vrd::core::campaign::{
     foundational_campaign, in_depth_campaign, FoundationalConfig, FoundationalResult, InDepthConfig,
 };
 use vrd::core::checkpoint::{self, Checkpoint, CheckpointError, CheckpointManifest, UnitHooks};
+use vrd::core::discovery::{discovery_campaign, DiscoveryConfig, DISCOVERY};
 use vrd::core::exec::faults::{self, FaultPlan};
 use vrd::core::exec::{ExecConfig, Progress, Unit, UnitKey};
 use vrd::core::run::RunOptions;
@@ -184,6 +185,60 @@ fn in_depth_killed_and_resumed_is_byte_identical() {
             let _ = std::fs::remove_dir_all(&dir);
         }
     }
+}
+
+#[test]
+fn discovery_stash_with_torn_tail_resumes_byte_identical() {
+    // The discovery campaign journals *partial* row state (epoch
+    // observations) between stashes, so the torn-tail drop interacts
+    // with mid-row resume: losing the tail stash record must fall back
+    // to the previous stash of the same row, fast-forward the RNG, and
+    // still land on the uninterrupted run's bytes.
+    let specs = modules(&["M1"]);
+    let cfg = DiscoveryConfig::quick().to_builder().seed(5025).stash_every(4).build();
+    let manifest = || CheckpointManifest {
+        format_version: checkpoint::FORMAT_VERSION,
+        campaign: DISCOVERY.to_owned(),
+        config_hash: checkpoint::config_hash(&cfg),
+        campaign_seed: cfg.seed,
+        shard_index: 0,
+        shard_count: 1,
+        roster_fingerprint: roster_fingerprint(&specs),
+    };
+    let exec_cfg = ExecConfig::serial(cfg.seed);
+    let golden = serde_json::to_string_pretty(
+        &discovery_campaign(&specs, &cfg, &RunOptions::new(exec_cfg))
+            .expect("plain campaign run cannot fail"),
+    )
+    .unwrap();
+
+    let dir = scratch_dir("disc-torn");
+
+    // First run: die after the third journal append — one selection
+    // commit plus two row stashes, i.e. mid-row with partial epoch
+    // state on disk.
+    let plan = FaultPlan::kill_after(3);
+    let ckpt = Checkpoint::open(&dir, manifest()).unwrap();
+    let first =
+        discovery_campaign(&specs, &cfg, &RunOptions::new(exec_cfg).checkpoint(&ckpt).hooks(&plan));
+    assert!(plan.fired(), "kill fault must fire");
+    assert!(first.is_err(), "a mid-campaign kill must interrupt the run");
+    drop(ckpt);
+
+    // Tear the tail stash record mid-write, as a power cut would.
+    faults::truncate_tail_bytes(&journal_of(&dir), 5).unwrap();
+    let ckpt = Checkpoint::open(&dir, manifest()).unwrap();
+    assert!(ckpt.recovered_torn_tail(), "torn stash tail must be detected");
+    assert!(ckpt.completed_units() >= 1, "earlier records survive the recovery");
+
+    let resumed = discovery_campaign(&specs, &cfg, &RunOptions::new(exec_cfg).checkpoint(&ckpt))
+        .expect("resume completes");
+    assert_eq!(
+        serde_json::to_string_pretty(&resumed).unwrap(),
+        golden,
+        "resume after a torn stash tail must be byte-identical to an uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // ----- journal mechanics on a synthetic workload ---------------------

@@ -9,36 +9,18 @@
 //! To bless after an intentional model change:
 //!
 //! ```text
-//! UPDATE_GOLDEN=1 cargo test --test golden_extensions
+//! UPDATE_GOLDEN=golden_extensions cargo test --test golden_extensions
 //! ```
 
-use std::fs;
-use std::path::PathBuf;
+#[path = "util/golden.rs"]
+mod golden;
 
 use vrd_experiments::{ecc_exp, extensions, foundational, Options};
 
-/// Compares `actual` against `tests/golden/<name>`, or rewrites the file
-/// when `UPDATE_GOLDEN` is set.
+/// Compares `actual` against `tests/golden/<name>`, or rewrites the
+/// file when `UPDATE_GOLDEN` names this suite (see `tests/util/golden.rs`).
 fn assert_golden(name: &str, actual: &str) {
-    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name].iter().collect();
-    let actual = format!("{actual}\n");
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
-        fs::write(&path, actual).expect("write golden file");
-        return;
-    }
-    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden file {} ({e}); bless it with UPDATE_GOLDEN=1 \
-             cargo test --test golden_extensions",
-            path.display()
-        )
-    });
-    assert_eq!(
-        actual, expected,
-        "{name} drifted from its golden snapshot; if the model change is \
-         intentional, re-bless with UPDATE_GOLDEN=1"
-    );
+    golden::assert_golden("golden_extensions", name, actual);
 }
 
 /// Fixed-scale options shared by the extension goldens. Smoke scale

@@ -13,8 +13,11 @@
 //! held by a golden file:
 //!
 //! ```text
-//! UPDATE_GOLDEN=1 cargo test --test observer_events
+//! UPDATE_GOLDEN=observer_events cargo test --test observer_events
 //! ```
+
+#[path = "util/golden.rs"]
+mod golden;
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -269,24 +272,5 @@ fn metrics_report_key_structure_matches_golden() {
     collect_paths(&report.to_value(), "", &mut paths);
     paths.sort();
     paths.dedup();
-    let actual = format!("{}\n", paths.join("\n"));
-
-    let path: PathBuf =
-        [env!("CARGO_MANIFEST_DIR"), "tests", "golden", "metrics_keys.txt"].iter().collect();
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
-        std::fs::write(&path, actual).expect("write golden file");
-        return;
-    }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden file {} ({e}); bless it with UPDATE_GOLDEN=1 \
-             cargo test --test observer_events",
-            path.display()
-        )
-    });
-    assert_eq!(
-        actual, expected,
-        "metrics.json key structure drifted; if intentional, re-bless with UPDATE_GOLDEN=1"
-    );
+    golden::assert_golden("observer_events", "metrics_keys.txt", &paths.join("\n"));
 }

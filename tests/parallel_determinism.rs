@@ -12,11 +12,11 @@
 //! To bless new golden files after an *intentional* model change:
 //!
 //! ```text
-//! UPDATE_GOLDEN=1 cargo test --test parallel_determinism
+//! UPDATE_GOLDEN=parallel_determinism cargo test --test parallel_determinism
 //! ```
 
-use std::fs;
-use std::path::PathBuf;
+#[path = "util/golden.rs"]
+mod golden;
 
 use vrd::core::campaign::{
     foundational_campaign, in_depth_campaign, FoundationalConfig, InDepthConfig,
@@ -82,28 +82,10 @@ fn campaign_seed_changes_the_results() {
     assert_ne!(foundational_json(2, 2025), foundational_json(2, 4242));
 }
 
-/// Compares `actual` against `tests/golden/<name>`, or rewrites the file
-/// when `UPDATE_GOLDEN` is set.
+/// Compares `actual` against `tests/golden/<name>`, or rewrites the
+/// file when `UPDATE_GOLDEN` names this suite (see `tests/util/golden.rs`).
 fn assert_golden(name: &str, actual: &str) {
-    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name].iter().collect();
-    let actual = format!("{actual}\n");
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
-        fs::write(&path, actual).expect("write golden file");
-        return;
-    }
-    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden file {} ({e}); bless it with UPDATE_GOLDEN=1 \
-             cargo test --test parallel_determinism",
-            path.display()
-        )
-    });
-    assert_eq!(
-        actual, expected,
-        "{name} drifted from its golden snapshot; if the model change is \
-         intentional, re-bless with UPDATE_GOLDEN=1"
-    );
+    golden::assert_golden("parallel_determinism", name, actual);
 }
 
 #[test]

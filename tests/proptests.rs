@@ -472,3 +472,120 @@ mod stats_edge_cases {
         let _ = white_noise_bound(0);
     }
 }
+
+/// Property coverage for the discovery stopping rule's binomial kernel:
+/// the Clopper–Pearson bound is monotone in both evidence (trials) and
+/// demanded confidence (alpha), the pmf agrees with a brute-force
+/// expansion at small n, and every out-of-domain input is an error —
+/// never a NaN leaking out of an `Ok`.
+mod stats_binomial {
+    use proptest::prelude::*;
+    use vrd::stats::{
+        binomial_cdf, binomial_pmf, binomial_sf, binomial_upper_confidence,
+        zero_success_upper_confidence,
+    };
+
+    /// Pascal's-triangle pmf, exact enough for n this small.
+    fn brute_pmf(k: u64, n: u64, p: f64) -> f64 {
+        let mut choose = 1.0f64;
+        for i in 0..k {
+            choose *= (n - i) as f64 / (i + 1) as f64;
+        }
+        choose * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
+    }
+
+    proptest! {
+        #[test]
+        fn pmf_matches_brute_force_and_sums_to_one(
+            n in 1u64..=16,
+            p in 0.0f64..=1.0,
+        ) {
+            let mut total = 0.0;
+            for k in 0..=n {
+                let exact = binomial_pmf(k, n, p).unwrap();
+                prop_assert!((exact - brute_pmf(k, n, p)).abs() < 1e-10);
+                total += exact;
+            }
+            prop_assert!((total - 1.0).abs() < 1e-9, "pmf must sum to 1, got {}", total);
+        }
+
+        #[test]
+        fn cdf_and_sf_partition_unity_everywhere(
+            n in 1u64..60,
+            k_frac in 0.0f64..=1.0,
+            p in 0.0f64..=1.0,
+        ) {
+            let k = ((n as f64) * k_frac) as u64;
+            let cdf = binomial_cdf(k, n, p).unwrap();
+            let sf = binomial_sf(k, n, p).unwrap();
+            prop_assert!((0.0..=1.0).contains(&cdf) && (0.0..=1.0).contains(&sf));
+            prop_assert!((cdf + sf - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn upper_bound_is_monotone_in_trials(
+            successes in 0u64..5,
+            n_lo in 5u64..200,
+            extra in 1u64..200,
+            alpha in 0.005f64..0.5,
+        ) {
+            // Same success count on more trials is stronger evidence, so
+            // the bound must not grow.
+            let loose = binomial_upper_confidence(successes, n_lo, alpha).unwrap();
+            let tight = binomial_upper_confidence(successes, n_lo + extra, alpha).unwrap();
+            prop_assert!((0.0..=1.0).contains(&loose) && (0.0..=1.0).contains(&tight));
+            prop_assert!(tight <= loose + 1e-12, "n={} -> {}, n={} -> {}",
+                         n_lo, loose, n_lo + extra, tight);
+        }
+
+        #[test]
+        fn upper_bound_is_monotone_in_alpha(
+            successes in 0u64..5,
+            n in 5u64..200,
+            alpha_lo in 0.005f64..0.4,
+            ratio in 1.05f64..20.0,
+        ) {
+            // Demanding more confidence (smaller alpha) loosens the bound.
+            let alpha_hi = (alpha_lo * ratio).min(0.99);
+            let demanding = binomial_upper_confidence(successes, n, alpha_lo).unwrap();
+            let lenient = binomial_upper_confidence(successes, n, alpha_hi).unwrap();
+            prop_assert!(demanding >= lenient - 1e-12,
+                         "alpha={} -> {}, alpha={} -> {}",
+                         alpha_lo, demanding, alpha_hi, lenient);
+        }
+
+        #[test]
+        fn zero_success_closed_form_matches_bisection(
+            n in 1u64..400,
+            alpha in 0.005f64..0.5,
+        ) {
+            let bisected = binomial_upper_confidence(0, n, alpha).unwrap();
+            let closed = zero_success_upper_confidence(n, alpha).unwrap();
+            prop_assert!((bisected - closed).abs() < 1e-8);
+        }
+
+        #[test]
+        fn degenerate_inputs_error_not_nan(
+            n in 1u64..50,
+            k_past in 1u64..10,
+            bad_p in prop_oneof![Just(-0.25f64), Just(1.25), Just(f64::NAN), Just(f64::INFINITY)],
+            bad_alpha in prop_oneof![Just(0.0f64), Just(1.0), Just(-0.5), Just(f64::NAN)],
+        ) {
+            // Zero trials, k > n, and out-of-range p/alpha (including NaN
+            // and infinity) must all be rejected up front.
+            prop_assert!(binomial_pmf(0, 0, 0.5).is_err());
+            prop_assert!(binomial_cdf(0, 0, 0.5).is_err());
+            prop_assert!(binomial_sf(0, 0, 0.5).is_err());
+            prop_assert!(binomial_pmf(n + k_past, n, 0.5).is_err());
+            prop_assert!(binomial_cdf(n + k_past, n, 0.5).is_err());
+            prop_assert!(binomial_pmf(0, n, bad_p).is_err());
+            prop_assert!(binomial_cdf(0, n, bad_p).is_err());
+            prop_assert!(binomial_sf(0, n, bad_p).is_err());
+            prop_assert!(binomial_upper_confidence(0, n, bad_alpha).is_err());
+            prop_assert!(binomial_upper_confidence(n + k_past, n, 0.05).is_err());
+            prop_assert!(binomial_upper_confidence(0, 0, 0.05).is_err());
+            prop_assert!(zero_success_upper_confidence(0, 0.05).is_err());
+            prop_assert!(zero_success_upper_confidence(n, bad_alpha).is_err());
+        }
+    }
+}

@@ -31,6 +31,9 @@
 //! 4. **The paper-findings scoreboard**: all 17 machine-checked findings
 //!    still pass at the scale the pre-rekey golden was recorded at.
 
+#[path = "util/golden.rs"]
+mod golden;
+
 use std::fs;
 use std::path::PathBuf;
 
@@ -256,24 +259,17 @@ fn findings_scoreboard_is_unchanged() {
 
     let scoreboard: String = checks
         .iter()
-        .map(|c| format!("F{} {}\n", c.id, if c.passed { "PASS" } else { "FAIL" }))
-        .collect();
+        .map(|c| format!("F{} {}", c.id, if c.passed { "PASS" } else { "FAIL" }))
+        .collect::<Vec<_>>()
+        .join("\n");
 
-    let path: PathBuf =
-        [env!("CARGO_MANIFEST_DIR"), "tests", "golden", "findings_scoreboard.txt"].iter().collect();
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        fs::write(&path, &scoreboard).expect("write golden scoreboard");
-        return;
-    }
-    let expected = fs::read_to_string(&path).expect("golden scoreboard exists");
-    assert_eq!(
-        scoreboard,
-        expected,
-        "paper-findings scoreboard changed; failing findings:\n{}",
-        checks
-            .iter()
-            .filter(|c| !c.passed)
-            .map(|c| format!("  F{}: {} — {}\n", c.id, c.title, c.detail))
-            .collect::<String>()
-    );
+    // The failing-findings detail is lost behind the shared helper's
+    // plain diff, so surface it first.
+    let failing: String = checks
+        .iter()
+        .filter(|c| !c.passed)
+        .map(|c| format!("  F{}: {} — {}\n", c.id, c.title, c.detail))
+        .collect();
+    assert!(failing.is_empty(), "paper findings regressed:\n{failing}");
+    golden::assert_golden("rng_rekey_stats", "findings_scoreboard.txt", &scoreboard);
 }

@@ -1,0 +1,58 @@
+//! Shared golden-snapshot helper with *per-suite* blessing scope.
+//!
+//! Every golden-bearing suite includes this file via
+//! `#[path = "util/golden.rs"] mod golden;` and passes its own suite
+//! name. `UPDATE_GOLDEN` must name the suite(s) being re-blessed —
+//! `UPDATE_GOLDEN=observer_events`, comma-separated for several, or
+//! `all` for everything. A bare `UPDATE_GOLDEN=1` is rejected with
+//! guidance: blessing one suite's goldens must not silently rewrite
+//! another suite's.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Whether the `UPDATE_GOLDEN` value asks to re-bless `suite`.
+///
+/// Panics on the legacy catch-all values (`1`, `true`, `yes`, empty)
+/// so stale muscle memory fails loudly instead of over-blessing.
+fn bless_requested(suite: &str) -> bool {
+    let Some(value) = std::env::var_os("UPDATE_GOLDEN") else {
+        return false;
+    };
+    let value = value.to_string_lossy().into_owned();
+    if value == "all" {
+        return true;
+    }
+    if matches!(value.as_str(), "" | "1" | "true" | "yes") {
+        panic!(
+            "UPDATE_GOLDEN={value:?} is ambiguous; name the suite(s) to re-bless, e.g. \
+             UPDATE_GOLDEN={suite} (comma-separate several, or `all` for every suite)"
+        );
+    }
+    value.split(',').any(|part| part.trim() == suite)
+}
+
+/// Compares `actual` (a trailing newline is appended) against
+/// `tests/golden/<name>`, or rewrites the file when `UPDATE_GOLDEN`
+/// names `suite` (or `all`).
+pub fn assert_golden(suite: &str, name: &str, actual: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name].iter().collect();
+    let actual = format!("{actual}\n");
+    if bless_requested(suite) {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless it with UPDATE_GOLDEN={suite} \
+             cargo test --test {suite}",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden snapshot; if the change is intentional, \
+         re-bless with UPDATE_GOLDEN={suite} cargo test --test {suite}"
+    );
+}
