@@ -1,0 +1,190 @@
+//! Emits `BENCH_memsim_sweep.json`: the attack-vs-defense crossover of
+//! the spatial-aware defenses sweep — profile-driven mitigations must
+//! keep the uniform worst-case configuration's zero-escape coverage
+//! while issuing measurably fewer mitigation actions, and the naive
+//! strongest-region configuration must leak.
+//!
+//! Every gated number (escape counts, action totals, findings verdicts)
+//! is fully deterministic in the seed; wall time is reported but never
+//! gated, so the bin is safe on a busy or 1-CPU CI runner.
+//!
+//! ```text
+//! cargo run --release -p vrd-bench --bin bench_memsim_sweep_json -- \
+//!     [--indepth N] [--sweep-acts N] [--seed S] [--out PATH] [--check]
+//! ```
+//!
+//! `--check` exits nonzero unless F18 (coverage kept at lower cost,
+//! every mechanism represented) and F19 (naive configuration leaks for
+//! at least two mechanisms) both hold AND the covered-cell action ratio
+//! clears the acceptance bar.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::Serialize;
+use vrd_experiments::sweep_exp::{covered_actions, covered_points, naive_leaking_kinds};
+use vrd_experiments::{findings, indepth, sweep_exp, Options};
+
+/// Uniform-over-profiled action ratio `--check` requires on the covered
+/// cells (measured ~1.6x at default and smoke scales).
+const CHECK_MIN_ACTION_RATIO: f64 = 1.2;
+
+#[derive(Debug, Serialize)]
+struct Report {
+    seed: u64,
+    module: String,
+    indepth_measurements: u32,
+    sweep_activations: u64,
+    measured_min_rdt: u32,
+    spatial_spread: f64,
+    points: usize,
+    covered_cells: usize,
+    profiled_secure_on_covered: bool,
+    kinds_covered: usize,
+    uniform_actions: u64,
+    profiled_actions: u64,
+    action_ratio: f64,
+    naive_leaking_kinds: Vec<String>,
+    f18_pass: bool,
+    f19_pass: bool,
+    wall_ms: f64,
+}
+
+fn main() -> ExitCode {
+    let mut indepth_measurements: u32 = 80;
+    let mut sweep_activations: u64 = 120_000;
+    let mut seed: u64 = 2025;
+    let mut out = "BENCH_memsim_sweep.json".to_owned();
+    let mut check = false;
+
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut need = |name: &str| {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2)
+            })
+        };
+        match arg.as_str() {
+            "--indepth" => match need("--indepth").parse() {
+                Ok(n) => indepth_measurements = n,
+                Err(e) => {
+                    eprintln!("--indepth: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--sweep-acts" => match need("--sweep-acts").parse() {
+                Ok(n) => sweep_activations = n,
+                Err(e) => {
+                    eprintln!("--sweep-acts: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match need("--seed").parse() {
+                Ok(n) => seed = n,
+                Err(e) => {
+                    eprintln!("--seed: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => out = need("--out"),
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let opts = Options {
+        modules: vec!["M1".into()],
+        indepth_measurements,
+        picks_per_segment: 2,
+        sweep_activations,
+        seed,
+        ..Options::default()
+    };
+
+    let start = Instant::now();
+    let campaign = indepth::run(&opts);
+    let study = sweep_exp::run(&opts, &campaign);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let covered = covered_points(&study);
+    let (uniform_actions, profiled_actions) = covered_actions(&study).unwrap_or((0, 0));
+    let checks = findings::check_sweep(&study);
+    let passed = |id: u8| checks.iter().any(|c| c.id == id && c.passed);
+    let report = Report {
+        seed,
+        module: study.module.clone(),
+        indepth_measurements,
+        sweep_activations,
+        measured_min_rdt: study.measured_min_rdt,
+        spatial_spread: study.spatial_spread,
+        points: study.points.len(),
+        covered_cells: covered.len(),
+        profiled_secure_on_covered: covered.iter().all(|p| p.profiled.secure),
+        kinds_covered: vrd_memsim::MitigationKind::EVALUATED
+            .into_iter()
+            .filter(|&k| covered.iter().any(|p| p.mitigation == k))
+            .count(),
+        uniform_actions,
+        profiled_actions,
+        action_ratio: uniform_actions as f64 / (profiled_actions as f64).max(1.0),
+        naive_leaking_kinds: naive_leaking_kinds(&study)
+            .into_iter()
+            .map(|k| k.name().to_owned())
+            .collect(),
+        f18_pass: passed(18),
+        f19_pass: passed(19),
+        wall_ms,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "{}  min RDT {}  spread {:.2}x  {} covered / {} cells  actions uniform {} vs profiled \
+         {} ({:.2}x fewer)  naive leaks: {}  {:8.1} ms  -> {}",
+        report.module,
+        report.measured_min_rdt,
+        report.spatial_spread,
+        report.covered_cells,
+        report.points,
+        report.uniform_actions,
+        report.profiled_actions,
+        report.action_ratio,
+        if report.naive_leaking_kinds.is_empty() {
+            "none".to_owned()
+        } else {
+            report.naive_leaking_kinds.join(", ")
+        },
+        report.wall_ms,
+        out
+    );
+    for c in &checks {
+        println!("F{} {}: {}", c.id, if c.passed { "PASS" } else { "FAIL" }, c.detail);
+    }
+
+    if check {
+        if !report.f18_pass || !report.f19_pass {
+            eprintln!(
+                "FAIL: sweep findings not supported (F18 {}, F19 {})",
+                report.f18_pass, report.f19_pass
+            );
+            return ExitCode::FAILURE;
+        }
+        if report.action_ratio < CHECK_MIN_ACTION_RATIO {
+            eprintln!(
+                "FAIL: profiled defenses save only {:.2}x actions over uniform (bar: \
+                 {CHECK_MIN_ACTION_RATIO}x)",
+                report.action_ratio
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

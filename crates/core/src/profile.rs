@@ -99,6 +99,17 @@ impl VrdProfile {
         self.norm_min.iter().copied().find(|s| s.n == n)
     }
 
+    /// The smallest RDT observed at any measured on-time — the
+    /// worst-case anchor a mitigation threshold (or a per-region
+    /// mitigation profile derived from it) must not exceed. `None` when
+    /// the campaign measured no series at the profiled on-times.
+    pub fn min_observed_rdt(&self) -> Option<u32> {
+        match (self.min_rdt_tras, self.min_rdt_trefi) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Whether this profile is *worse* than `other` at N = 1 (the paper's
     /// density/revision comparison, Finding 11): higher median expected
     /// normalized minimum.
@@ -153,5 +164,17 @@ mod tests {
         let p = quick_profile("M4");
         assert!(p.min_rdt_tras.is_some());
         assert_eq!(p.min_rdt_trefi, None);
+    }
+
+    #[test]
+    fn min_observed_rdt_takes_the_smaller_on_time_minimum() {
+        let mut p = quick_profile("M1");
+        assert_eq!(p.min_observed_rdt(), p.min_rdt_tras, "quick grid has only tRAS minima");
+        p.min_rdt_trefi = Some(1);
+        assert_eq!(p.min_observed_rdt(), Some(1));
+        p.min_rdt_tras = None;
+        assert_eq!(p.min_observed_rdt(), Some(1));
+        p.min_rdt_trefi = None;
+        assert_eq!(p.min_observed_rdt(), None);
     }
 }

@@ -252,6 +252,15 @@ impl DramDevice {
         &self.config
     }
 
+    /// The device seed. Together with [`DeviceConfig::spatial`] this
+    /// fully determines the per-row spatial factors
+    /// ([`SpatialProfile::factor`](crate::spatial::SpatialProfile::factor)),
+    /// so external tooling can reconstruct the spatial threshold map
+    /// without probing every row.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Current device temperature (°C). Set by the test platform's
     /// thermal controller.
     pub fn temperature_c(&self) -> f64 {

@@ -46,6 +46,48 @@ impl SpatialProfile {
         }
     }
 
+    /// A wide spatial spread: the order-of-magnitude row-to-row
+    /// disturbance-threshold variation that spatial-variation studies
+    /// report across a bank (the paper's reference \[134\]), versus the
+    /// mild ±5% of [`ddr4_default`](Self::ddr4_default). Used by the
+    /// spatial-aware-defense evaluation, where the gap between the
+    /// weakest and strongest subarrays is what a profile-driven
+    /// mitigation exploits.
+    pub fn wide() -> Self {
+        SpatialProfile { subarray_rows: 512, edge_factor: 0.5, edge_rows: 2, subarray_sigma: 0.45 }
+    }
+
+    /// The smallest spatial factor over a physical-row range — the
+    /// worst case a defense covering those rows must be configured for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn min_factor_in(&self, rows: std::ops::Range<u32>, device_seed: u64) -> f64 {
+        assert!(!rows.is_empty(), "need at least one row");
+        rows.map(|r| self.factor(r, device_seed)).fold(f64::INFINITY, f64::min)
+    }
+
+    /// The physical row with the smallest spatial factor in a range,
+    /// with its factor — the most vulnerable row a spatial-aware
+    /// attacker would target in that region. Ties resolve to the lowest
+    /// row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn min_factor_row_in(&self, rows: std::ops::Range<u32>, device_seed: u64) -> (u32, f64) {
+        assert!(!rows.is_empty(), "need at least one row");
+        let mut best = (rows.start, f64::INFINITY);
+        for row in rows {
+            let f = self.factor(row, device_seed);
+            if f < best.1 {
+                best = (row, f);
+            }
+        }
+        best
+    }
+
     /// The subarray index of a physical row.
     pub fn subarray_of(&self, physical_row: u32) -> u32 {
         physical_row / self.subarray_rows.max(1)

@@ -5,6 +5,10 @@
 //! supporting numbers. Statistical findings are checked with tolerances
 //! appropriate to the configured scale (they are asserted strictly in the
 //! integration suite at default scale).
+//!
+//! Beyond the paper's 17, [`check_sweep`] adds F18/F19 from the
+//! spatial-aware defenses sweep (`vrd-exp memsim-sweep`, after the
+//! paper's reference \[134\]).
 
 use serde::{Deserialize, Serialize};
 
@@ -19,6 +23,7 @@ use crate::indepth::{
     table7, InDepthStudy,
 };
 use crate::render::Table;
+use crate::sweep_exp::SweepStudy;
 
 /// Outcome of checking one finding.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -316,6 +321,57 @@ pub fn check_cells(study: &InDepthStudy) -> Vec<FindingCheck> {
         similar,
         format!("median CV anti {ma:.4} vs true {mt:.4}"),
     )]
+}
+
+/// Evaluates findings 18–19 (the spatial-aware defenses sweep; these
+/// extend the paper's list with its reference \[134\]'s crossover).
+pub fn check_sweep(study: &SweepStudy) -> Vec<FindingCheck> {
+    use crate::sweep_exp::{covered_actions, covered_points, naive_leaking_kinds};
+
+    let mut out = Vec::new();
+
+    let covered = covered_points(study);
+    let coverage_kept = covered.iter().all(|p| p.profiled.secure);
+    let kinds_covered = vrd_memsim::MitigationKind::EVALUATED
+        .into_iter()
+        .filter(|&k| covered.iter().any(|p| p.mitigation == k))
+        .count();
+    let (f18_pass, f18_detail) = match covered_actions(study) {
+        Some((uniform, profiled)) => (
+            coverage_kept
+                && profiled < uniform
+                && kinds_covered == vrd_memsim::MitigationKind::EVALUATED.len(),
+            format!(
+                "{} uniform-secure cells over {kinds_covered}/{} mechanisms; profiled secure \
+                 on {}; actions uniform {uniform} vs profiled {profiled}",
+                covered.len(),
+                vrd_memsim::MitigationKind::EVALUATED.len(),
+                if coverage_kept { "all of them" } else { "NOT all of them" },
+            ),
+        ),
+        None => (false, "no sweep cell was covered by the uniform worst case".to_owned()),
+    };
+    out.push(check(
+        18,
+        "Profile-driven defenses keep worst-case coverage with fewer actions",
+        f18_pass,
+        f18_detail,
+    ));
+
+    let leaking = naive_leaking_kinds(study);
+    let names: Vec<&str> = leaking.iter().map(|k| k.name()).collect();
+    out.push(check(
+        19,
+        "Configuring for the strongest region leaks bitflips on weak regions",
+        leaking.len() >= 2,
+        format!(
+            "naive (spread {}x) leaks for {}",
+            crate::render::f(study.spatial_spread, 2),
+            if names.is_empty() { "no mechanism".to_owned() } else { names.join(", ") },
+        ),
+    ));
+
+    out
 }
 
 fn spread_of(values: &[(String, f64)]) -> f64 {

@@ -17,6 +17,7 @@
 //! | `fig17`–`fig24` | Appendix A time/energy | [`estimate_exp`] |
 //! | `findings` | Findings 1–17 | [`findings`] |
 //! | `discovery` | DiscoRD-style early-stopping RDT bounds | [`discovery_exp`] |
+//! | `memsim-sweep` | spatial-aware defenses sweep (ref \[134\]) | [`sweep_exp`] |
 //! | `ablation` `security` `online` | extensions beyond the paper | [`extensions`] |
 
 pub mod discovery_exp;
@@ -33,5 +34,6 @@ pub mod opts;
 pub mod render;
 pub mod runner;
 pub mod sinks;
+pub mod sweep_exp;
 
 pub use opts::Options;

@@ -5,7 +5,7 @@
 //!
 //! ids: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!      fig14 fig15 fig16 fig17-20 fig21-24 fig25 tab3 tab7 findings
-//!      discovery all
+//!      discovery memsim-sweep all
 //!
 //! flags:
 //!   --paper               paper-scale measurement counts (slow!)
@@ -21,6 +21,11 @@
 //!                         savings are quoted against)
 //!   --mixes N             Fig.-14 workload mixes
 //!   --cycles N            Fig.-14 simulated nanoseconds
+//!   --region-rows N       rows per mitigation-profile region in the
+//!                         spatial-aware defenses sweep (default 512,
+//!                         one device-model subarray per region)
+//!   --sweep-acts N        attacker activations per defenses-sweep
+//!                         attack simulation
 //!   --modules A,B,...     restrict the module roster
 //!   --seed N              root RNG seed
 //!   --threads N           worker threads (0 = all cores); results are
@@ -57,7 +62,7 @@ use std::sync::OnceLock;
 
 use vrd_experiments::{
     discovery_exp, ecc_exp, estimate_exp, extensions, findings, foundational, guardband_exp,
-    indepth, mc, memsim_exp, runner::save_json, sinks, Options,
+    indepth, mc, memsim_exp, runner::save_json, sinks, sweep_exp, Options,
 };
 
 /// Lazily computed shared studies so `all` runs each campaign once.
@@ -67,6 +72,7 @@ struct Ctx {
     indepth: OnceLock<indepth::InDepthStudy>,
     guardband: OnceLock<guardband_exp::GuardbandStudy>,
     discovery: OnceLock<discovery_exp::DiscoveryStudy>,
+    sweep: OnceLock<sweep_exp::SweepStudy>,
 }
 
 impl Ctx {
@@ -109,6 +115,17 @@ impl Ctx {
                 opts.discovery_max_epochs
             ));
             discovery_exp::run(opts)
+        })
+    }
+
+    fn sweep(&self, opts: &Options) -> &sweep_exp::SweepStudy {
+        self.sweep.get_or_init(|| {
+            let study = self.indepth(opts);
+            sinks::status(format!(
+                "running spatial-aware defenses sweep ({} activations/attack)...",
+                opts.sweep_activations
+            ));
+            sweep_exp::run(opts, study)
         })
     }
 }
@@ -157,6 +174,7 @@ const ALL_IDS: &[&str] = &[
     "tab7",
     "findings",
     "discovery",
+    "memsim-sweep",
     "ablation",
     "security",
     "online",
@@ -223,6 +241,20 @@ fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
             "--cycles" => {
                 opts.sim_cycles =
                     need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+            }
+            "--region-rows" => {
+                opts.region_rows =
+                    need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?;
+                if opts.region_rows == 0 {
+                    return Err(format!("{arg}: must be positive"));
+                }
+            }
+            "--sweep-acts" => {
+                opts.sweep_activations =
+                    need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?;
+                if opts.sweep_activations == 0 {
+                    return Err(format!("{arg}: must be positive"));
+                }
             }
             "--modules" => {
                 opts.modules =
@@ -425,10 +457,24 @@ fn run_experiment(id: &str, opts: &Options, ctx: &Ctx) {
             sinks::artifact(id, discovery_exp::render(study));
             let _ = save_json(opts, "discovery", study);
         }
+        "memsim-sweep" => {
+            let study = ctx.sweep(opts);
+            sinks::artifact(id, sweep_exp::render(study));
+            let _ = save_json(opts, "memsim-sweep", study);
+            let profile_path = std::path::Path::new(&opts.out_dir).join("mitigation_profile.json");
+            match study.profile.save(&profile_path) {
+                Ok(()) => sinks::status(format!(
+                    "mitigation profile artifact written to {}",
+                    profile_path.display()
+                )),
+                Err(e) => sinks::error(format!("cannot write mitigation profile: {e}")),
+            }
+        }
         "findings" => {
             let mut checks = findings::check_foundational(ctx.foundational(opts));
             checks.extend(findings::check_indepth(ctx.indepth(opts)));
             checks.extend(findings::check_cells(ctx.indepth(opts)));
+            checks.extend(findings::check_sweep(ctx.sweep(opts)));
             sinks::artifact(id, findings::render(&checks));
             let _ = save_json(opts, "findings", &checks);
         }

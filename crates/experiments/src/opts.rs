@@ -39,6 +39,14 @@ pub struct Options {
     pub mixes: usize,
     /// Simulated nanoseconds per Fig.-14 run (paper: full workloads).
     pub sim_cycles: u64,
+    /// Rows per mitigation-profile region in the spatial-aware defenses
+    /// sweep (`--region-rows`; the default matches the device model's
+    /// subarray size, so each region carries one subarray's spatial
+    /// factor).
+    pub region_rows: u32,
+    /// Attacker activations per spatial-attack simulation in the
+    /// defenses sweep (`--sweep-acts`).
+    pub sweep_activations: u64,
     /// Module names to test; empty = the full Table-1 roster.
     pub modules: Vec<String>,
     /// Root RNG seed.
@@ -100,6 +108,8 @@ impl Default for Options {
             guardband_rows: 8,
             mixes: 5,
             sim_cycles: 400_000,
+            region_rows: 512,
+            sweep_activations: 300_000,
             modules: Vec::new(),
             seed: 2025,
             row_bytes: 2048,
@@ -131,6 +141,7 @@ impl Options {
             guardband_rows: 50,
             mixes: 15,
             sim_cycles: 2_000_000,
+            sweep_activations: 2_000_000,
             discovery_max_epochs: 1_000,
             row_bytes: 8_192,
             ..Options::default()
@@ -149,6 +160,7 @@ impl Options {
             guardband_rows: 2,
             mixes: 1,
             sim_cycles: 60_000,
+            sweep_activations: 60_000,
             discovery_max_epochs: 120,
             modules: vec!["M1".into(), "S0".into(), "Chip1".into()],
             row_bytes: 512,

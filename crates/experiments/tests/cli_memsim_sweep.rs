@@ -1,0 +1,133 @@
+//! End-to-end test of `vrd-exp memsim-sweep`: the sweep must emit its
+//! JSON study and a reloadable `mitigation_profile.json` artifact next
+//! to it, participate in the CLI observability surface (`--trace-out`,
+//! `metrics.json`, `--log-format json`), and validate its flags.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vrd_core::obs::metrics::MetricsReport;
+use vrd_core::obs::trace::parse_jsonl;
+use vrd_core::obs::Event;
+use vrd_experiments::sweep_exp::{SweepStudy, GUARDBANDS, RDT_TARGETS};
+use vrd_memsim::{MitigationKind, MitigationProfile};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("vrd-sweep-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn vrd_exp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vrd-exp")).args(args).output().expect("spawn vrd-exp")
+}
+
+/// Small fixed-seed sweep over one module: a short in-depth campaign
+/// feeding a reduced-activation attack grid.
+const RUN: &[&str] = &[
+    "memsim-sweep",
+    "--modules",
+    "M1",
+    "--indepth",
+    "40",
+    "--rows",
+    "2",
+    "--sweep-acts",
+    "30000",
+    "--seed",
+    "11",
+    "--threads",
+    "2",
+];
+
+#[test]
+fn sweep_writes_study_and_reloadable_profile_artifact() {
+    let out = scratch_dir("artifacts");
+    let out_dir = out.to_str().unwrap().to_owned();
+    let trace = out.join("trace.jsonl");
+    let trace_path = trace.to_str().unwrap().to_owned();
+
+    let run = vrd_exp(&[RUN, &["--out", &out_dir, "--trace-out", &trace_path]].concat());
+    assert!(run.status.success(), "sweep run failed: {run:?}");
+
+    // The study JSON parses back into the library type with the full
+    // sweep grid.
+    let study_json =
+        std::fs::read_to_string(out.join("memsim-sweep.json")).expect("study JSON written");
+    let study: SweepStudy = serde_json::from_str(&study_json).expect("study parses");
+    assert_eq!(study.module, "M1");
+    assert_eq!(
+        study.points.len(),
+        RDT_TARGETS.len() * GUARDBANDS.len() * MitigationKind::EVALUATED.len()
+    );
+    assert_eq!(study.activations, 30_000);
+
+    // The profile artifact reloads through the library loader and
+    // matches the study's embedded profile.
+    let profile =
+        MitigationProfile::load(&out.join("mitigation_profile.json")).expect("artifact loads");
+    assert_eq!(profile, study.profile);
+    assert_eq!(profile.min_threshold(), study.measured_min_rdt);
+    assert!(!profile.is_flat(), "a wide spatial layout must yield a non-flat profile");
+
+    // The in-depth campaign feeding the sweep is traced and metered.
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let events = parse_jsonl(&text).expect("every trace line parses back into an Event");
+    assert!(
+        events.iter().any(
+            |e| matches!(e, Event::CampaignFinished { campaign, .. } if campaign == "in_depth")
+        ),
+        "trace must bracket the in-depth campaign"
+    );
+    let metrics = std::fs::read_to_string(out.join("metrics.json")).expect("metrics.json written");
+    let reports: Vec<MetricsReport> = serde_json::from_str(&metrics).expect("metrics parse");
+    assert!(
+        reports.iter().any(|r| r.campaign == "in_depth"),
+        "metrics must cover the in-depth campaign"
+    );
+
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn sweep_renders_machine_readable_artifact_events() {
+    let out = scratch_dir("json");
+    let out_dir = out.to_str().unwrap().to_owned();
+
+    let run = vrd_exp(&[RUN, &["--out", &out_dir, "--log-format", "json"]].concat());
+    assert!(run.status.success(), "json-format run failed: {run:?}");
+
+    let stdout = String::from_utf8(run.stdout).expect("utf-8 stdout");
+    let artifacts = parse_jsonl(&stdout).expect("every stdout line parses as an Event");
+    assert!(
+        artifacts.iter().any(|e| matches!(
+            e,
+            Event::Artifact { id, text } if id == "memsim-sweep" && text.contains("uniform-secure cells")
+        )),
+        "stdout must carry the sweep artifact, got {artifacts:?}"
+    );
+
+    let stderr = String::from_utf8(run.stderr).expect("utf-8 stderr");
+    let messages = parse_jsonl(&stderr).expect("every stderr line parses as an Event");
+    assert!(
+        messages.iter().all(|e| matches!(e, Event::Message { .. })),
+        "stderr must carry only Message events, got {messages:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn sweep_flags_are_validated() {
+    let run = vrd_exp(&["memsim-sweep", "--region-rows", "0"]);
+    assert_eq!(run.status.code(), Some(2), "zero --region-rows must exit 2");
+    assert!(String::from_utf8_lossy(&run.stderr).contains("--region-rows"));
+
+    let run = vrd_exp(&["memsim-sweep", "--sweep-acts", "0"]);
+    assert_eq!(run.status.code(), Some(2), "zero --sweep-acts must exit 2");
+    assert!(String::from_utf8_lossy(&run.stderr).contains("--sweep-acts"));
+}

@@ -18,6 +18,10 @@
 //! - [`mitigation`] — Graphene (Misra–Gries counters), PARA
 //!   (probabilistic), PRAC (per-row activation counters with back-off),
 //!   and MINT (minimalist in-DRAM tracker with RFMs).
+//! - [`profile`] — per-region effective-threshold maps
+//!   ([`MitigationProfile`]) derived from a characterization campaign +
+//!   the device's spatial layout; every mechanism in [`mitigation`] can
+//!   consult one instead of a uniform worst-case threshold.
 //! - [`system`] — ties everything into a steppable system and reports
 //!   weighted speedup.
 //!
@@ -36,10 +40,12 @@
 pub mod cpu;
 pub mod dram;
 pub mod mitigation;
+pub mod profile;
 pub mod security;
 pub mod system;
 pub mod trace;
 pub mod workload;
 
-pub use mitigation::MitigationKind;
+pub use mitigation::{MitigationConfig, MitigationKind};
+pub use profile::{MitigationProfile, ProfileError};
 pub use system::{SimConfig, SimStats, System};

@@ -17,7 +17,16 @@
 //!   suffices when the RDT exceeds the activations-per-tREFI bound;
 //!   below it, periodic RFMs are inserted every `RDT/2` activations
 //!   \[Qureshi et al., 2024\].
+//!
+//! Every mechanism is *profile-driven*: it consults a
+//! [`MitigationProfile`] for the effective threshold of the row being
+//! activated, so spatially strong regions trigger less often. A flat
+//! profile (one threshold everywhere) reproduces the classical uniform
+//! behavior action-for-action; build uniform mechanisms with
+//! [`MitigationKind::build_with`] and profile-aware ones with
+//! [`MitigationKind::build_with_profile`].
 
+use crate::profile::MitigationProfile;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -86,6 +95,86 @@ pub enum MitigationKind {
     BlockHammer,
 }
 
+/// Configuration for instantiating a mitigation mechanism.
+///
+/// Replaces the positional `(threshold, banks, seed)` triple of the
+/// deprecated [`MitigationKind::build`] — which silently ignored `banks`
+/// for the bank-agnostic mechanisms — with named knobs and room to grow.
+///
+/// `#[non_exhaustive]`: construct via [`MitigationConfig::default`] or
+/// [`MitigationConfig::builder`], so future fields are not breaking
+/// changes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct MitigationConfig {
+    /// Effective read-disturbance threshold (RDT minus guardband). When
+    /// building with [`MitigationKind::build_with_profile`] the
+    /// profile's per-region thresholds take its place.
+    pub threshold: u32,
+    /// Banks in the channel. Sizes Graphene's per-bank tables; the
+    /// bank-agnostic mechanisms (PARA, PRAC, MINT, BlockHammer) key
+    /// their state off the `(bank, row)` pairs they observe instead.
+    pub banks: usize,
+    /// Seed for the probabilistic mechanisms (PARA).
+    pub seed: u64,
+}
+
+impl Default for MitigationConfig {
+    fn default() -> Self {
+        MitigationConfig { threshold: 1024, banks: 16, seed: 0 }
+    }
+}
+
+impl MitigationConfig {
+    /// A builder seeded with the defaults.
+    pub fn builder() -> MitigationConfigBuilder {
+        MitigationConfigBuilder { cfg: MitigationConfig::default() }
+    }
+
+    /// A builder seeded with this configuration's values.
+    pub fn to_builder(&self) -> MitigationConfigBuilder {
+        MitigationConfigBuilder { cfg: self.clone() }
+    }
+}
+
+/// Builder for [`MitigationConfig`]; obtained from
+/// [`MitigationConfig::builder`] or [`MitigationConfig::to_builder`].
+#[derive(Debug, Clone)]
+pub struct MitigationConfigBuilder {
+    cfg: MitigationConfig,
+}
+
+impl MitigationConfigBuilder {
+    /// Sets the effective threshold.
+    pub fn threshold(mut self, threshold: u32) -> Self {
+        self.cfg.threshold = threshold;
+        self
+    }
+
+    /// Sets the bank count.
+    pub fn banks(mut self, banks: usize) -> Self {
+        self.cfg.banks = banks;
+        self
+    }
+
+    /// Sets the seed for probabilistic mechanisms.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Finishes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the threshold or bank count is zero.
+    pub fn build(self) -> MitigationConfig {
+        assert!(self.cfg.threshold >= 1, "threshold must be positive");
+        assert!(self.cfg.banks >= 1, "need at least one bank");
+        self.cfg
+    }
+}
+
 impl MitigationKind {
     /// All mitigations evaluated in Fig. 14 (excluding the baseline).
     pub const EVALUATED: [MitigationKind; 4] = [
@@ -105,14 +194,43 @@ impl MitigationKind {
     ];
 
     /// Instantiates the mechanism for an effective threshold.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `build_with` (or `build_with_profile`) with a `MitigationConfig`; \
+                this signature silently ignored `banks` for the bank-agnostic mechanisms"
+    )]
     pub fn build(self, threshold: u32, banks: usize, seed: u64) -> Box<dyn Mitigation> {
+        self.build_with(
+            &MitigationConfig::builder().threshold(threshold).banks(banks).seed(seed).build(),
+        )
+    }
+
+    /// Instantiates the mechanism with one uniform threshold
+    /// (`cfg.threshold` everywhere).
+    pub fn build_with(self, cfg: &MitigationConfig) -> Box<dyn Mitigation> {
+        self.build_with_profile(cfg, &MitigationProfile::flat(cfg.threshold))
+    }
+
+    /// Instantiates the mechanism with per-region thresholds from a
+    /// [`MitigationProfile`]. The profile overrides `cfg.threshold`;
+    /// `cfg.banks` and `cfg.seed` still apply. With a flat profile the
+    /// result is action-for-action identical to [`build_with`].
+    ///
+    /// [`build_with`]: MitigationKind::build_with
+    pub fn build_with_profile(
+        self,
+        cfg: &MitigationConfig,
+        profile: &MitigationProfile,
+    ) -> Box<dyn Mitigation> {
         match self {
             MitigationKind::None => Box::new(NoMitigation),
-            MitigationKind::Graphene => Box::new(Graphene::new(threshold, banks)),
-            MitigationKind::Para => Box::new(Para::new(threshold, seed)),
-            MitigationKind::Prac => Box::new(Prac::new(threshold)),
-            MitigationKind::Mint => Box::new(Mint::new(threshold)),
-            MitigationKind::BlockHammer => Box::new(BlockHammer::new(threshold)),
+            MitigationKind::Graphene => {
+                Box::new(Graphene::with_profile(profile.clone(), cfg.banks))
+            }
+            MitigationKind::Para => Box::new(Para::with_profile(profile.clone(), cfg.seed)),
+            MitigationKind::Prac => Box::new(Prac::with_profile(profile.clone())),
+            MitigationKind::Mint => Box::new(Mint::with_profile(profile.clone())),
+            MitigationKind::BlockHammer => Box::new(BlockHammer::with_profile(profile.clone())),
         }
     }
 
@@ -146,9 +264,9 @@ impl Mitigation for NoMitigation {
 /// Graphene: per-bank Misra–Gries tables.
 #[derive(Debug)]
 pub struct Graphene {
-    /// Preventive-refresh trigger count (`RDT / 4`).
-    trigger: u32,
-    /// Counter table capacity per bank.
+    thresholds: MitigationProfile,
+    /// Counter table capacity per bank (sized for the worst-case
+    /// trigger, so the weakest region stays fully tracked).
     capacity: usize,
     tables: Vec<HashMap<u32, u32>>,
     /// Misra–Gries spillover counters.
@@ -156,28 +274,41 @@ pub struct Graphene {
 }
 
 impl Graphene {
-    /// Builds tables sized for the activation budget of one refresh
-    /// window (`tREFW / tRC` activations) divided by the trigger count.
+    /// Uniform Graphene: one effective threshold everywhere.
     pub fn new(threshold: u32, banks: usize) -> Self {
-        let trigger = (threshold / 4).max(1);
+        Graphene::with_profile(MitigationProfile::flat(threshold), banks)
+    }
+
+    /// Profile-driven Graphene: each row's preventive-refresh trigger is
+    /// a quarter of its region's threshold. Tables are sized for the
+    /// activation budget of one refresh window (`tREFW / tRC`
+    /// activations) divided by the worst-case trigger.
+    pub fn with_profile(thresholds: MitigationProfile, banks: usize) -> Self {
+        let trigger = (thresholds.min_threshold() / 4).max(1);
         let acts_per_window = 32_000_000 / 46; // DDR5 tREFW / tRC
         let capacity = ((acts_per_window / u64::from(trigger)) as usize).clamp(16, 4096);
         Graphene {
-            trigger,
+            thresholds,
             capacity,
             tables: (0..banks).map(|_| HashMap::new()).collect(),
             spill: vec![0; banks],
         }
     }
 
-    /// The preventive-refresh trigger count.
+    /// The worst-case (weakest-region) preventive-refresh trigger count.
     pub fn trigger(&self) -> u32 {
-        self.trigger
+        (self.thresholds.min_threshold() / 4).max(1)
+    }
+
+    /// The preventive-refresh trigger count for one row.
+    pub fn trigger_for(&self, row: u32) -> u32 {
+        (self.thresholds.threshold_for(row) / 4).max(1)
     }
 }
 
 impl Mitigation for Graphene {
     fn on_activate(&mut self, bank: usize, row: u32, _now: u64) -> Vec<MitigationAction> {
+        let trigger = self.trigger_for(row);
         let table = &mut self.tables[bank];
         let count = if let Some(c) = table.get_mut(&row) {
             *c += 1;
@@ -193,7 +324,7 @@ impl Mitigation for Graphene {
             table.retain(|_, c| *c > spill);
             return Vec::new();
         };
-        if count >= self.trigger {
+        if count >= trigger {
             table.insert(row, 0);
             vec![MitigationAction::RefreshNeighbors { bank, row }]
         } else {
@@ -206,11 +337,11 @@ impl Mitigation for Graphene {
     }
 }
 
-/// PARA: refresh neighbors with probability `p = 10 / RDT` per
+/// PARA: refresh neighbors with probability `p ∝ 1 / RDT` per
 /// activation.
 #[derive(Debug)]
 pub struct Para {
-    p: f64,
+    thresholds: MitigationProfile,
     rng: ChaCha12Rng,
 }
 
@@ -221,23 +352,39 @@ impl Para {
     /// `(1 - p)^T < 1e-13` gives `p ≈ 30 / T`.
     pub const PARA_CONSTANT: f64 = 30.0;
 
-    /// Creates PARA for the given effective threshold.
+    /// Uniform PARA: one effective threshold everywhere.
     pub fn new(threshold: u32, seed: u64) -> Self {
-        Para {
-            p: (Self::PARA_CONSTANT / f64::from(threshold.max(1))).min(1.0),
-            rng: ChaCha12Rng::seed_from_u64(seed),
-        }
+        Para::with_profile(MitigationProfile::flat(threshold), seed)
     }
 
-    /// The per-activation refresh probability.
+    /// Profile-driven PARA: each activation rolls with the probability
+    /// derived from the activated row's region threshold, on one shared
+    /// RNG stream — exactly one draw per activation, so a flat profile
+    /// replays the uniform stream bit-for-bit.
+    pub fn with_profile(thresholds: MitigationProfile, seed: u64) -> Self {
+        Para { thresholds, rng: ChaCha12Rng::seed_from_u64(seed) }
+    }
+
+    fn p_of(threshold: u32) -> f64 {
+        (Self::PARA_CONSTANT / f64::from(threshold.max(1))).min(1.0)
+    }
+
+    /// The worst-case (weakest-region) per-activation refresh
+    /// probability.
     pub fn probability(&self) -> f64 {
-        self.p
+        Self::p_of(self.thresholds.min_threshold())
+    }
+
+    /// The per-activation refresh probability for one row.
+    pub fn probability_for(&self, row: u32) -> f64 {
+        Self::p_of(self.thresholds.threshold_for(row))
     }
 }
 
 impl Mitigation for Para {
     fn on_activate(&mut self, bank: usize, row: u32, _now: u64) -> Vec<MitigationAction> {
-        if self.rng.gen_bool(self.p) {
+        let p = Self::p_of(self.thresholds.threshold_for(row));
+        if self.rng.gen_bool(p) {
             vec![MitigationAction::RefreshNeighbors { bank, row }]
         } else {
             Vec::new()
@@ -252,26 +399,37 @@ impl Mitigation for Para {
 /// PRAC: per-row activation counters with alert back-off.
 #[derive(Debug)]
 pub struct Prac {
-    /// Alert threshold (three quarters of the effective RDT — the JEDEC
-    /// NBO margin leaves room for in-flight activations).
-    alert: u32,
+    thresholds: MitigationProfile,
     counters: HashMap<(usize, u32), u32>,
     /// Channel-wide stall of the ABO handshake (ns).
     backoff_ns: u64,
 }
 
 impl Prac {
-    /// Creates PRAC for the given effective threshold.
+    /// Uniform PRAC: one effective threshold everywhere.
     pub fn new(threshold: u32) -> Self {
-        Prac { alert: (threshold * 3 / 4).max(1), counters: HashMap::new(), backoff_ns: 100 }
+        Prac::with_profile(MitigationProfile::flat(threshold))
+    }
+
+    /// Profile-driven PRAC: each row alerts at three quarters of its
+    /// region's threshold (the JEDEC NBO margin leaves room for
+    /// in-flight activations).
+    pub fn with_profile(thresholds: MitigationProfile) -> Self {
+        Prac { thresholds, counters: HashMap::new(), backoff_ns: 100 }
+    }
+
+    /// The alert threshold for one row.
+    pub fn alert_for(&self, row: u32) -> u32 {
+        ((u64::from(self.thresholds.threshold_for(row)) * 3 / 4) as u32).max(1)
     }
 }
 
 impl Mitigation for Prac {
     fn on_activate(&mut self, bank: usize, row: u32, _now: u64) -> Vec<MitigationAction> {
+        let alert = self.alert_for(row);
         let c = self.counters.entry((bank, row)).or_insert(0);
         *c += 1;
-        if *c >= self.alert {
+        if *c >= alert {
             *c = 0;
             // The alerted DRAM refreshes the aggressor's neighbors during
             // the RFM the controller issues, and the ABO handshake stalls
@@ -294,9 +452,11 @@ impl Mitigation for Prac {
 /// threshold is below the per-tREFI activation bound.
 #[derive(Debug)]
 pub struct Mint {
-    /// Activations between inserted RFMs; `None` when the threshold is
-    /// high enough that the per-REF mitigation alone is secure.
-    rfm_interval: Option<u32>,
+    thresholds: MitigationProfile,
+    /// RFM interval currently owed: the smallest interval among the
+    /// regions activated since the last inserted RFM; `None` when no
+    /// activated region needs inserted RFMs.
+    pending_interval: Option<u32>,
     acts: u32,
     /// RFM duration (ns).
     rfm_ns: u64,
@@ -308,16 +468,33 @@ impl Mint {
     /// Activations that fit in one tREFI at back-to-back row cycles.
     pub const ACTS_PER_TREFI: u32 = 3900 / 46;
 
-    /// Creates MINT for the given effective threshold.
+    /// Uniform MINT: one effective threshold everywhere.
     pub fn new(threshold: u32) -> Self {
-        let rfm_interval =
-            if threshold >= Self::ACTS_PER_TREFI { None } else { Some((threshold / 2).max(1)) };
-        Mint { rfm_interval, acts: 0, rfm_ns: 350, selected: None }
+        Mint::with_profile(MitigationProfile::flat(threshold))
     }
 
-    /// Whether this configuration inserts extra RFMs.
+    /// Profile-driven MINT: regions whose threshold is below the
+    /// per-tREFI activation bound owe inserted RFMs at that region's
+    /// interval; activation streams confined to strong regions insert
+    /// none. The owed interval is the minimum over regions activated
+    /// since the last RFM, so an all-equal-threshold profile reproduces
+    /// the uniform RFM schedule exactly.
+    pub fn with_profile(thresholds: MitigationProfile) -> Self {
+        Mint { thresholds, pending_interval: None, acts: 0, rfm_ns: 350, selected: None }
+    }
+
+    fn interval_of(threshold: u32) -> Option<u32> {
+        if threshold >= Self::ACTS_PER_TREFI {
+            None
+        } else {
+            Some((threshold / 2).max(1))
+        }
+    }
+
+    /// Whether the worst-case (weakest-region) threshold requires
+    /// inserted RFMs.
     pub fn inserts_rfms(&self) -> bool {
-        self.rfm_interval.is_some()
+        Self::interval_of(self.thresholds.min_threshold()).is_some()
     }
 }
 
@@ -326,10 +503,15 @@ impl Mitigation for Mint {
         // Reservoir-style selection: remember the most recent activation
         // (a 1-deep uniform sampler is enough for the overhead study).
         self.selected = Some((bank, row));
-        if let Some(interval) = self.rfm_interval {
+        if let Some(interval) = Self::interval_of(self.thresholds.threshold_for(row)) {
+            self.pending_interval =
+                Some(self.pending_interval.map_or(interval, |p| p.min(interval)));
+        }
+        if let Some(pending) = self.pending_interval {
             self.acts += 1;
-            if self.acts >= interval {
+            if self.acts >= pending {
                 self.acts = 0;
+                self.pending_interval = None;
                 return vec![MitigationAction::BlockChannel { duration: self.rfm_ns }];
             }
         }
@@ -356,10 +538,7 @@ impl Mitigation for Mint {
 /// reach the threshold before the refresh window resets it.
 #[derive(Debug)]
 pub struct BlockHammer {
-    /// Activation quota per window before throttling engages.
-    quota: u32,
-    /// Throttle delay applied per over-quota activation (ns).
-    throttle_ns: u64,
+    thresholds: MitigationProfile,
     counters: HashMap<(usize, u32), u32>,
     /// Activations seen since the last window reset.
     window_acts: u64,
@@ -368,22 +547,35 @@ pub struct BlockHammer {
 }
 
 impl BlockHammer {
-    /// Creates BlockHammer for the given effective threshold.
+    /// Uniform BlockHammer: one effective threshold everywhere.
     pub fn new(threshold: u32) -> Self {
-        // The row may receive at most `threshold` activations per
-        // refresh window; throttle from half that, with a delay sized so
-        // the remaining budget cannot be spent within the window.
-        let quota = (threshold / 2).max(1);
-        let window_len = 32_000_000 / 46; // tREFW / tRC activations
-        let spare = u64::from(quota);
-        // Delay per throttled ACT so `spare` more ACTs span > tREFW.
-        let throttle_ns = (32_000_000 / spare.max(1)).max(100);
-        BlockHammer { quota, throttle_ns, counters: HashMap::new(), window_acts: 0, window_len }
+        BlockHammer::with_profile(MitigationProfile::flat(threshold))
     }
 
-    /// The activation quota before throttling.
+    /// Profile-driven BlockHammer: each row may receive at most its
+    /// region's threshold of activations per refresh window; throttling
+    /// engages at half that, with a delay sized so the remaining budget
+    /// cannot be spent within the window.
+    pub fn with_profile(thresholds: MitigationProfile) -> Self {
+        let window_len = 32_000_000 / 46; // tREFW / tRC activations
+        BlockHammer { thresholds, counters: HashMap::new(), window_acts: 0, window_len }
+    }
+
+    /// The worst-case (weakest-region) activation quota before
+    /// throttling.
     pub fn quota(&self) -> u32 {
-        self.quota
+        (self.thresholds.min_threshold() / 2).max(1)
+    }
+
+    /// The activation quota for one row.
+    pub fn quota_for(&self, row: u32) -> u32 {
+        (self.thresholds.threshold_for(row) / 2).max(1)
+    }
+
+    /// Throttle delay per over-quota activation of one row (ns): sized
+    /// so `quota` further ACTs span more than one refresh window.
+    pub fn throttle_ns_for(&self, row: u32) -> u64 {
+        (32_000_000 / u64::from(self.quota_for(row))).max(100)
     }
 }
 
@@ -394,10 +586,12 @@ impl Mitigation for BlockHammer {
             self.window_acts = 0;
             self.counters.clear();
         }
+        let quota = self.quota_for(row);
+        let throttle_ns = self.throttle_ns_for(row);
         let c = self.counters.entry((bank, row)).or_insert(0);
         *c += 1;
-        if *c > self.quota {
-            vec![MitigationAction::BlockBank { bank, duration: self.throttle_ns }]
+        if *c > quota {
+            vec![MitigationAction::BlockBank { bank, duration: throttle_ns }]
         } else {
             Vec::new()
         }
@@ -412,12 +606,58 @@ impl Mitigation for BlockHammer {
 mod tests {
     use super::*;
 
+    fn profile_of(region_rows: u32, regions: &[u32], fallback: u32) -> MitigationProfile {
+        MitigationProfile {
+            region_rows,
+            regions: regions.to_vec(),
+            fallback_threshold: fallback,
+            ..MitigationProfile::flat(fallback)
+        }
+    }
+
     #[test]
     fn baseline_never_acts() {
-        let mut m = MitigationKind::None.build(128, 4, 0);
+        let cfg = MitigationConfig::builder().threshold(128).banks(4).build();
+        let mut m = MitigationKind::None.build_with(&cfg);
         for i in 0..1000 {
             assert!(m.on_activate(0, i % 7, u64::from(i)).is_empty());
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_build_matches_build_with() {
+        let cfg = MitigationConfig::builder().threshold(200).banks(2).seed(9).build();
+        for kind in MitigationKind::EXTENDED {
+            let mut old = kind.build(200, 2, 9);
+            let mut new = kind.build_with(&cfg);
+            for i in 0..5_000u32 {
+                let row = i % 23;
+                assert_eq!(
+                    old.on_activate(0, row, u64::from(i)),
+                    new.on_activate(0, row, u64::from(i)),
+                    "{} diverged at act {i}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn config_builder_round_trips_and_validates() {
+        let cfg = MitigationConfig::builder().threshold(777).banks(3).seed(42).build();
+        assert_eq!((cfg.threshold, cfg.banks, cfg.seed), (777, 3, 42));
+        let rebuilt = cfg.to_builder().seed(43).build();
+        assert_eq!(rebuilt.threshold, 777);
+        assert_eq!(rebuilt.seed, 43);
+        let default = MitigationConfig::default();
+        assert!(default.threshold >= 1 && default.banks >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn config_builder_rejects_zero_threshold() {
+        let _ = MitigationConfig::builder().threshold(0).build();
     }
 
     #[test]
@@ -556,5 +796,136 @@ mod tests {
             bh.on_activate(0, 1000 + i, 0);
         }
         assert!(bh.on_activate(0, 1, 0).is_empty(), "window reset must clear counters");
+    }
+
+    #[test]
+    fn graphene_trigger_follows_regions() {
+        // Rows 0..100 at threshold 400 (trigger 100), rows 100.. at 1600
+        // (trigger 400).
+        let mut g = Graphene::with_profile(profile_of(100, &[400, 1600], 400), 1);
+        assert_eq!(g.trigger_for(50), 100);
+        assert_eq!(g.trigger_for(150), 400);
+        assert_eq!(g.trigger(), 100, "worst case is the weakest region");
+        let weak: usize = (0..400).map(|_| g.on_activate(0, 50, 0).len()).sum();
+        let strong: usize = (0..400).map(|_| g.on_activate(0, 150, 0).len()).sum();
+        assert_eq!(weak, 4, "weak row refreshes every 100 acts");
+        assert_eq!(strong, 1, "strong row refreshes every 400 acts");
+    }
+
+    #[test]
+    fn para_probability_follows_regions() {
+        let para = Para::with_profile(profile_of(100, &[300, 3000], 300), 1);
+        assert!((para.probability_for(10) - 0.1).abs() < 1e-12);
+        assert!((para.probability_for(110) - 0.01).abs() < 1e-12);
+        assert!((para.probability() - 0.1).abs() < 1e-12);
+        // The strong region empirically refreshes about 10x less often.
+        let mut para = Para::with_profile(profile_of(100, &[300, 3000], 300), 7);
+        let mut weak = 0usize;
+        let mut strong = 0usize;
+        for _ in 0..20_000 {
+            weak += para.on_activate(0, 10, 0).len();
+            strong += para.on_activate(0, 110, 0).len();
+        }
+        let ratio = weak as f64 / strong.max(1) as f64;
+        assert!((5.0..20.0).contains(&ratio), "weak/strong refresh ratio {ratio}");
+    }
+
+    #[test]
+    fn prac_alert_follows_regions() {
+        let mut prac = Prac::with_profile(profile_of(10, &[128, 1280], 128));
+        assert_eq!(prac.alert_for(5), 96);
+        assert_eq!(prac.alert_for(15), 960);
+        for _ in 0..95 {
+            assert!(prac.on_activate(0, 5, 0).is_empty());
+        }
+        assert_eq!(prac.on_activate(0, 5, 0).len(), 2, "weak row alerts at 96");
+        for _ in 0..959 {
+            assert!(prac.on_activate(0, 15, 0).is_empty());
+        }
+        assert_eq!(prac.on_activate(0, 15, 0).len(), 2, "strong row alerts at 960");
+    }
+
+    #[test]
+    fn mint_skips_rfms_for_strong_regions() {
+        // Weak region below ACTS_PER_TREFI owes RFMs; the strong region
+        // does not.
+        let profile = profile_of(10, &[64, 1024], 64);
+        let mut m = Mint::with_profile(profile.clone());
+        let strong_blocks: usize = (0..1000)
+            .map(|_| {
+                m.on_activate(0, 15, 0)
+                    .iter()
+                    .filter(|a| matches!(a, MitigationAction::BlockChannel { .. }))
+                    .count()
+            })
+            .sum();
+        assert_eq!(strong_blocks, 0, "strong-region stream inserts no RFMs");
+        let mut m = Mint::with_profile(profile);
+        let weak_blocks: usize = (0..320)
+            .map(|_| {
+                m.on_activate(0, 5, 0)
+                    .iter()
+                    .filter(|a| matches!(a, MitigationAction::BlockChannel { .. }))
+                    .count()
+            })
+            .sum();
+        assert_eq!(weak_blocks, 10, "weak-region stream keeps the uniform cadence");
+    }
+
+    #[test]
+    fn mint_mixed_stream_owes_the_weak_interval() {
+        let mut m = Mint::with_profile(profile_of(10, &[64, 1024], 64));
+        // One weak-region activation arms the RFM cadence; strong-region
+        // activations still count toward the owed RFM.
+        assert!(m.on_activate(0, 5, 0).is_empty());
+        let mut acts = 1;
+        let mut blocked_at = None;
+        for _ in 0..100 {
+            acts += 1;
+            if !m.on_activate(0, 15, 0).is_empty() {
+                blocked_at = Some(acts);
+                break;
+            }
+        }
+        assert_eq!(blocked_at, Some(32), "RFM lands 32 acts after the weak activation armed it");
+    }
+
+    #[test]
+    fn blockhammer_quota_follows_regions() {
+        let mut bh = BlockHammer::with_profile(profile_of(10, &[128, 1024], 128));
+        assert_eq!(bh.quota_for(5), 64);
+        assert_eq!(bh.quota_for(15), 512);
+        assert_eq!(bh.quota(), 64);
+        for _ in 0..64 {
+            assert!(bh.on_activate(0, 5, 0).is_empty());
+        }
+        assert!(!bh.on_activate(0, 5, 0).is_empty(), "weak row throttles past 64");
+        for _ in 0..512 {
+            assert!(bh.on_activate(0, 15, 0).is_empty());
+        }
+        assert!(!bh.on_activate(0, 15, 0).is_empty(), "strong row throttles past 512");
+    }
+
+    #[test]
+    fn flat_profile_build_matches_uniform_build() {
+        let cfg = MitigationConfig::builder().threshold(96).banks(2).seed(5).build();
+        let flat = MitigationProfile::flat(96);
+        for kind in MitigationKind::EXTENDED {
+            let mut uniform = kind.build_with(&cfg);
+            let mut profiled = kind.build_with_profile(&cfg, &flat);
+            for i in 0..20_000u32 {
+                let row = (i * 7) % 31;
+                let now = u64::from(i) * 46;
+                assert_eq!(
+                    uniform.on_activate(i as usize % 2, row, now),
+                    profiled.on_activate(i as usize % 2, row, now),
+                    "{} diverged at act {i}",
+                    kind.name()
+                );
+                if i % 1000 == 999 {
+                    assert_eq!(uniform.on_refresh(now), profiled.on_refresh(now));
+                }
+            }
+        }
     }
 }

@@ -19,7 +19,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::mitigation::{MitigationAction, MitigationKind};
+use crate::mitigation::{Mitigation, MitigationAction, MitigationConfig, MitigationKind};
 
 /// Configuration of one attack simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,7 +77,13 @@ pub fn simulate_attack(
     config: &AttackConfig,
 ) -> AttackResult {
     let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
-    let mut mitigation = kind.build(configured_threshold, 1, config.seed);
+    let mut mitigation = kind.build_with(
+        &MitigationConfig::builder()
+            .threshold(configured_threshold)
+            .banks(1)
+            .seed(config.seed)
+            .build(),
+    );
     let dist = &config.rdt_distribution;
     let draw_rdt = |rng: &mut ChaCha12Rng| -> u64 { u64::from(dist[rng.gen_range(0..dist.len())]) };
 
@@ -173,6 +179,175 @@ pub fn security_sweep(
     SecuritySweep { points, true_min, estimated_min }
 }
 
+/// One victim in a spatial multi-row attack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpatialVictim {
+    /// The victim's row number (its aggressor hammers the same row
+    /// address in this single-aggressor model).
+    pub row: u32,
+    /// True-RDT multiplier relative to the weakest victim (≥ 1 for
+    /// spatially stronger rows; the weakest victim has factor 1).
+    pub factor: f64,
+}
+
+/// Configuration of a spatial multi-row attack: the attacker round-robin
+/// hammers one representative victim per bank region, so a defense pays
+/// for every region it guards while only the weakest region constrains
+/// security.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialAttackConfig {
+    /// Total attacker activations (spread round-robin over the victims).
+    pub activations: u64,
+    /// Empirical RDT distribution of the *weakest* victim; each victim's
+    /// epoch RDT is a draw scaled by its spatial factor.
+    pub rdt_distribution: Vec<u32>,
+    /// The victims under attack.
+    pub victims: Vec<SpatialVictim>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SpatialAttackConfig {
+    /// A default attack of 2M activations.
+    pub fn new(rdt_distribution: Vec<u32>, victims: Vec<SpatialVictim>, seed: u64) -> Self {
+        assert!(!rdt_distribution.is_empty(), "need a non-empty RDT distribution");
+        assert!(!victims.is_empty(), "need at least one victim");
+        assert!(victims.iter().all(|v| v.factor >= 1.0), "factors are relative to the weakest");
+        SpatialAttackConfig { activations: 2_000_000, rdt_distribution, victims, seed }
+    }
+}
+
+/// Result of one spatial multi-row attack simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialAttackResult {
+    /// Activations issued.
+    pub activations: u64,
+    /// Preventive victim refreshes the mitigation performed.
+    pub preventive_refreshes: u64,
+    /// Total mitigation actions issued (refreshes + blocking actions) —
+    /// the overhead axis of the attack-vs-defense tradeoff.
+    pub actions: u64,
+    /// Attacker time lost to blocking actions (ns).
+    pub blocked_ns: u64,
+    /// Escapes across all victims.
+    pub escapes: u64,
+    /// Escapes per victim, in `victims` order.
+    pub per_victim_escapes: Vec<u64>,
+}
+
+impl SpatialAttackResult {
+    /// Escapes per million attacker activations.
+    pub fn escapes_per_million(&self) -> f64 {
+        self.escapes as f64 / (self.activations as f64 / 1e6)
+    }
+
+    /// Whether the mitigation held everywhere (no escape on any victim).
+    pub fn secure(&self) -> bool {
+        self.escapes == 0
+    }
+}
+
+/// Simulates a round-robin multi-row hammer attack against an already
+/// built mitigation (use [`MitigationKind::build_with_profile`] for the
+/// profile-driven variants).
+///
+/// Timing follows [`simulate_attack`] (one ACT per tRC, blocking actions
+/// slow the attacker, periodic refresh restores every victim once per
+/// tREFW) with one refinement: the mitigation's `on_refresh` hook runs
+/// once per tREFI rather than once per tREFW, which models MINT's
+/// REF-time mitigation at its real cadence.
+pub fn simulate_spatial_attack(
+    mitigation: &mut dyn Mitigation,
+    config: &SpatialAttackConfig,
+) -> SpatialAttackResult {
+    const T_RC_NS: u64 = 46;
+    const T_REFI_NS: u64 = 3_900;
+    const T_REFW_NS: u64 = 32_000_000;
+
+    let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+    let dist = &config.rdt_distribution;
+    let draw_rdt = |rng: &mut ChaCha12Rng, factor: f64| -> u64 {
+        let base = f64::from(dist[rng.gen_range(0..dist.len())]);
+        (base * factor).round().max(1.0) as u64
+    };
+
+    let n = config.victims.len();
+    let mut accumulated = vec![0u64; n];
+    let mut true_rdt: Vec<u64> =
+        config.victims.iter().map(|v| draw_rdt(&mut rng, v.factor)).collect();
+    let mut per_victim_escapes = vec![0u64; n];
+    let mut escapes = 0u64;
+    let mut preventive = 0u64;
+    let mut actions = 0u64;
+    let mut blocked_ns = 0u64;
+    let mut time_ns = 0u64;
+    let mut next_refi = T_REFI_NS;
+    let mut next_periodic = T_REFW_NS;
+
+    let bank = 0usize;
+    let victim_index =
+        |row: u32| -> Option<usize> { config.victims.iter().position(|v| v.row == row) };
+
+    let mut restore = vec![false; n];
+    for act in 0..config.activations {
+        let v = (act % n as u64) as usize;
+        time_ns += T_RC_NS;
+        accumulated[v] += 1;
+        restore.iter_mut().for_each(|r| *r = false);
+        if accumulated[v] >= true_rdt[v] {
+            escapes += 1;
+            per_victim_escapes[v] += 1;
+            restore[v] = true;
+        }
+        for action in mitigation.on_activate(bank, config.victims[v].row, act) {
+            actions += 1;
+            match action {
+                MitigationAction::RefreshNeighbors { row, .. } => {
+                    preventive += 1;
+                    if let Some(i) = victim_index(row) {
+                        restore[i] = true;
+                    }
+                }
+                MitigationAction::BlockBank { duration, .. }
+                | MitigationAction::BlockChannel { duration } => {
+                    time_ns += duration;
+                    blocked_ns += duration;
+                }
+            }
+        }
+        while time_ns >= next_refi {
+            next_refi += T_REFI_NS;
+            for action in mitigation.on_refresh(act) {
+                actions += 1;
+                if let MitigationAction::RefreshNeighbors { row, .. } = action {
+                    preventive += 1;
+                    if let Some(i) = victim_index(row) {
+                        restore[i] = true;
+                    }
+                }
+            }
+        }
+        while time_ns >= next_periodic {
+            next_periodic += T_REFW_NS;
+            restore.iter_mut().for_each(|r| *r = true);
+        }
+        for (i, flagged) in restore.iter().enumerate() {
+            if *flagged {
+                accumulated[i] = 0;
+                true_rdt[i] = draw_rdt(&mut rng, config.victims[i].factor);
+            }
+        }
+    }
+    SpatialAttackResult {
+        activations: config.activations,
+        preventive_refreshes: preventive,
+        actions,
+        blocked_ns,
+        escapes,
+        per_victim_escapes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,5 +429,78 @@ mod tests {
     fn escape_rate_units() {
         let r = AttackResult { activations: 2_000_000, preventive_refreshes: 0, escapes: 4 };
         assert!((r.escapes_per_million() - 2.0).abs() < 1e-12);
+    }
+
+    use crate::profile::MitigationProfile;
+
+    /// Four regions of 100 rows whose spatial strength doubles per
+    /// region; one victim (the region's weakest row) per region.
+    fn spatial_scenario(seed: u64) -> (SpatialAttackConfig, MitigationProfile) {
+        let victims = vec![
+            SpatialVictim { row: 0, factor: 1.0 },
+            SpatialVictim { row: 100, factor: 2.0 },
+            SpatialVictim { row: 200, factor: 4.0 },
+            SpatialVictim { row: 300, factor: 8.0 },
+        ];
+        let mut attack = SpatialAttackConfig::new(vrd_distribution(), victims, seed);
+        attack.activations = 400_000;
+        let profile = MitigationProfile {
+            region_rows: 100,
+            regions: vec![3_500, 7_000, 14_000, 28_000],
+            fallback_threshold: 3_500,
+            ..MitigationProfile::flat(3_500)
+        };
+        (attack, profile)
+    }
+
+    #[test]
+    fn spatial_profile_matches_uniform_coverage_at_lower_overhead() {
+        let (attack, profile) = spatial_scenario(11);
+        let cfg = MitigationConfig::builder().threshold(3_500).banks(1).seed(11).build();
+        for kind in [MitigationKind::Graphene, MitigationKind::Prac] {
+            let mut uniform = kind.build_with(&cfg);
+            let mut profiled = kind.build_with_profile(&cfg, &profile);
+            let u = simulate_spatial_attack(uniform.as_mut(), &attack);
+            let p = simulate_spatial_attack(profiled.as_mut(), &attack);
+            assert!(u.secure(), "{}: uniform worst-case must hold", kind.name());
+            assert!(p.secure(), "{}: profile-driven must hold", kind.name());
+            assert!(
+                p.actions < u.actions,
+                "{}: profile must act less ({} vs {})",
+                kind.name(),
+                p.actions,
+                u.actions
+            );
+        }
+    }
+
+    #[test]
+    fn spatially_unaware_estimate_leaks_on_the_weak_region() {
+        // A characterization that sampled only the strongest region
+        // would configure threshold 28000 everywhere.
+        let (attack, _) = spatial_scenario(13);
+        let cfg = MitigationConfig::builder().threshold(28_000).banks(1).seed(13).build();
+        let mut naive = MitigationKind::Graphene.build_with(&cfg);
+        let result = simulate_spatial_attack(naive.as_mut(), &attack);
+        assert!(!result.secure(), "an 8x-too-high uniform threshold must leak");
+        assert!(
+            result.per_victim_escapes[0] > 0,
+            "escapes concentrate on the weakest region: {:?}",
+            result.per_victim_escapes
+        );
+    }
+
+    #[test]
+    fn spatial_baseline_leaks_everywhere() {
+        let (attack, _) = spatial_scenario(17);
+        let mut baseline = MitigationKind::None
+            .build_with(&MitigationConfig::builder().threshold(3_500).banks(1).build());
+        let result = simulate_spatial_attack(baseline.as_mut(), &attack);
+        assert!(result.escapes > 0);
+        assert!(
+            result.per_victim_escapes.iter().all(|&e| e > 0),
+            "every victim must flip without mitigation: {:?}",
+            result.per_victim_escapes
+        );
     }
 }

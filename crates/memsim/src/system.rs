@@ -5,7 +5,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::cpu::Core;
 use crate::dram::{DramChannel, DramTiming};
-use crate::mitigation::{Mitigation, MitigationAction, MitigationKind};
+use crate::mitigation::{Mitigation, MitigationAction, MitigationConfig, MitigationKind};
+use crate::profile::MitigationProfile;
 use crate::workload::{AccessStream, WorkloadParams};
 
 /// Simulation configuration.
@@ -124,20 +125,36 @@ pub struct System {
 
 impl System {
     /// Builds a system for `cfg` with the given mitigation at the given
-    /// effective threshold.
+    /// uniform effective threshold.
     pub fn new(cfg: &SimConfig, kind: MitigationKind, threshold: u32, seed: u64) -> Self {
+        System::new_with_profile(cfg, kind, &MitigationProfile::flat(threshold), seed)
+    }
+
+    /// Builds a system whose mitigation consults a per-region threshold
+    /// profile. A flat profile reproduces [`System::new`] exactly.
+    pub fn new_with_profile(
+        cfg: &SimConfig,
+        kind: MitigationKind,
+        profile: &MitigationProfile,
+        seed: u64,
+    ) -> Self {
         let cores = cfg
             .mix
             .iter()
             .enumerate()
             .map(|(i, p)| Core::new(AccessStream::new(*p, cfg.banks, seed ^ (i as u64) << 32)))
             .collect();
+        let mitigation_cfg = MitigationConfig::builder()
+            .threshold(profile.min_threshold())
+            .banks(cfg.banks)
+            .seed(seed)
+            .build();
         System {
             cores,
             channel: DramChannel::new(cfg.banks, DramTiming::default()),
             queues: vec![Vec::new(); cfg.banks],
             completions: Vec::new(),
-            mitigation: kind.build(threshold, cfg.banks, seed),
+            mitigation: kind.build_with_profile(&mitigation_cfg, profile),
             now: 0,
         }
     }
@@ -145,6 +162,18 @@ impl System {
     /// Runs a full simulation and returns the statistics.
     pub fn run_mix(cfg: &SimConfig, kind: MitigationKind, threshold: u32, seed: u64) -> SimStats {
         let mut system = System::new(cfg, kind, threshold, seed);
+        system.run_for(cfg.cycles);
+        system.stats()
+    }
+
+    /// Runs a full simulation with a profile-driven mitigation.
+    pub fn run_mix_with_profile(
+        cfg: &SimConfig,
+        kind: MitigationKind,
+        profile: &MitigationProfile,
+        seed: u64,
+    ) -> SimStats {
+        let mut system = System::new_with_profile(cfg, kind, profile, seed);
         system.run_for(cfg.cycles);
         system.stats()
     }
@@ -345,5 +374,16 @@ mod tests {
         let a = System::run_mix(&cfg, MitigationKind::Prac, 128, 9);
         let b = System::run_mix(&cfg, MitigationKind::Prac, 128, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flat_profile_run_matches_uniform_run() {
+        let cfg = quick_cfg();
+        let flat = MitigationProfile::flat(128);
+        for kind in MitigationKind::EVALUATED {
+            let uniform = System::run_mix(&cfg, kind, 128, 9);
+            let profiled = System::run_mix_with_profile(&cfg, kind, &flat, 9);
+            assert_eq!(uniform, profiled, "{} diverged under a flat profile", kind.name());
+        }
     }
 }

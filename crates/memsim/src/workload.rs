@@ -126,6 +126,34 @@ impl AccessStream {
     }
 }
 
+/// Picks one representative victim row per profile region for a spatial
+/// attack workload: the physical row with the smallest spatial factor in
+/// each region — the row a spatial-aware attacker targets, and the row
+/// that constrains a defense configured for that region.
+///
+/// Covers `min(regions * region_rows, rows_covered)` rows and returns
+/// `(row, spatial factor)` pairs in region order.
+///
+/// # Panics
+///
+/// Panics when `region_rows` or `rows_covered` is zero.
+pub fn region_victim_rows(
+    spatial: &vrd_dram::spatial::SpatialProfile,
+    device_seed: u64,
+    rows_covered: u32,
+    region_rows: u32,
+) -> Vec<(u32, f64)> {
+    assert!(region_rows >= 1, "regions must hold at least one row");
+    assert!(rows_covered >= 1, "need at least one covered row");
+    (0..rows_covered.div_ceil(region_rows))
+        .map(|region| {
+            let start = region * region_rows;
+            let end = start.saturating_add(region_rows).min(rows_covered);
+            spatial.min_factor_row_in(start..end, device_seed)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +214,23 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(s.next_access().row, first.row);
         }
+    }
+
+    #[test]
+    fn region_victims_are_regional_minima() {
+        let spatial = vrd_dram::spatial::SpatialProfile::wide();
+        let victims = region_victim_rows(&spatial, 7, 4096, 512);
+        assert_eq!(victims.len(), 8);
+        for (i, &(row, factor)) in victims.iter().enumerate() {
+            let start = i as u32 * 512;
+            assert!((start..start + 512).contains(&row), "victim {row} outside region {i}");
+            let region_min = spatial.min_factor_in(start..start + 512, 7);
+            assert!((factor - region_min).abs() < 1e-15);
+        }
+        // A wide profile must produce spatially distinct regions.
+        let factors: Vec<u64> = victims.iter().map(|&(_, f)| f.to_bits()).collect();
+        let distinct: std::collections::BTreeSet<u64> = factors.iter().copied().collect();
+        assert!(distinct.len() > 4, "regions must vary spatially");
     }
 
     #[test]
