@@ -97,7 +97,7 @@ impl TestPlatform {
     /// Instantiates the platform for one of the paper's Table-1 modules.
     pub fn for_module(spec: ModuleSpec, seed: u64) -> Self {
         let module = vrd_dram::Module::new(spec.clone(), seed);
-        let timing = TimingParams::for_standard(spec.standard);
+        let timing = TimingParams::for_family(&spec.family());
         let mut p = Self::new(module_into_device(module), timing);
         p.spec = Some(spec);
         p
@@ -107,7 +107,7 @@ impl TestPlatform {
     /// fast tests and campaigns.
     pub fn for_module_with_row_bytes(spec: ModuleSpec, seed: u64, row_bytes: u32) -> Self {
         let module = vrd_dram::Module::new_with_row_bytes(spec.clone(), seed, row_bytes);
-        let timing = TimingParams::for_standard(spec.standard);
+        let timing = TimingParams::for_family(&spec.family());
         let mut p = Self::new(module_into_device(module), timing);
         p.spec = Some(spec);
         p

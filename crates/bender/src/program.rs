@@ -368,8 +368,8 @@ fn exec_cmd(
 }
 
 fn open_row(device: &DramDevice, bank: usize) -> Result<u32, DramError> {
-    if bank >= device.config().banks {
-        return Err(DramError::BankOutOfRange { bank, banks: device.config().banks });
+    if bank >= device.config().banks() as usize {
+        return Err(DramError::BankOutOfRange { bank, banks: device.config().banks() as usize });
     }
     device.open_row(bank).ok_or(DramError::RowNotOpen { bank, row: u32::MAX })
 }

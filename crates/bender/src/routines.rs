@@ -33,7 +33,7 @@ pub fn initialize_rows(
     pattern: DataPattern,
     include_outer: bool,
 ) -> f64 {
-    let rows = platform.device().config().rows_per_bank;
+    let rows = platform.device().config().rows_per_bank();
     let mut elapsed = 0.0;
     let mut init = |platform: &mut TestPlatform, row: u32, fill: u8| {
         elapsed += platform
@@ -74,7 +74,7 @@ pub fn hammer_double_sided(
     hammer_count: u32,
     conditions: &TestConditions,
 ) -> f64 {
-    let rows = platform.device().config().rows_per_bank;
+    let rows = platform.device().config().rows_per_bank();
     let (below, above) = platform.device().config().mapping.neighbors_of(victim, rows);
     let (a1, a2) = match (below, above) {
         (Some(a1), Some(a2)) => (a1, a2),
@@ -126,7 +126,7 @@ pub fn hammer_pattern(
     hammer_count: u32,
     conditions: &TestConditions,
 ) -> f64 {
-    let rows = platform.device().config().rows_per_bank;
+    let rows = platform.device().config().rows_per_bank();
     let mapping = platform.device().config().mapping;
     let mut elapsed = 0.0;
     for (aggressor, weight) in access.aggressors_of(mapping, victim, rows) {

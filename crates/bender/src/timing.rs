@@ -98,6 +98,23 @@ impl TimingParams {
         }
     }
 
+    /// Timing table for a device family: the standard's speed bin,
+    /// with the disturbance-relevant parameters (tRAS/tRC/tREFI) taken
+    /// from the family descriptor so platform and device model cannot
+    /// disagree on them.
+    pub fn for_family(family: &vrd_dram::DeviceFamily) -> Self {
+        let mut t = Self::for_standard(family.standard);
+        t.t_ras = family.timings.t_ras_ns;
+        t.t_refi = family.timings.t_refi_ns;
+        t.t_rp = family.timings.t_rc_ns - family.timings.t_ras_ns;
+        t
+    }
+
+    /// Row cycle time tRC (ACT-to-ACT on the same bank).
+    pub fn t_rc(&self) -> f64 {
+        self.t_ras + self.t_rp
+    }
+
     /// Number of refresh commands needed to cover a full refresh window.
     pub fn refs_per_window(&self) -> u32 {
         (self.t_refw / self.t_refi).round() as u32
@@ -134,6 +151,20 @@ mod tests {
     fn standards_dispatch() {
         assert_eq!(TimingParams::for_standard(vrd_dram::DramStandard::Ddr4), TimingParams::ddr4());
         assert_eq!(TimingParams::for_standard(vrd_dram::DramStandard::Hbm2), TimingParams::hbm2());
+    }
+
+    #[test]
+    fn family_timings_agree_with_speed_bins() {
+        // The family descriptors and the JEDEC bins here must name the
+        // same tRAS/tREFI/tRC, so `for_family` is a no-op override for
+        // every Table-1 roster entry.
+        for spec in vrd_dram::ModuleSpec::table1() {
+            let family = spec.family();
+            let bin = TimingParams::for_standard(family.standard);
+            let t = TimingParams::for_family(&family);
+            assert_eq!(t, bin, "{}: family timings must match the bin", spec.name);
+            assert_eq!(t.t_rc(), family.timings.t_rc_ns, "{}", spec.name);
+        }
     }
 
     #[test]

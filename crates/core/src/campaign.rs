@@ -436,7 +436,7 @@ pub fn select_rows(
     picks: usize,
     estimates: u32,
 ) -> Vec<(u32, u32)> {
-    let total_rows = platform.device().config().rows_per_bank;
+    let total_rows = platform.device().config().rows_per_bank();
     let seg = segment_rows.min(total_rows / 3);
     let segments = [
         0..seg,
@@ -706,7 +706,7 @@ mod tests {
             assert!(guess > 0);
         }
         // Rows come from three disjoint segments.
-        let total = platform.device().config().rows_per_bank;
+        let total = platform.device().config().rows_per_bank();
         assert!(rows.iter().any(|&(r, _)| r < 64) || rows.iter().any(|&(r, _)| r > total - 65));
     }
 

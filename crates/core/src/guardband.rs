@@ -154,9 +154,12 @@ pub fn run_guardband(spec: &ModuleSpec, cfg: &GuardbandConfig) -> Vec<RowGuardba
     results
 }
 
-/// Number of distinct module chips covering the given row-bit positions.
+/// Number of distinct module chips (or pseudo-channels, for HBM2)
+/// covering the given row-bit positions, under the family's bit→chip
+/// mapping.
 fn count_chips(spec: &ModuleSpec, bits: &[u32]) -> usize {
-    bits.iter().map(|&b| spec.chip_of_bit(b)).collect::<BTreeSet<_>>().len()
+    let mapping = spec.family().chip_mapping;
+    bits.iter().map(|&b| mapping.chip_of_bit(b)).collect::<BTreeSet<_>>().len()
 }
 
 /// Worst-case number of flips within any aligned `word_bits` window.

@@ -31,6 +31,7 @@ use crate::batch::{LaneThresholds, RowBatchProfile};
 use crate::cells::CellLayout;
 use crate::conditions::{TestConditions, T_AGG_ON_MIN_TRAS_NS};
 use crate::error::DramError;
+use crate::family::{BankVariation, Topology};
 use crate::hashing::FxHashMap;
 use crate::keyed::KeyedRng;
 use crate::mapping::RowMapping;
@@ -46,10 +47,10 @@ pub const SINGLE_SIDED_WEIGHT: f64 = 0.4;
 /// Static configuration of a [`DramDevice`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceConfig {
-    /// Number of banks.
-    pub banks: usize,
-    /// Rows per bank.
-    pub rows_per_bank: u32,
+    /// Bank hierarchy and row count (see [`Topology`]). The device
+    /// addresses banks by their flat index; the topology defines how
+    /// that index decomposes into channel / pseudo-channel / bank group.
+    pub topology: Topology,
     /// Bytes per row (the paper's rows are 64 Kibit = 8192 bytes).
     pub row_bytes: u32,
     /// Logical→physical row mapping.
@@ -60,6 +61,9 @@ pub struct DeviceConfig {
     pub vrd: VrdModelParams,
     /// Spatial threshold structure (subarray tiles + edge weakening).
     pub spatial: SpatialProfile,
+    /// Per-bank threshold spread ([`BankVariation::none`] for families
+    /// whose banks are modeled as identical).
+    pub bank_variation: BankVariation,
     /// Rows restored per bank by one refresh command.
     pub rows_per_refresh: u32,
 }
@@ -69,15 +73,25 @@ impl DeviceConfig {
     /// 1 KiB, direct mapping, test-friendly VRD parameters.
     pub fn small_test() -> Self {
         DeviceConfig {
-            banks: 2,
-            rows_per_bank: 4096,
+            topology: Topology::linear(2, 4096),
             row_bytes: 1024,
             mapping: RowMapping::Direct,
             cell_layout: CellLayout::default(),
             vrd: VrdModelParams::small_test(),
             spatial: SpatialProfile::flat(),
+            bank_variation: BankVariation::none(),
             rows_per_refresh: 8,
         }
+    }
+
+    /// Total banks (the flat index range), from the topology.
+    pub fn banks(&self) -> u32 {
+        self.topology.banks()
+    }
+
+    /// Rows per bank, from the topology.
+    pub fn rows_per_bank(&self) -> u32 {
+        self.topology.rows_per_bank
     }
 }
 
@@ -223,10 +237,10 @@ impl DramDevice {
     ///
     /// Panics if the configuration has zero banks, rows, or row bytes.
     pub fn new(config: DeviceConfig, seed: u64) -> Self {
-        assert!(config.banks > 0, "device needs at least one bank");
-        assert!(config.rows_per_bank > 1, "device needs at least two rows");
+        assert!(config.banks() > 0, "device needs at least one bank");
+        assert!(config.rows_per_bank() > 1, "device needs at least two rows");
         assert!(config.row_bytes > 0, "rows need at least one byte");
-        let banks = (0..config.banks).map(|_| Bank::new()).collect();
+        let banks = (0..config.banks()).map(|_| Bank::new()).collect();
         let mut bias_rng = ChaCha12Rng::seed_from_u64(seed ^ 0xB1A5_u64);
         let mut pattern_vrd_bias = [1.0f64; 4];
         for b in &mut pattern_vrd_bias {
@@ -343,11 +357,11 @@ impl DramDevice {
     }
 
     fn check_addr(&self, bank: usize, row: u32) -> Result<(), DramError> {
-        if bank >= self.config.banks {
-            return Err(DramError::BankOutOfRange { bank, banks: self.config.banks });
+        if bank >= self.config.banks() as usize {
+            return Err(DramError::BankOutOfRange { bank, banks: self.config.banks() as usize });
         }
-        if row >= self.config.rows_per_bank {
-            return Err(DramError::RowOutOfRange { row, rows: self.config.rows_per_bank });
+        if row >= self.config.rows_per_bank() {
+            return Err(DramError::RowOutOfRange { row, rows: self.config.rows_per_bank() });
         }
         Ok(())
     }
@@ -405,7 +419,7 @@ impl DramDevice {
         self.banks[bank].open_row = Some(row);
 
         // Disturb physical neighbors.
-        let (below, above) = self.config.mapping.neighbors_of(row, self.config.rows_per_bank);
+        let (below, above) = self.config.mapping.neighbors_of(row, self.config.rows_per_bank());
         if let Some(b) = below {
             self.add_disturbance(bank, b, /*from_below=*/ false, n, t_on_ns);
         }
@@ -430,8 +444,8 @@ impl DramDevice {
     ///
     /// Returns an error for an out-of-range bank.
     pub fn precharge(&mut self, bank: usize) -> Result<(), DramError> {
-        if bank >= self.config.banks {
-            return Err(DramError::BankOutOfRange { bank, banks: self.config.banks });
+        if bank >= self.config.banks() as usize {
+            return Err(DramError::BankOutOfRange { bank, banks: self.config.banks() as usize });
         }
         self.banks[bank].open_row = None;
         Ok(())
@@ -567,7 +581,7 @@ impl DramDevice {
         hammer_count: u32,
         t_on_ns: f64,
     ) {
-        let (below, above) = self.config.mapping.neighbors_of(victim, self.config.rows_per_bank);
+        let (below, above) = self.config.mapping.neighbors_of(victim, self.config.rows_per_bank());
         self.precharge(bank).expect("valid bank");
         // Alternating ACT/PRE pairs are semantically equal to bulk
         // activation of each side because disturbance accumulates
@@ -586,20 +600,20 @@ impl DramDevice {
     /// `rows_per_refresh` rows in every bank (and, with TRR enabled, the
     /// neighbors of recently activated rows).
     pub fn refresh(&mut self) {
-        for bank_idx in 0..self.config.banks {
+        for bank_idx in 0..self.config.banks() as usize {
             let start = self.banks[bank_idx].refresh_ptr;
             for offset in 0..self.config.rows_per_refresh {
-                let row = (start + offset) % self.config.rows_per_bank;
+                let row = (start + offset) % self.config.rows_per_bank();
                 self.restore_row(bank_idx, row, 1);
             }
             self.banks[bank_idx].refresh_ptr =
-                (start + self.config.rows_per_refresh) % self.config.rows_per_bank;
+                (start + self.config.rows_per_refresh) % self.config.rows_per_bank();
 
             if self.trr_enabled {
                 let recent = std::mem::take(&mut self.banks[bank_idx].recent_activations);
                 for row in &recent {
                     let (below, above) =
-                        self.config.mapping.neighbors_of(*row, self.config.rows_per_bank);
+                        self.config.mapping.neighbors_of(*row, self.config.rows_per_bank());
                     for neighbor in [below, above].into_iter().flatten() {
                         self.restore_row(bank_idx, neighbor, 1);
                     }
@@ -680,11 +694,15 @@ impl DramDevice {
         let row_bits = self.config.row_bytes * 8;
 
         let spatial_factor = self.config.spatial.factor(physical, self.seed);
+        // Per-bank spread (HBM2): a pure hash of (bank, seed), so it
+        // consumes no RNG draws; with zero sigma the factor is exactly
+        // 1.0 and the multiplication below is bitwise identity.
+        let bank_factor = self.config.bank_variation.factor(bank as u32, self.seed);
         let count = sample_poisson(&mut rng, p.weak_cells_per_row);
         let mut cells = Vec::with_capacity(count);
         for _ in 0..count {
-            let base_ln =
-                (p.median_rdt * spatial_factor).ln() + p.sigma_ln * sample_normal(&mut rng);
+            let base_ln = (p.median_rdt * spatial_factor * bank_factor).ln()
+                + p.sigma_ln * sample_normal(&mut rng);
             let mut pattern_sense = [1.0f64; 4];
             for s in &mut pattern_sense {
                 *s = (p.pattern_spread * sample_normal(&mut rng)).exp();
@@ -846,7 +864,7 @@ impl DramDevice {
             RowData::Uniform(b) => Some(b),
             RowData::Bytes(_) => None,
         };
-        let (below, above) = self.config.mapping.neighbors_of(row, self.config.rows_per_bank);
+        let (below, above) = self.config.mapping.neighbors_of(row, self.config.rows_per_bank());
         let aggressor_fill = [below, above]
             .into_iter()
             .flatten()
@@ -918,7 +936,7 @@ impl DramDevice {
         if self.trr_enabled {
             return None;
         }
-        let rows = self.config.rows_per_bank;
+        let rows = self.config.rows_per_bank();
         let (below, above) = self.config.mapping.neighbors_of(victim, rows);
         let (below, above) = match (below, above) {
             (Some(b), Some(a)) => (b, a),
@@ -1337,7 +1355,7 @@ mod tests {
     #[test]
     fn refresh_resets_disturbance() {
         let mut cfg = strong_config();
-        cfg.rows_per_refresh = cfg.rows_per_bank; // refresh all rows at once
+        cfg.rows_per_refresh = cfg.rows_per_bank(); // refresh all rows at once
         let mut dev = DramDevice::new(cfg, 42);
         let victim = find_vulnerable_row(&mut dev);
         let p = DataPattern::Checkered0;

@@ -34,30 +34,21 @@ impl Module {
     /// (internally combined with the module name, so the same campaign
     /// seed yields distinct per-module devices).
     pub fn new(spec: ModuleSpec, seed: u64) -> Self {
-        let config = DeviceConfig {
-            banks: spec.banks(),
-            rows_per_bank: spec.rows_per_bank(),
-            row_bytes: 8192, // 64 Kibit rows, as in the paper's Fig. 16
-            mapping: spec.row_mapping(),
-            cell_layout: spec.cell_layout(),
-            vrd: spec.vrd_params(),
-            spatial: crate::spatial::SpatialProfile::ddr4_default(),
-            rows_per_refresh: 64,
-        };
-        let seed = module_seed(&spec, seed);
-        Module { device: DramDevice::new(config, seed), spec }
+        // 64 Kibit rows, as in the paper's Fig. 16.
+        Self::new_with_row_bytes(spec, seed, 8192)
     }
 
     /// Like [`new`](Self::new) but with a reduced row size, for fast tests.
     pub fn new_with_row_bytes(spec: ModuleSpec, seed: u64, row_bytes: u32) -> Self {
+        let family = spec.family();
         let config = DeviceConfig {
-            banks: spec.banks(),
-            rows_per_bank: spec.rows_per_bank(),
+            topology: family.topology,
             row_bytes,
-            mapping: spec.row_mapping(),
-            cell_layout: spec.cell_layout(),
+            mapping: family.mapping,
+            cell_layout: family.cell_layout,
             vrd: spec.vrd_params(),
             spatial: crate::spatial::SpatialProfile::ddr4_default(),
+            bank_variation: family.bank_variation,
             rows_per_refresh: 64,
         };
         let seed = module_seed(&spec, seed);
@@ -290,9 +281,10 @@ mod tests {
     fn device_config_matches_spec() {
         let mut fleet = Fleet::standard(1);
         let m = fleet.module_mut("M0").unwrap();
-        assert_eq!(m.device().config().banks, 16);
-        assert_eq!(m.device().config().rows_per_bank, 128 * 1024);
+        assert_eq!(m.device().config().banks(), 16);
+        assert_eq!(m.device().config().rows_per_bank(), 128 * 1024);
         let c = fleet.module_mut("Chip0").unwrap();
-        assert_eq!(c.device().config().banks, 32);
+        assert_eq!(c.device().config().banks(), 32);
+        assert_eq!(c.device().config().topology.pseudo_channels, 2);
     }
 }

@@ -15,6 +15,9 @@
 //! - [`spec::ModuleSpec`] and [`fleet::Fleet`] — the 21 DDR4 modules and
 //!   4 HBM2 chips of the paper's Table 1, with per-module VRD model
 //!   parameters calibrated to Table 7.
+//! - [`family::DeviceFamily`] — per-family descriptors (topology, timing,
+//!   addressing policy, per-bank variation); `spec.family()` is the
+//!   single source of device geometry.
 //! - [`mapping::RowMapping`] — logical→physical row address translation
 //!   schemes plus reverse engineering (§3.1).
 //! - [`pattern::DataPattern`] — the four data patterns of Table 2.
@@ -43,6 +46,7 @@ pub mod cells;
 pub mod conditions;
 pub mod device;
 pub mod error;
+pub mod family;
 pub mod fleet;
 pub mod hashing;
 pub mod keyed;
@@ -58,6 +62,7 @@ pub use cells::CellPolarity;
 pub use conditions::TestConditions;
 pub use device::{Bitflip, DeviceConfig, DramDevice};
 pub use error::DramError;
+pub use family::{BankAddress, BankVariation, ChipMapping, DeviceFamily, FamilyTimings, Topology};
 pub use fleet::{Fleet, Module};
 pub use mapping::RowMapping;
 pub use pattern::DataPattern;

@@ -10,8 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::cells::CellLayout;
-use crate::mapping::RowMapping;
+use crate::family::DeviceFamily;
 
 /// DRAM manufacturer (anonymized as in the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -206,47 +205,19 @@ impl ModuleSpec {
         self.die_revision.map_or(0, |c| c as u32 - 'A' as u32)
     }
 
-    /// The chip on the module that drives data bit `bit` of a row, under
-    /// byte-interleaved chip-to-bus mapping.
-    pub fn chip_of_bit(&self, bit: u32) -> u32 {
-        (bit / self.chip_width) % self.chips
-    }
-
-    /// Number of rows per bank in the device model (scaled with density).
-    pub fn rows_per_bank(&self) -> u32 {
-        match self.density {
-            DieDensity::Gb4 => 32 * 1024,
-            DieDensity::Gb8 => 64 * 1024,
-            DieDensity::Gb16 => 128 * 1024,
-            DieDensity::Unknown => 16 * 1024, // HBM2 pseudo-channel bank
-        }
-    }
-
-    /// Number of banks in the device model.
-    pub fn banks(&self) -> usize {
-        match self.standard {
-            DramStandard::Ddr4 => 16,
-            DramStandard::Hbm2 => 32,
-        }
-    }
-
-    /// Row mapping used by this manufacturer in the model.
-    pub fn row_mapping(&self) -> RowMapping {
-        match (self.standard, self.manufacturer) {
-            (DramStandard::Hbm2, _) => RowMapping::Direct,
-            (_, Manufacturer::H) => RowMapping::VendorA,
-            (_, Manufacturer::M) => RowMapping::VendorB,
-            (_, Manufacturer::S) => RowMapping::VendorC,
-        }
-    }
-
-    /// True-/anti-cell layout used by this module in the model.
-    pub fn cell_layout(&self) -> CellLayout {
-        match self.manufacturer {
-            Manufacturer::H => CellLayout::new(512, false),
-            Manufacturer::M => CellLayout::new(256, false),
-            Manufacturer::S => CellLayout::new(512, true),
-        }
+    /// The family descriptor this roster entry instantiates: topology,
+    /// timings, row-mapping/cell-layout policy, chip mapping, and
+    /// per-bank variation all live there (see [`DeviceFamily`]). This is
+    /// the single source of geometry; `ModuleSpec` itself carries only
+    /// roster identity and calibration anchors.
+    pub fn family(&self) -> DeviceFamily {
+        DeviceFamily::for_module(
+            self.standard,
+            self.manufacturer,
+            self.density,
+            self.chips,
+            self.chip_width,
+        )
     }
 
     /// The VRD model parameters calibrated from this spec's Table-7
@@ -303,8 +274,10 @@ impl VrdModelParams {
     pub fn from_anchor(spec: &ModuleSpec) -> Self {
         let a = &spec.anchor;
         // RowPress exponent from the ratio of min observed RDT at tRAS vs
-        // tREFI: ratio = (tREFI/tRAS)^press.
-        let on_ratio: f64 = 7_800.0 / 35.0;
+        // tREFI: ratio = (7.8 µs / tRAS)^press, with the family's own
+        // tRAS as the lower anchor (the paper's Table 7 measures every
+        // part at t_AggOn = 7.8 µs for the upper one).
+        let on_ratio: f64 = 7_800.0 / spec.family().timings.t_ras_ns;
         let rdt_ratio = f64::from(a.min_rdt_tras) / f64::from(a.min_rdt_trefi);
         let press_coeff = rdt_ratio.ln() / on_ratio.ln();
 
@@ -409,20 +382,33 @@ mod tests {
 
     #[test]
     fn chip_of_bit_interleaves_bytes() {
-        let s = ModuleSpec::by_name("H0").unwrap(); // 8 chips, x8
-        assert_eq!(s.chip_of_bit(0), 0);
-        assert_eq!(s.chip_of_bit(7), 0);
-        assert_eq!(s.chip_of_bit(8), 1);
-        assert_eq!(s.chip_of_bit(63), 7);
-        assert_eq!(s.chip_of_bit(64), 0);
+        let m = ModuleSpec::by_name("H0").unwrap().family().chip_mapping; // 8 chips, x8
+        assert_eq!(m.chip_of_bit(0), 0);
+        assert_eq!(m.chip_of_bit(7), 0);
+        assert_eq!(m.chip_of_bit(8), 1);
+        assert_eq!(m.chip_of_bit(63), 7);
+        assert_eq!(m.chip_of_bit(64), 0);
     }
 
     #[test]
     fn chip_of_bit_x16() {
-        let s = ModuleSpec::by_name("M0").unwrap(); // 4 chips, x16
-        assert_eq!(s.chip_of_bit(15), 0);
-        assert_eq!(s.chip_of_bit(16), 1);
-        assert_eq!(s.chip_of_bit(64), 0);
+        let m = ModuleSpec::by_name("M0").unwrap().family().chip_mapping; // 4 chips, x16
+        assert_eq!(m.chip_of_bit(15), 0);
+        assert_eq!(m.chip_of_bit(16), 1);
+        assert_eq!(m.chip_of_bit(64), 0);
+    }
+
+    #[test]
+    fn family_geometry_matches_table1() {
+        use crate::family::ChipMapping;
+        let m0 = ModuleSpec::by_name("M0").unwrap().family();
+        assert_eq!(m0.topology.banks(), 16);
+        assert_eq!(m0.topology.rows_per_bank, 128 * 1024);
+        assert_eq!(m0.chip_mapping, ChipMapping::ByteInterleaved { chips: 4, chip_width: 16 });
+        let chip0 = ModuleSpec::by_name("Chip0").unwrap().family();
+        assert_eq!(chip0.topology.banks(), 32);
+        assert_eq!(chip0.topology.rows_per_bank, 16 * 1024);
+        assert!(matches!(chip0.chip_mapping, ChipMapping::PseudoChannel { .. }));
     }
 
     #[test]

@@ -104,15 +104,16 @@ pub fn ablation(opts: &Options) -> Vec<AblationRow> {
         .unwrap_or_else(|| ModuleSpec::by_name("M1").expect("M1 exists"));
     let measurements = opts.foundational_measurements.clamp(200, 5_000);
     let mut rows = Vec::new();
+    let family = spec.family();
     for variant in AblationVariant::ALL {
         let config = DeviceConfig {
-            banks: spec.banks(),
-            rows_per_bank: spec.rows_per_bank(),
+            topology: family.topology,
             row_bytes: opts.row_bytes,
-            mapping: spec.row_mapping(),
-            cell_layout: spec.cell_layout(),
+            mapping: family.mapping,
+            cell_layout: family.cell_layout,
             vrd: variant.apply(spec.vrd_params()),
             spatial: vrd_dram::spatial::SpatialProfile::ddr4_default(),
+            bank_variation: family.bank_variation,
             rows_per_refresh: 64,
         };
         let device = DramDevice::new(config, opts.seed);

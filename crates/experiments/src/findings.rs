@@ -8,7 +8,9 @@
 //!
 //! Beyond the paper's 17, [`check_sweep`] adds F18/F19 from the
 //! spatial-aware defenses sweep (`vrd-exp memsim-sweep`, after the
-//! paper's reference \[134\]).
+//! paper's reference \[134\]), and [`check_family`] adds F20/F21 from
+//! the device-family study (`vrd-exp family`): the HBM2 family's
+//! per-bank RDT spread, absent from DDR4.
 
 use serde::{Deserialize, Serialize};
 
@@ -17,6 +19,7 @@ use vrd_core::montecarlo::exact_stats;
 use vrd_core::predictability::analyze;
 use vrd_stats::Histogram;
 
+use crate::family_exp::FamilyStudy;
 use crate::foundational::FoundationalStudy;
 use crate::indepth::{
     all_condition_variation_fraction, fig10_groups, fig11_groups, fig12_groups, max_cv_per_row,
@@ -291,9 +294,8 @@ pub fn check_cells(study: &InDepthStudy) -> Vec<FindingCheck> {
             "module M0 not in scope; skipped".to_owned(),
         )];
     };
-    let spec = vrd_dram::ModuleSpec::by_name("M0").expect("M0 exists");
-    let layout = spec.cell_layout();
-    let mapping = spec.row_mapping();
+    let family = vrd_dram::ModuleSpec::by_name("M0").expect("M0 exists").family();
+    let (layout, mapping) = (family.cell_layout, family.mapping);
     let (mut anti, mut true_cells) = (Vec::new(), Vec::new());
     for row in &m0.rows {
         let polarity = layout.polarity_of_physical_row(mapping.physical_of(row.row));
@@ -369,6 +371,54 @@ pub fn check_sweep(study: &SweepStudy) -> Vec<FindingCheck> {
             crate::render::f(study.spatial_spread, 2),
             if names.is_empty() { "no mechanism".to_owned() } else { names.join(", ") },
         ),
+    ));
+
+    out
+}
+
+/// Evaluates findings 20–21 (the device-family study; these extend the
+/// paper's list with the HBM characterization the HBM2 roster entries
+/// are calibrated against).
+pub fn check_family(study: &FamilyStudy) -> Vec<FindingCheck> {
+    use vrd_dram::DramStandard;
+
+    let mut out = Vec::new();
+
+    let hbm = study.family_sigma(DramStandard::Hbm2);
+    let ddr = study.family_sigma(DramStandard::Ddr4);
+    let (f20_pass, f20_detail) = match (hbm, ddr) {
+        (Some(hbm), Some(ddr)) => (
+            hbm > ddr,
+            format!(
+                "median cross-bank sigma: HBM2 {hbm:.4} vs DDR4 {ddr:.4} ({:.2}x)",
+                hbm / ddr.max(1e-12)
+            ),
+        ),
+        _ => (true, "needs both families in scope; skipped".to_owned()),
+    };
+    out.push(check(20, "HBM2 shows larger per-bank RDT variation than DDR4", f20_pass, f20_detail));
+
+    let ratios: Vec<f64> = study
+        .per_module
+        .iter()
+        .filter(|m| m.standard == DramStandard::Hbm2)
+        .map(|m| m.worst_to_best_ratio)
+        .collect();
+    let (f21_pass, f21_detail) = match vrd_stats::descriptive::median(&ratios) {
+        Ok(median) => (
+            ratios.iter().all(|&r| r > 1.2),
+            format!(
+                "HBM2 worst/best bank RDT ratio: median {median:.3}, min {:.3}",
+                ratios.iter().copied().fold(f64::INFINITY, f64::min)
+            ),
+        ),
+        Err(_) => (true, "needs an HBM2 module in scope; skipped".to_owned()),
+    };
+    out.push(check(
+        21,
+        "The weakest HBM2 bank's RDT sits well below the strongest's",
+        f21_pass,
+        f21_detail,
     ));
 
     out

@@ -302,8 +302,8 @@ pub fn render_fig13(study: &InDepthStudy) -> String {
     let Some(spec) = spec_of("M0") else {
         return "missing M0 spec".to_owned();
     };
-    let layout = spec.cell_layout();
-    let mapping = spec.row_mapping();
+    let family = spec.family();
+    let (layout, mapping) = (family.cell_layout, family.mapping);
     let mut anti = Vec::new();
     let mut true_cells = Vec::new();
     for row in &m0.rows {

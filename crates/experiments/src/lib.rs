@@ -19,11 +19,13 @@
 //! | `discovery` | DiscoRD-style early-stopping RDT bounds | [`discovery_exp`] |
 //! | `memsim-sweep` | spatial-aware defenses sweep (ref \[134\]) | [`sweep_exp`] |
 //! | `ablation` `security` `online` | extensions beyond the paper | [`extensions`] |
+//! | `family` | per-bank RDT spread across device families | [`family_exp`] |
 
 pub mod discovery_exp;
 pub mod ecc_exp;
 pub mod estimate_exp;
 pub mod extensions;
+pub mod family_exp;
 pub mod findings;
 pub mod foundational;
 pub mod guardband_exp;

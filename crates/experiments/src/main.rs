@@ -5,7 +5,7 @@
 //!
 //! ids: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!      fig14 fig15 fig16 fig17-20 fig21-24 fig25 tab3 tab7 findings
-//!      discovery memsim-sweep all
+//!      discovery memsim-sweep family all
 //!
 //! flags:
 //!   --paper               paper-scale measurement counts (slow!)
@@ -27,6 +27,9 @@
 //!   --sweep-acts N        attacker activations per defenses-sweep
 //!                         attack simulation
 //!   --modules A,B,...     restrict the module roster
+//!   --family F            restrict the roster to one device family:
+//!                         ddr4, hbm2, or all (default); composes with
+//!                         --modules as an intersection
 //!   --seed N              root RNG seed
 //!   --threads N           worker threads (0 = all cores); results are
 //!                         identical at any thread count
@@ -61,8 +64,8 @@
 use std::sync::OnceLock;
 
 use vrd_experiments::{
-    discovery_exp, ecc_exp, estimate_exp, extensions, findings, foundational, guardband_exp,
-    indepth, mc, memsim_exp, runner::save_json, sinks, sweep_exp, Options,
+    discovery_exp, ecc_exp, estimate_exp, extensions, family_exp, findings, foundational,
+    guardband_exp, indepth, mc, memsim_exp, runner::save_json, sinks, sweep_exp, Options,
 };
 
 /// Lazily computed shared studies so `all` runs each campaign once.
@@ -73,6 +76,7 @@ struct Ctx {
     guardband: OnceLock<guardband_exp::GuardbandStudy>,
     discovery: OnceLock<discovery_exp::DiscoveryStudy>,
     sweep: OnceLock<sweep_exp::SweepStudy>,
+    family: OnceLock<family_exp::FamilyStudy>,
 }
 
 impl Ctx {
@@ -128,6 +132,13 @@ impl Ctx {
             sweep_exp::run(opts, study)
         })
     }
+
+    fn family(&self, opts: &Options) -> &family_exp::FamilyStudy {
+        self.family.get_or_init(|| {
+            sinks::status("running device-family bank-variation study...");
+            family_exp::run(opts)
+        })
+    }
 }
 
 fn main() {
@@ -175,6 +186,7 @@ const ALL_IDS: &[&str] = &[
     "findings",
     "discovery",
     "memsim-sweep",
+    "family",
     "ablation",
     "security",
     "online",
@@ -201,8 +213,10 @@ fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
             }
             "--paper" => {
                 let keep_modules = std::mem::take(&mut opts.modules);
+                let keep_family = opts.family;
                 opts = Options::paper();
                 opts.modules = keep_modules;
+                opts.family = keep_family;
             }
             "--measurements" => {
                 opts.foundational_measurements =
@@ -259,6 +273,14 @@ fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
             "--modules" => {
                 opts.modules =
                     need(&mut iter, arg)?.split(',').map(|s| s.trim().to_owned()).collect()
+            }
+            "--family" => {
+                opts.family = match need(&mut iter, arg)?.to_ascii_lowercase().as_str() {
+                    "all" => vrd_dram::fleet::FleetScope::All,
+                    "ddr4" => vrd_dram::fleet::FleetScope::Ddr4,
+                    "hbm2" => vrd_dram::fleet::FleetScope::Hbm2,
+                    other => return Err(format!("{arg}: expected ddr4|hbm2|all, got {other:?}")),
+                }
             }
             "--seed" => {
                 opts.seed = need(&mut iter, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
@@ -470,11 +492,17 @@ fn run_experiment(id: &str, opts: &Options, ctx: &Ctx) {
                 Err(e) => sinks::error(format!("cannot write mitigation profile: {e}")),
             }
         }
+        "family" => {
+            let study = ctx.family(opts);
+            sinks::artifact(id, family_exp::render_family(study));
+            let _ = save_json(opts, "family", study);
+        }
         "findings" => {
             let mut checks = findings::check_foundational(ctx.foundational(opts));
             checks.extend(findings::check_indepth(ctx.indepth(opts)));
             checks.extend(findings::check_cells(ctx.indepth(opts)));
             checks.extend(findings::check_sweep(ctx.sweep(opts)));
+            checks.extend(findings::check_family(ctx.family(opts)));
             sinks::artifact(id, findings::render(&checks));
             let _ = save_json(opts, "findings", &checks);
         }

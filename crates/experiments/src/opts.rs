@@ -49,6 +49,9 @@ pub struct Options {
     pub sweep_activations: u64,
     /// Module names to test; empty = the full Table-1 roster.
     pub modules: Vec<String>,
+    /// Device-family scope (`--family ddr4|hbm2|all`), applied on top of
+    /// the `--modules` filter.
+    pub family: vrd_dram::fleet::FleetScope,
     /// Root RNG seed.
     pub seed: u64,
     /// Device-model row size in bytes (smaller is faster; the paper's
@@ -111,6 +114,7 @@ impl Default for Options {
             region_rows: 512,
             sweep_activations: 300_000,
             modules: Vec::new(),
+            family: vrd_dram::fleet::FleetScope::All,
             seed: 2025,
             row_bytes: 2048,
             out_dir: "results".to_owned(),
@@ -169,15 +173,21 @@ impl Options {
         }
     }
 
-    /// The module specs in scope: the roster (or `--modules` subset),
-    /// reduced to this process's shard.
+    /// The module specs in scope: the roster (or `--modules` subset)
+    /// restricted to the `--family` scope, reduced to this process's
+    /// shard.
     pub fn specs(&self) -> Vec<vrd_dram::ModuleSpec> {
+        use vrd_dram::fleet::FleetScope;
         let all = vrd_dram::ModuleSpec::table1();
-        let scoped: Vec<vrd_dram::ModuleSpec> = if self.modules.is_empty() {
-            all
-        } else {
-            all.into_iter().filter(|s| self.modules.iter().any(|m| m == &s.name)).collect()
-        };
+        let scoped: Vec<vrd_dram::ModuleSpec> = all
+            .into_iter()
+            .filter(|s| self.modules.is_empty() || self.modules.iter().any(|m| m == &s.name))
+            .filter(|s| match self.family {
+                FleetScope::All => true,
+                FleetScope::Ddr4 => s.standard == vrd_dram::DramStandard::Ddr4,
+                FleetScope::Hbm2 => s.standard == vrd_dram::DramStandard::Hbm2,
+            })
+            .collect();
         vrd_dram::fleet::shard_specs(&scoped, self.shard_index, self.shard_count)
     }
 
@@ -238,6 +248,24 @@ mod tests {
         let o = Options { modules: vec!["M1".into(), "Chip0".into()], ..Options::default() };
         let specs = o.specs();
         assert_eq!(specs.len(), 2);
+    }
+
+    #[test]
+    fn family_filter_applies() {
+        use vrd_dram::fleet::FleetScope;
+        let ddr4 = Options { family: FleetScope::Ddr4, ..Options::default() };
+        assert_eq!(ddr4.specs().len(), 21);
+        let hbm2 = Options { family: FleetScope::Hbm2, ..Options::default() };
+        assert_eq!(hbm2.specs().len(), 4);
+        assert!(hbm2.specs().iter().all(|s| s.name.starts_with("Chip")));
+        // Composes with --modules: intersection, not union.
+        let mixed = Options {
+            family: FleetScope::Hbm2,
+            modules: vec!["M1".into(), "Chip0".into()],
+            ..Options::default()
+        };
+        assert_eq!(mixed.specs().len(), 1);
+        assert_eq!(mixed.specs()[0].name, "Chip0");
     }
 
     #[test]

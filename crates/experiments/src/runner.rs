@@ -202,9 +202,9 @@ mod tests {
         let mut opts = Options::smoke();
         opts.modules.clear(); // all 25
         opts.threads = 8;
-        let parallel = map_modules(&opts, |spec| spec.rows_per_bank());
+        let parallel = map_modules(&opts, |spec| spec.family().topology.rows_per_bank);
         opts.threads = 1;
-        let serial = map_modules(&opts, |spec| spec.rows_per_bank());
+        let serial = map_modules(&opts, |spec| spec.family().topology.rows_per_bank);
         assert_eq!(parallel, serial);
     }
 

@@ -98,7 +98,7 @@ pub enum MitigationKind {
 /// Configuration for instantiating a mitigation mechanism.
 ///
 /// Replaces the positional `(threshold, banks, seed)` triple of the
-/// deprecated [`MitigationKind::build`] — which silently ignored `banks`
+/// removed `MitigationKind::build` — which silently ignored `banks`
 /// for the bank-agnostic mechanisms — with named knobs and room to grow.
 ///
 /// `#[non_exhaustive]`: construct via [`MitigationConfig::default`] or
@@ -192,18 +192,6 @@ impl MitigationKind {
         MitigationKind::Mint,
         MitigationKind::BlockHammer,
     ];
-
-    /// Instantiates the mechanism for an effective threshold.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `build_with` (or `build_with_profile`) with a `MitigationConfig`; \
-                this signature silently ignored `banks` for the bank-agnostic mechanisms"
-    )]
-    pub fn build(self, threshold: u32, banks: usize, seed: u64) -> Box<dyn Mitigation> {
-        self.build_with(
-            &MitigationConfig::builder().threshold(threshold).banks(banks).seed(seed).build(),
-        )
-    }
 
     /// Instantiates the mechanism with one uniform threshold
     /// (`cfg.threshold` everywhere).
@@ -625,17 +613,19 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_build_matches_build_with() {
+    fn build_with_matches_flat_profile() {
+        // `build_with` is sugar for `build_with_profile` with a flat
+        // profile at the configured threshold; the two must be
+        // byte-identical for every mechanism.
         let cfg = MitigationConfig::builder().threshold(200).banks(2).seed(9).build();
         for kind in MitigationKind::EXTENDED {
-            let mut old = kind.build(200, 2, 9);
-            let mut new = kind.build_with(&cfg);
+            let mut sugar = kind.build_with(&cfg);
+            let mut explicit = kind.build_with_profile(&cfg, &MitigationProfile::flat(200));
             for i in 0..5_000u32 {
                 let row = i % 23;
                 assert_eq!(
-                    old.on_activate(0, row, u64::from(i)),
-                    new.on_activate(0, row, u64::from(i)),
+                    sugar.on_activate(0, row, u64::from(i)),
+                    explicit.on_activate(0, row, u64::from(i)),
                     "{} diverged at act {i}",
                     kind.name()
                 );

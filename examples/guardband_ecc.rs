@@ -74,7 +74,9 @@ fn main() {
     let ssc = Ssc18::new();
     let payload = [0x5Au8; 16];
     let mut cw = ssc.encode(&payload);
-    let mut chips: Vec<u32> = worst.unique_flip_bits.iter().map(|&b| spec.chip_of_bit(b)).collect();
+    let chip_mapping = spec.family().chip_mapping;
+    let mut chips: Vec<u32> =
+        worst.unique_flip_bits.iter().map(|&b| chip_mapping.chip_of_bit(b)).collect();
     chips.sort_unstable();
     chips.dedup();
     for &chip in chips.iter().take(1) {

@@ -15,8 +15,8 @@ use vrd::dram::{DataPattern, ModuleSpec, RowMapping, TestConditions};
 fn main() {
     for name in ["H2", "M1", "S0", "Chip0"] {
         let spec = ModuleSpec::by_name(name).expect("Table-1 module");
-        let truth = spec.row_mapping();
-        let rows = spec.rows_per_bank();
+        let family = spec.family();
+        let (truth, rows) = (family.mapping, family.topology.rows_per_bank);
         let mut platform = TestPlatform::for_module_with_row_bytes(spec, 77, 512);
         platform.set_temperature_c(50.0);
 

@@ -95,7 +95,7 @@ fn access_patterns_rank_by_effectiveness_on_the_device() {
         let budget = budget.max(guess.saturating_mul(2));
         let device = platform.device_mut();
         device.write_row(0, victim, pattern.victim_byte());
-        let rows = device.config().rows_per_bank;
+        let rows = device.config().rows_per_bank();
         let mapping = device.config().mapping;
         for (aggressor, weight) in access.aggressors_of(mapping, victim, rows) {
             device.write_row(0, aggressor, pattern.aggressor_byte());
@@ -150,7 +150,7 @@ fn spatial_variation_biases_selection_toward_weak_regions() {
     use vrd::dram::spatial::SpatialProfile;
 
     let spec = ModuleSpec::by_name("M1").expect("M1 exists");
-    let mapping = spec.row_mapping();
+    let mapping = spec.family().mapping;
     let mut platform = TestPlatform::for_module_with_row_bytes(spec, 61, 512);
     platform.set_temperature_c(50.0);
     let conditions = TestConditions::foundational();

@@ -194,8 +194,8 @@ mod device_fuzz {
             cmds in prop::collection::vec(cmd_strategy(), 1..60),
         ) {
             let mut dev = DramDevice::new(DeviceConfig::small_test(), seed);
-            let banks = dev.config().banks;
-            let rows = dev.config().rows_per_bank;
+            let banks = dev.config().banks() as usize;
+            let rows = dev.config().rows_per_bank();
             for cmd in cmds {
                 match cmd {
                     Cmd::Act(b, r) => {
