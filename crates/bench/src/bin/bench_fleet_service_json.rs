@@ -1,0 +1,316 @@
+//! Emits `BENCH_fleet_service.json`: throughput and overhead of the
+//! fleet campaign service (`vrd-exp serve`) and its fair-share
+//! scheduler.
+//!
+//! Two measurements:
+//!
+//! - **Scheduler overhead** at 1k/4k/10k: build the synthetic fleet,
+//!   submit one job per module across eight tenants, drain the queue,
+//!   and report ns per scheduler op — gated (`--check`) on replay
+//!   determinism, dispatch-once, the bounded-wait fairness invariant,
+//!   and a deliberately loose per-op overhead ceiling.
+//! - **Jobs/minute** from a small in-process service run (1k fleet,
+//!   real foundational campaigns): the same submissions run on one
+//!   worker and on two, gated on every job finishing and on the two
+//!   dispatch journals being byte-identical (the worker-count
+//!   invariance the service promises).
+//!
+//! Every gated property is deterministic in the seed; wall time feeds
+//! the reported rates but only the scheduler's generous per-op ceiling
+//! is gated, so the bin is safe on a busy or 1-CPU CI runner.
+//!
+//! ```text
+//! cargo run --release -p vrd-bench --bin bench_fleet_service_json -- \
+//!     [--service-jobs N] [--seed S] [--out PATH] [--check]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::Serialize;
+use vrd_core::scheduler::{replay, FairShareScheduler, Priority};
+use vrd_dram::fleet::{roster_fingerprint, synthetic_specs};
+use vrd_experiments::serve::{JobKind, JobSpec, JobState, ServeConfig, Service};
+
+/// Queue depths exercised per fleet size (one job per fleet module).
+const FLEET_SIZES: [usize; 3] = [1_000, 4_000, 10_000];
+
+const TENANTS: [&str; 8] = ["alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"];
+
+/// `--check` ceiling on mean scheduler overhead per op. Measured well
+/// under 10µs even in debug builds; the bar only catches accidental
+/// quadratic blowups, never a busy runner.
+const CHECK_MAX_NS_PER_OP: f64 = 1_000_000.0;
+
+#[derive(Debug, Serialize)]
+struct SchedulerReport {
+    fleet_size: usize,
+    fleet_build_ms: f64,
+    roster_fingerprint: u64,
+    jobs: usize,
+    sched_ops: usize,
+    sched_wall_ms: f64,
+    ns_per_op: f64,
+    replay_identical: bool,
+    dispatch_once: bool,
+    max_interleave: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct ServiceReport {
+    fleet_size: usize,
+    jobs: usize,
+    wall_ms_one_worker: f64,
+    wall_ms_two_workers: f64,
+    jobs_per_minute: f64,
+    all_done: bool,
+    dispatch_worker_invariant: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    seed: u64,
+    scheduler: Vec<SchedulerReport>,
+    service: ServiceReport,
+    wall_ms: f64,
+}
+
+/// Submits one job per fleet module across the tenant roster, drains
+/// the queue, and checks the determinism + fairness gates.
+fn bench_scheduler(fleet_size: usize, seed: u64) -> SchedulerReport {
+    let build_start = Instant::now();
+    let fleet = synthetic_specs(fleet_size, seed);
+    let fingerprint = roster_fingerprint(&fleet);
+    let fleet_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+
+    let priorities = [Priority::Low, Priority::Normal, Priority::High];
+    let sched_start = Instant::now();
+    let mut sched = FairShareScheduler::new(seed);
+    for (i, spec) in fleet.iter().enumerate() {
+        let tenant = TENANTS[i % TENANTS.len()];
+        sched
+            .submit(&format!("job-{}", spec.name), tenant, priorities[i % priorities.len()])
+            .expect("fleet module names are unique");
+    }
+    let mut tenant_trace = Vec::with_capacity(fleet_size);
+    while let Some(q) = sched.next() {
+        tenant_trace.push(q.tenant);
+    }
+    let sched_wall_ms = sched_start.elapsed().as_secs_f64() * 1e3;
+    let sched_ops = sched.ops().len();
+
+    let replayed = replay(seed, sched.ops()).expect("own op log replays");
+    let replay_identical =
+        replayed.dispatch_trace() == sched.dispatch_trace() && replayed.pending() == 0;
+
+    let unique: std::collections::BTreeSet<&String> = sched.dispatch_trace().iter().collect();
+    let dispatch_once = sched.dispatch_trace().len() == fleet_size && unique.len() == fleet_size;
+
+    // Bounded wait: every tenant stays backlogged until its last
+    // dispatch, so between any two consecutive dispatches of a tenant
+    // no other tenant may appear more than twice.
+    let mut max_interleave = 0;
+    for tenant in TENANTS {
+        let hits: Vec<usize> = tenant_trace
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.as_str() == tenant)
+            .map(|(i, _)| i)
+            .collect();
+        for gap in hits.windows(2) {
+            let mut per_other = std::collections::BTreeMap::new();
+            for other in &tenant_trace[gap[0] + 1..gap[1]] {
+                *per_other.entry(other.as_str()).or_insert(0usize) += 1;
+            }
+            max_interleave = per_other.values().copied().max().unwrap_or(0).max(max_interleave);
+        }
+    }
+
+    SchedulerReport {
+        fleet_size,
+        fleet_build_ms,
+        roster_fingerprint: fingerprint,
+        jobs: fleet_size,
+        sched_ops,
+        sched_wall_ms,
+        ns_per_op: sched_wall_ms * 1e6 / sched_ops.max(1) as f64,
+        replay_identical,
+        dispatch_once,
+        max_interleave,
+    }
+}
+
+/// Boots an in-process service in a scratch dir, submits `jobs`
+/// foundational campaigns, and drains them on `workers` workers.
+/// Returns (wall ms, all done, dispatch journal).
+fn run_service(
+    dir: &std::path::Path,
+    jobs: usize,
+    workers: usize,
+    seed: u64,
+) -> (f64, bool, String) {
+    let _ = std::fs::remove_dir_all(dir);
+    let cfg = ServeConfig {
+        state_dir: dir.display().to_string(),
+        addr: "none".to_owned(),
+        fleet_size: FLEET_SIZES[0],
+        fleet_seed: seed,
+        service_seed: seed,
+        workers,
+        // Batch mode: workers exit on drain instead of idling.
+        script: Some(String::new()),
+        ..ServeConfig::default()
+    };
+    let service = Service::boot(cfg).expect("service boots");
+    for i in 0..jobs {
+        let mut spec = JobSpec::new(TENANTS[i % 3], JobKind::Foundational);
+        spec.limit = 1;
+        spec.measurements = 20;
+        spec.seed = seed + i as u64;
+        service.submit(spec).expect("submission accepted");
+    }
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| service.worker_loop());
+        }
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let all_done = service.records().len() == jobs
+        && service.records().iter().all(|r| r.state == JobState::Done);
+    let dispatch = std::fs::read_to_string(dir.join("dispatch.jsonl")).unwrap_or_default();
+    (wall_ms, all_done, dispatch)
+}
+
+fn main() -> ExitCode {
+    let mut service_jobs: usize = 6;
+    let mut seed: u64 = 2025;
+    let mut out = "BENCH_fleet_service.json".to_owned();
+    let mut check = false;
+
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut need = |name: &str| {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2)
+            })
+        };
+        match arg.as_str() {
+            "--service-jobs" => match need("--service-jobs").parse() {
+                Ok(n) if n > 0 => service_jobs = n,
+                Ok(_) => {
+                    eprintln!("--service-jobs must be positive");
+                    return ExitCode::from(2);
+                }
+                Err(e) => {
+                    eprintln!("--service-jobs: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match need("--seed").parse() {
+                Ok(n) => seed = n,
+                Err(e) => {
+                    eprintln!("--seed: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => out = need("--out"),
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let start = Instant::now();
+    let scheduler: Vec<SchedulerReport> =
+        FLEET_SIZES.iter().map(|&n| bench_scheduler(n, seed)).collect();
+
+    let scratch =
+        std::env::temp_dir().join(format!("vrd-bench-fleet-service-{}", std::process::id()));
+    let (wall_one, done_one, dispatch_one) =
+        run_service(&scratch.join("w1"), service_jobs, 1, seed);
+    let (wall_two, done_two, dispatch_two) =
+        run_service(&scratch.join("w2"), service_jobs, 2, seed);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let service = ServiceReport {
+        fleet_size: FLEET_SIZES[0],
+        jobs: service_jobs,
+        wall_ms_one_worker: wall_one,
+        wall_ms_two_workers: wall_two,
+        jobs_per_minute: service_jobs as f64 / (wall_two / 60_000.0),
+        all_done: done_one && done_two,
+        dispatch_worker_invariant: !dispatch_one.is_empty() && dispatch_one == dispatch_two,
+    };
+    let report = Report { seed, scheduler, service, wall_ms: start.elapsed().as_secs_f64() * 1e3 };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    for s in &report.scheduler {
+        println!(
+            "fleet {:>6}  build {:7.1} ms  {:>6} sched ops in {:7.1} ms ({:8.1} ns/op)  \
+             replay {}  dispatch-once {}  max interleave {}",
+            s.fleet_size,
+            s.fleet_build_ms,
+            s.sched_ops,
+            s.sched_wall_ms,
+            s.ns_per_op,
+            s.replay_identical,
+            s.dispatch_once,
+            s.max_interleave
+        );
+    }
+    println!(
+        "service {} jobs  1 worker {:7.1} ms / 2 workers {:7.1} ms  {:6.1} jobs/min  all done \
+         {}  dispatch invariant {}  -> {}",
+        report.service.jobs,
+        report.service.wall_ms_one_worker,
+        report.service.wall_ms_two_workers,
+        report.service.jobs_per_minute,
+        report.service.all_done,
+        report.service.dispatch_worker_invariant,
+        out
+    );
+
+    if check {
+        for s in &report.scheduler {
+            if !s.replay_identical || !s.dispatch_once {
+                eprintln!(
+                    "FAIL: fleet {} determinism (replay {}, dispatch-once {})",
+                    s.fleet_size, s.replay_identical, s.dispatch_once
+                );
+                return ExitCode::FAILURE;
+            }
+            if s.max_interleave > 2 {
+                eprintln!(
+                    "FAIL: fleet {} bounded-wait violated (max interleave {})",
+                    s.fleet_size, s.max_interleave
+                );
+                return ExitCode::FAILURE;
+            }
+            if s.ns_per_op > CHECK_MAX_NS_PER_OP {
+                eprintln!(
+                    "FAIL: fleet {} scheduler overhead {:.0} ns/op (ceiling {CHECK_MAX_NS_PER_OP})",
+                    s.fleet_size, s.ns_per_op
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        if !report.service.all_done {
+            eprintln!("FAIL: service run left unfinished jobs");
+            return ExitCode::FAILURE;
+        }
+        if !report.service.dispatch_worker_invariant {
+            eprintln!("FAIL: dispatch order changed with the worker count");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -38,6 +38,10 @@
 //!   bundles executor config, observer, checkpoint, and cancellation,
 //!   so observed/checkpointed are configurations of one entry point
 //!   instead of separate functions.
+//! - [`scheduler`] — deterministic fair-share scheduling for
+//!   multi-tenant campaign services: stride scheduling across tenants
+//!   with a replayable op log, so dispatch order is a pure function of
+//!   `(service_seed, submission log)`.
 //! - [`guardband`] — §6.3/6.4: guardbanded hammering, unique-bitflip
 //!   accounting (Fig. 16), and ECC codeword classification.
 //!
@@ -71,6 +75,7 @@ pub mod online;
 pub mod predictability;
 pub mod profile;
 pub mod run;
+pub mod scheduler;
 pub mod series;
 
 pub use algorithm::{

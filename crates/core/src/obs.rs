@@ -176,6 +176,17 @@ pub enum Event {
         /// The rendered text.
         text: String,
     },
+    /// An event from one job of a multi-job service run, wrapped with
+    /// the job's id. The fleet service multiplexes every job's stream
+    /// into one feed of these; [`trace::demux_jobs`] recovers the
+    /// per-job streams. Never nested: the inner event is always one of
+    /// the plain variants.
+    JobScoped {
+        /// Owning job id.
+        job: String,
+        /// The job's own event.
+        event: Box<Event>,
+    },
 }
 
 impl Event {
@@ -188,6 +199,7 @@ impl Event {
             Event::UnitFinished { wall_ns, .. } => *wall_ns = 0,
             Event::CheckpointCommitted { latency_ns, .. } => *latency_ns = 0,
             Event::CampaignFinished { summary, .. } => summary.wall_ns = 0,
+            Event::JobScoped { event, .. } => **event = event.without_wall_clock(),
             _ => {}
         }
         e
@@ -452,6 +464,24 @@ mod tests {
             let back: Event = serde_json::from_str(&json).unwrap();
             assert_eq!(&back, event);
         }
+    }
+
+    #[test]
+    fn job_scoped_round_trips_and_normalizes_recursively() {
+        let event =
+            Event::JobScoped { job: "job-00003".into(), event: Box::new(finished("M1", 7, 1234)) };
+        let json = serde_json::to_string(&event).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, event);
+        let normalized = event.without_wall_clock();
+        let Event::JobScoped { job, event: inner } = &normalized else {
+            panic!("variant preserved");
+        };
+        assert_eq!(job, "job-00003");
+        assert!(matches!(**inner, Event::UnitFinished { wall_ns: 0, .. }));
+        // Job-scoped events are structural: the multiplexed stream keeps
+        // arrival order, and per-job canonicalization happens after demux.
+        assert!(!event.is_unit_scoped());
     }
 
     #[test]

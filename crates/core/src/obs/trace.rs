@@ -4,6 +4,7 @@
 //! line-by-line and convertible to chrome://tracing's event format
 //! (`UnitStarted`/`UnitFinished` pairs carry the wall-clock durations).
 
+use std::collections::BTreeMap;
 use std::io::Write;
 
 use parking_lot::Mutex;
@@ -52,6 +53,23 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
             serde_json::from_str::<Event>(line).map_err(|e| format!("trace line {}: {e:?}", i + 1))
         })
         .collect()
+}
+
+/// Splits a multiplexed service stream back into per-job streams:
+/// every [`Event::JobScoped`] is unwrapped into its job's bucket (in
+/// arrival order, which for one job is that job's own emission order).
+/// Unscoped events — the service's own messages — are ignored. The
+/// stream-conformance suite feeds each bucket to
+/// [`super::canonical_jsonl`] and diffs it against the job's own trace
+/// file.
+pub fn demux_jobs(events: &[Event]) -> BTreeMap<String, Vec<Event>> {
+    let mut jobs: BTreeMap<String, Vec<Event>> = BTreeMap::new();
+    for event in events {
+        if let Event::JobScoped { job, event } = event {
+            jobs.entry(job.clone()).or_default().push((**event).clone());
+        }
+    }
+    jobs
 }
 
 #[cfg(test)]
@@ -109,5 +127,104 @@ mod tests {
         let err =
             parse_jsonl("{\"CampaignStarted\":{\"campaign\":\"x\"}}\nnot json\n").unwrap_err();
         assert!(err.contains("line 2"), "{err}");
+    }
+
+    /// Events from one campaign, as a trace sink would write them.
+    fn campaign_stream(campaign: &str, module: &str) -> Vec<Event> {
+        vec![
+            Event::CampaignStarted { campaign: campaign.into() },
+            Event::PhaseStarted { campaign: campaign.into(), phase: "measure".into(), units: 1 },
+            Event::UnitStarted { key: UnitKey::module(module) },
+            Event::UnitFinished {
+                key: UnitKey::module(module),
+                outcome: OutcomeKind::Completed,
+                wall_ns: 7,
+                sim_time_ns: 1.0,
+                sim_energy_j: 1e-9,
+                bitflips: 2,
+            },
+            Event::CampaignFinished {
+                campaign: campaign.into(),
+                summary: CampaignSummary {
+                    units_total: 1,
+                    units_done: 1,
+                    units_panicked: 0,
+                    bitflips: 2,
+                    sim_time_ns: 1.0,
+                    sim_energy_j: 1e-9,
+                    wall_ns: 9,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn parse_accepts_interleaved_multi_campaign_input() {
+        // Two concurrent campaigns' sinks append to one file: lines
+        // interleave arbitrarily but each line stays a complete event.
+        let a = campaign_stream("foundational", "M1");
+        let b = campaign_stream("discovery", "S0");
+        let sink = JsonlSink::new(Vec::new());
+        for pair in a.iter().zip(b.iter()) {
+            sink.on_event(pair.0);
+            sink.on_event(pair.1);
+        }
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), a.len() + b.len());
+        // Both campaigns' events all survive, in their own order.
+        let of = |c: &str| -> Vec<Event> {
+            parsed
+                .iter()
+                .filter(|e| match e {
+                    Event::CampaignStarted { campaign }
+                    | Event::PhaseStarted { campaign, .. }
+                    | Event::CampaignFinished { campaign, .. } => campaign == c,
+                    Event::UnitStarted { key } | Event::UnitFinished { key, .. } => {
+                        key.module == if c == "foundational" { "M1" } else { "S0" }
+                    }
+                    _ => false,
+                })
+                .cloned()
+                .collect()
+        };
+        assert_eq!(of("foundational"), a);
+        assert_eq!(of("discovery"), b);
+    }
+
+    #[test]
+    fn demux_recovers_per_job_streams_from_a_multiplexed_feed() {
+        let a = campaign_stream("foundational", "M1");
+        let b = campaign_stream("in_depth", "S0");
+        // Multiplex: wrap each job's events and interleave them.
+        let mut feed: Vec<Event> = Vec::new();
+        feed.push(Event::Message { level: Level::Info, body: "service boot".into() });
+        for pair in a.iter().zip(b.iter()) {
+            feed.push(Event::JobScoped {
+                job: "job-00002".into(),
+                event: Box::new(pair.1.clone()),
+            });
+            feed.push(Event::JobScoped {
+                job: "job-00001".into(),
+                event: Box::new(pair.0.clone()),
+            });
+        }
+        // The multiplexed feed itself parses line-by-line.
+        let sink = JsonlSink::new(Vec::new());
+        for e in &feed {
+            sink.on_event(e);
+        }
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, feed);
+        // Demux recovers each job's exact stream; unscoped events drop.
+        let jobs = demux_jobs(&parsed);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs["job-00001"], a);
+        assert_eq!(jobs["job-00002"], b);
+        assert_eq!(
+            super::super::canonical_jsonl(&jobs["job-00001"]),
+            super::super::canonical_jsonl(&a),
+        );
     }
 }

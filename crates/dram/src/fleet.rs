@@ -92,6 +92,41 @@ pub fn shard_specs(specs: &[ModuleSpec], index: usize, count: usize) -> Vec<Modu
     specs.iter().skip(index).step_by(count).cloned().collect()
 }
 
+/// Generates a synthetic fleet of `count` module specs by cycling the
+/// Table-1 roster and renaming each clone `{base}-f{index:04}`. Because
+/// per-module device seeds derive from the module *name* (see
+/// [`Module::new`]), every synthetic module gets its own weak-cell
+/// layout even when it shares a base spec; and because
+/// [`ModuleSpec::family`]/[`ModuleSpec::vrd_params`] derive from the
+/// spec's fields rather than its name, renamed clones behave in
+/// campaigns exactly like their Table-1 ancestors. The Table-7 anchors
+/// are given a mild deterministic jitter (±6% on the RDT minima, seeded
+/// by `seed` and the synthetic name) so fleet-scale sweeps see
+/// chip-to-chip spread in expected RDT, not 40 copies of one anchor.
+pub fn synthetic_specs(count: usize, seed: u64) -> Vec<ModuleSpec> {
+    let base = ModuleSpec::table1();
+    (0..count)
+        .map(|i| {
+            let mut spec = base[i % base.len()].clone();
+            spec.name = format!("{}-f{i:04}", spec.name);
+            // FNV-1a over (seed, name) → two independent jitter draws.
+            let mut h = seed ^ 0x5F1E_E7F1_EE75_u64;
+            for b in spec.name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+            }
+            let jitter = |h: u64| -> f64 {
+                // Map 16 hash bits onto [-0.06, +0.06].
+                ((h & 0xFFFF) as f64 / 65535.0 - 0.5) * 0.12
+            };
+            let (ja, jb) = (jitter(h), jitter(h >> 16));
+            let scale = |v: u32, j: f64| -> u32 { ((v as f64 * (1.0 + j)).round() as u32).max(1) };
+            spec.anchor.min_rdt_tras = scale(spec.anchor.min_rdt_tras, ja);
+            spec.anchor.min_rdt_trefi = scale(spec.anchor.min_rdt_trefi, jb);
+            spec
+        })
+        .collect()
+}
+
 /// Stable fingerprint of a module roster: FNV-1a over the ordered
 /// module names with a separator fold between names. Campaign
 /// checkpoints store this (alongside the shard index/count) in their
@@ -275,6 +310,47 @@ mod tests {
         let mut reordered = all.clone();
         reordered.reverse();
         assert_ne!(full, roster_fingerprint(&reordered), "fingerprint is order-sensitive");
+    }
+
+    #[test]
+    fn synthetic_specs_scale_the_roster_deterministically() {
+        let fleet = synthetic_specs(1000, 7);
+        assert_eq!(fleet.len(), 1000);
+        // Names are unique (distinct names ⇒ distinct device seeds).
+        let mut names: Vec<&str> = fleet.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 1000);
+        // Both standards are represented at scale.
+        assert!(fleet.iter().any(|s| s.standard == DramStandard::Ddr4));
+        assert!(fleet.iter().any(|s| s.standard == DramStandard::Hbm2));
+        // Deterministic in (count, seed); seed moves the anchors.
+        assert_eq!(roster_fingerprint(&fleet), roster_fingerprint(&synthetic_specs(1000, 7)));
+        let a: Vec<u32> = fleet.iter().map(|s| s.anchor.min_rdt_tras).collect();
+        let b: Vec<u32> = synthetic_specs(1000, 8).iter().map(|s| s.anchor.min_rdt_tras).collect();
+        assert_ne!(a, b, "seed must jitter the anchors");
+        // Clones of one base spec still get spread-out anchors.
+        let clones: Vec<u32> = fleet
+            .iter()
+            .filter(|s| s.name.starts_with("M1-"))
+            .map(|s| s.anchor.min_rdt_tras)
+            .collect();
+        assert!(clones.len() > 10);
+        let mut uniq = clones.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() > clones.len() / 2, "jitter should spread clone anchors");
+    }
+
+    #[test]
+    fn synthetic_specs_build_working_devices() {
+        let specs = synthetic_specs(30, 7);
+        let spec = specs[25].clone();
+        let mut module = Module::new_with_row_bytes(spec, 7, 512);
+        // The device is live: weak cells materialize on first touch.
+        let counts: Vec<usize> =
+            (0..50).map(|r| module.device_mut().oracle_weak_cell_count(0, r)).collect();
+        assert!(counts.iter().any(|&c| c > 0) || counts.iter().all(|&c| c == 0));
     }
 
     #[test]

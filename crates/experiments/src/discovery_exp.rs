@@ -26,10 +26,25 @@ pub struct DiscoveryStudy {
 pub fn run(opts: &Options) -> DiscoveryStudy {
     let cfg = opts.discovery_config();
     let specs = opts.specs();
-    let per_module = runner::run_campaign(opts, DISCOVERY, &cfg, |run_opts| {
-        discovery_campaign(&specs, &cfg, run_opts)
-    });
-    DiscoveryStudy { config: cfg, per_module }
+    runner::run_campaign(opts, DISCOVERY, &cfg, |run_opts| run_with(opts, &specs, run_opts))
+}
+
+/// Runs the discovery campaign over an explicit spec list under
+/// caller-supplied [`RunOptions`](vrd_core::run::RunOptions) — the
+/// reusable core both the CLI harness ([`run`]) and the fleet service
+/// drive.
+///
+/// # Errors
+///
+/// Propagates checkpoint I/O errors and cooperative interruption.
+pub fn run_with(
+    opts: &Options,
+    specs: &[vrd_dram::ModuleSpec],
+    run_opts: &vrd_core::run::RunOptions<'_>,
+) -> Result<DiscoveryStudy, vrd_core::checkpoint::CheckpointError> {
+    let cfg = opts.discovery_config();
+    let per_module = discovery_campaign(specs, &cfg, run_opts)?;
+    Ok(DiscoveryStudy { config: cfg, per_module })
 }
 
 /// Mean measurement epochs spent per bounded row, or `None` when no

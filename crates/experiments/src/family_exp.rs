@@ -80,9 +80,17 @@ impl FamilyStudy {
 
 /// Runs the study on every module in scope.
 pub fn run(opts: &Options) -> FamilyStudy {
+    run_with(opts, opts.specs())
+}
+
+/// Like [`run`], over an explicit spec list — the entry point the fleet
+/// service uses for synthetic modules. Pure computation against the
+/// threshold oracle: no campaign harness, no checkpoint (a service job
+/// that restarts simply reruns it).
+pub fn run_with(opts: &Options, specs: Vec<vrd_dram::ModuleSpec>) -> FamilyStudy {
     let conditions = TestConditions::default();
     let mut per_module = Vec::new();
-    for spec in opts.specs() {
+    for spec in specs {
         let name = spec.name.clone();
         let standard = spec.standard;
         let topology = spec.family().topology;

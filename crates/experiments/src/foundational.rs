@@ -23,22 +23,46 @@ pub struct FoundationalStudy {
     pub per_module: Vec<FoundationalResult>,
 }
 
+/// The foundational campaign configuration at this scale.
+pub fn config(opts: &Options) -> FoundationalConfig {
+    FoundationalConfig::builder()
+        .measurements(opts.foundational_measurements)
+        .seed(opts.seed)
+        .row_bytes(opts.row_bytes)
+        .build()
+}
+
+/// Runs the foundational campaign over an explicit spec list under
+/// caller-supplied [`RunOptions`](vrd_core::run::RunOptions) — the
+/// reusable core both the CLI
+/// harness ([`run`]) and the fleet service drive. Output is a pure
+/// function of `(config, specs)`; the run options only decide
+/// threading, observation, checkpointing, and cancellation.
+///
+/// # Errors
+///
+/// Propagates checkpoint I/O errors and cooperative interruption.
+pub fn run_with(
+    opts: &Options,
+    specs: &[vrd_dram::ModuleSpec],
+    run_opts: &vrd_core::run::RunOptions<'_>,
+) -> Result<FoundationalStudy, vrd_core::checkpoint::CheckpointError> {
+    let cfg = config(opts);
+    let results = foundational_campaign(specs, &cfg, run_opts)?;
+    Ok(FoundationalStudy { per_module: results.into_iter().flatten().collect() })
+}
+
 /// Runs (or reuses) the foundational campaign across the module scope,
 /// on the deterministic executor: output is identical at any
 /// `--threads` value. With `--checkpoint-dir`, every finished module is
 /// journaled and a `--resume` run restores completed modules instead of
 /// remeasuring them — to byte-identical output.
 pub fn run(opts: &Options) -> FoundationalStudy {
-    let cfg = FoundationalConfig::builder()
-        .measurements(opts.foundational_measurements)
-        .seed(opts.seed)
-        .row_bytes(opts.row_bytes)
-        .build();
+    let cfg = config(opts);
     let specs = opts.specs();
-    let results = runner::run_campaign(opts, vrd_core::campaign::FOUNDATIONAL, &cfg, |run_opts| {
-        foundational_campaign(&specs, &cfg, run_opts)
-    });
-    FoundationalStudy { per_module: results.into_iter().flatten().collect() }
+    runner::run_campaign(opts, vrd_core::campaign::FOUNDATIONAL, &cfg, |run_opts| {
+        run_with(opts, &specs, run_opts)
+    })
 }
 
 /// Fig. 1: per-1,000-measurement mean ± range of one module's series,

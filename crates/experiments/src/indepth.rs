@@ -29,19 +29,40 @@ pub struct InDepthStudy {
 /// not idle threads — and the output is identical at any `--threads`
 /// value.
 pub fn run(opts: &Options) -> InDepthStudy {
-    let cfg = InDepthConfig::builder()
+    let cfg = config(opts);
+    let specs = opts.specs();
+    runner::run_campaign(opts, vrd_core::campaign::IN_DEPTH, &cfg, |run_opts| {
+        run_with(opts, &specs, run_opts)
+    })
+}
+
+/// The in-depth campaign configuration at this scale.
+pub fn config(opts: &Options) -> InDepthConfig {
+    InDepthConfig::builder()
         .measurements(opts.indepth_measurements)
         .segment_rows(opts.segment_rows)
         .picks_per_segment(opts.picks_per_segment)
         .conditions(opts.condition_grid())
         .seed(opts.seed)
         .row_bytes(opts.row_bytes)
-        .build();
-    let specs = opts.specs();
-    let per_module = runner::run_campaign(opts, vrd_core::campaign::IN_DEPTH, &cfg, |run_opts| {
-        in_depth_campaign(&specs, &cfg, run_opts)
-    });
-    InDepthStudy { per_module }
+        .build()
+}
+
+/// Runs the in-depth campaign over an explicit spec list under
+/// caller-supplied [`RunOptions`](vrd_core::run::RunOptions) — the
+/// reusable core both the CLI harness ([`run`]) and the fleet service
+/// drive.
+///
+/// # Errors
+///
+/// Propagates checkpoint I/O errors and cooperative interruption.
+pub fn run_with(
+    opts: &Options,
+    specs: &[ModuleSpec],
+    run_opts: &vrd_core::run::RunOptions<'_>,
+) -> Result<InDepthStudy, vrd_core::checkpoint::CheckpointError> {
+    let cfg = config(opts);
+    Ok(InDepthStudy { per_module: in_depth_campaign(specs, &cfg, run_opts)? })
 }
 
 /// The maximum CV across condition combinations for every tested row

@@ -20,6 +20,7 @@
 //! | `memsim-sweep` | spatial-aware defenses sweep (ref \[134\]) | [`sweep_exp`] |
 //! | `ablation` `security` `online` | extensions beyond the paper | [`extensions`] |
 //! | `family` | per-bank RDT spread across device families | [`family_exp`] |
+//! | `serve` | fleet-scale multi-tenant campaign service | [`serve`] |
 
 pub mod discovery_exp;
 pub mod ecc_exp;
@@ -35,6 +36,7 @@ pub mod memsim_exp;
 pub mod opts;
 pub mod render;
 pub mod runner;
+pub mod serve;
 pub mod sinks;
 pub mod sweep_exp;
 

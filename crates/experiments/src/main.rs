@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! vrd-exp <id>... [flags]
+//! vrd-exp serve --state-dir DIR [flags]   (fleet campaign service;
+//!                                          see vrd_experiments::serve)
 //!
 //! ids: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!      fig14 fig15 fig16 fig17-20 fig21-24 fig25 tab3 tab7 findings
@@ -143,6 +145,9 @@ impl Ctx {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        vrd_experiments::serve::main(&args[1..]);
+    }
     match parse(&args) {
         Ok((ids, opts)) => {
             sinks::set_log_format(opts.log_format);

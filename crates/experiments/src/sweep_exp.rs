@@ -168,11 +168,32 @@ fn outcome(
 /// Panics when the study measured no series (nothing to derive a
 /// profile from).
 pub fn run(opts: &Options, study: &InDepthStudy) -> SweepStudy {
+    run_with(opts, &opts.specs(), study)
+}
+
+/// Like [`run`], but resolving the campaign module's spec from an
+/// explicit list instead of Table 1 — required for synthetic-fleet
+/// modules, whose renamed specs `ModuleSpec::by_name` cannot find.
+///
+/// # Panics
+///
+/// Panics when the study measured no series or the module's spec is in
+/// neither `specs` nor Table 1.
+pub fn run_with(
+    opts: &Options,
+    specs: &[vrd_dram::ModuleSpec],
+    study: &InDepthStudy,
+) -> SweepStudy {
     let (module, dist) =
         pooled_distribution(study).expect("in-depth study must contain measured series");
     let measured_min = *dist.iter().min().expect("non-empty distribution");
 
-    let spec = vrd_dram::ModuleSpec::by_name(&module).expect("campaign module is in Table 1");
+    let spec = specs
+        .iter()
+        .find(|s| s.name == module)
+        .cloned()
+        .or_else(|| vrd_dram::ModuleSpec::by_name(&module))
+        .expect("campaign module is in the spec list or Table 1");
     let device_seed =
         vrd_dram::Module::new_with_row_bytes(spec, opts.seed, opts.row_bytes).device().seed();
     let spatial = SpatialProfile::wide();
